@@ -1,0 +1,149 @@
+// Command gcgen generates the artifacts the evaluation consumes: an
+// AIDS-like synthetic dataset, a Type A or Type B query workload over a
+// dataset, or a dataset change plan, all written as files.
+//
+// Usage:
+//
+//	gcgen dataset  -n 1200 -seed 1 -out data.txt
+//	gcgen workload -dataset data.txt -kind ZZ -queries 600 -seed 2 -out queries.txt
+//	gcgen workload -dataset data.txt -kind 20% -queries 600 -out queries.txt
+//	gcgen plan     -queries 600 -seed 3 -out plan.json
+//
+// Datasets and workloads use the text graph format ("t/v/e" records);
+// plans are JSON. gcquery executes the three together.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"gcplus/internal/bench"
+	"gcplus/internal/changeplan"
+	"gcplus/internal/graph"
+	"gcplus/internal/synthetic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "dataset":
+		genDataset(os.Args[2:])
+	case "workload":
+		genWorkload(os.Args[2:])
+	case "plan":
+		genPlan(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gcgen dataset|workload|plan [flags]")
+	os.Exit(2)
+}
+
+func genDataset(args []string) {
+	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
+	n := fs.Int("n", 1200, "number of graphs")
+	seed := fs.Int64("seed", 1, "generator seed")
+	meanV := fs.Float64("mean-vertices", 45, "mean vertices per graph")
+	out := fs.String("out", "", "output file (default stdout)")
+	_ = fs.Parse(args)
+
+	cfg := synthetic.Default().WithGraphs(*n)
+	cfg.Seed = *seed
+	cfg.MeanVertices = *meanV
+	gs, err := synthetic.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	w := openOut(*out)
+	defer w.Close()
+	if err := graph.Write(w, gs); err != nil {
+		fatal(err)
+	}
+}
+
+func genWorkload(args []string) {
+	fs := flag.NewFlagSet("workload", flag.ExitOnError)
+	datasetPath := fs.String("dataset", "", "dataset file (required)")
+	kind := fs.String("kind", "ZZ", "workload: ZZ, ZU, UU, 0%, 20%, 50%")
+	queries := fs.Int("queries", 600, "number of queries")
+	seed := fs.Int64("seed", 2, "generator seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	_ = fs.Parse(args)
+	if *datasetPath == "" {
+		fatal(fmt.Errorf("-dataset is required"))
+	}
+	f, err := os.Open(*datasetPath)
+	if err != nil {
+		fatal(err)
+	}
+	gs, err := graph.Parse(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := bench.SpecByName(*kind)
+	if err != nil {
+		fatal(err)
+	}
+	sc := bench.ScaleRepro()
+	sc.Queries = *queries
+	wl, err := spec.Generate(gs, sc, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	w := openOut(*out)
+	defer w.Close()
+	if err := graph.Write(w, wl.Queries); err != nil {
+		fatal(err)
+	}
+}
+
+func genPlan(args []string) {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	queries := fs.Int("queries", 600, "workload length the plan spans")
+	batches := fs.Int("batches", 0, "number of batches (default: paper density)")
+	ops := fs.Int("ops", 20, "operations per batch")
+	seed := fs.Int64("seed", 3, "generator seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	_ = fs.Parse(args)
+
+	cfg := changeplan.Scaled(*queries, *seed)
+	if *batches > 0 {
+		cfg.Batches = *batches
+	}
+	cfg.OpsPerBatch = *ops
+	plan, err := changeplan.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	w := openOut(*out)
+	defer w.Close()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(plan); err != nil {
+		fatal(err)
+	}
+}
+
+func openOut(path string) *os.File {
+	if path == "" {
+		return os.Stdout
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	return f
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcgen:", err)
+	os.Exit(1)
+}

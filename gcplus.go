@@ -1,0 +1,238 @@
+package gcplus
+
+import (
+	"fmt"
+	"io"
+
+	"gcplus/internal/cache"
+	"gcplus/internal/core"
+	"gcplus/internal/dataset"
+	"gcplus/internal/graph"
+	"gcplus/internal/subiso"
+	"gcplus/internal/synthetic"
+)
+
+// Re-exported graph types: the full graph construction and codec API of
+// internal/graph is part of the public surface.
+type (
+	// Graph is a labelled undirected graph (§3 of the paper).
+	Graph = graph.Graph
+	// Label is a vertex label.
+	Label = graph.Label
+	// GraphBuilder incrementally constructs a Graph.
+	GraphBuilder = graph.Builder
+	// Edge is an undirected edge with U < V.
+	Edge = graph.Edge
+)
+
+// NewGraphBuilder returns an empty graph builder.
+func NewGraphBuilder() *GraphBuilder { return graph.NewBuilder() }
+
+// PathGraph, CycleGraph, StarGraph and CliqueGraph are convenience
+// constructors for common query shapes.
+func PathGraph(labels ...Label) *Graph     { return graph.Path(labels...) }
+func CycleGraph(labels ...Label) *Graph    { return graph.Cycle(labels...) }
+func StarGraph(c Label, l ...Label) *Graph { return graph.Star(c, l...) }
+func CliqueGraph(labels ...Label) *Graph   { return graph.Clique(labels...) }
+
+// ParseGraphs reads graphs in the line-oriented text format
+// ("t <name>" / "v <id> <label>" / "e <u> <v>").
+func ParseGraphs(r io.Reader) ([]*Graph, error) { return graph.Parse(r) }
+
+// WriteGraphs writes graphs in the text format.
+func WriteGraphs(w io.Writer, gs []*Graph) error { return graph.Write(w, gs) }
+
+// Model selects the cache-consistency model.
+type Model = cache.Model
+
+const (
+	// CON keeps the cache across dataset changes, refreshing validity
+	// indicators (the paper's headline model).
+	CON = cache.ModelCON
+	// EVI evicts the whole cache on any dataset change.
+	EVI = cache.ModelEVI
+)
+
+// Policy selects the cache-replacement policy.
+type Policy = cache.Policy
+
+const (
+	// HD is the paper's hybrid default policy.
+	HD = cache.PolicyHD
+	// PIN scores entries by spared sub-iso tests.
+	PIN = cache.PolicyPIN
+	// PINC weighs spared tests by their estimated cost.
+	PINC = cache.PolicyPINC
+	// LRU and LFU are classic baselines.
+	LRU = cache.PolicyLRU
+	// LFU evicts the least frequently contributing entry.
+	LFU = cache.PolicyLFU
+)
+
+// QueryStats instruments one query execution; see the field documentation
+// in the core runtime.
+type QueryStats = core.QueryStats
+
+// Metrics aggregates per-query statistics over a System's lifetime.
+type Metrics = core.Metrics
+
+// Options configures a System. The zero value gives the paper's defaults:
+// VF2 as Method M, a CON cache of capacity 100 with a 20-query window and
+// the HD replacement policy.
+type Options struct {
+	// Method names the sub-iso verifier: "VF2" (default), "VF2+", "GQL".
+	Method string
+	// Model is the consistency model (default CON).
+	Model Model
+	// Policy is the replacement policy (default HD).
+	Policy Policy
+	// CacheSize is the cache capacity in entries (default 100).
+	CacheSize int
+	// WindowSize is the admission window length (default 20).
+	WindowSize int
+	// DisableCache turns GC+ off entirely, leaving the raw Method M
+	// (every live graph verified per query). Useful for baselines.
+	DisableCache bool
+}
+
+// System is a GC+ instance: an evolving dataset plus the semantic cache
+// and query runtime. Not safe for concurrent use.
+type System struct {
+	ds *dataset.Dataset
+	rt *core.Runtime
+}
+
+// Open builds a System over the initial dataset graphs, which receive ids
+// 0..len(initial)-1. The slice is not copied; treat the graphs as owned
+// by the System afterwards.
+func Open(initial []*Graph, opts Options) (*System, error) {
+	if opts.Method == "" {
+		opts.Method = "VF2"
+	}
+	algo, err := subiso.New(opts.Method)
+	if err != nil {
+		return nil, err
+	}
+	ds := dataset.New(initial)
+	coreOpts := core.Options{Algorithm: algo}
+	if !opts.DisableCache {
+		coreOpts.Cache = &cache.Config{
+			Capacity:   opts.CacheSize,
+			WindowSize: opts.WindowSize,
+			Model:      opts.Model,
+			Policy:     opts.Policy,
+		}
+	}
+	rt, err := core.NewRuntime(ds, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &System{ds: ds, rt: rt}, nil
+}
+
+// Result is a query outcome.
+type Result struct {
+	res *core.Result
+}
+
+// IDs returns the answer set as ascending dataset graph ids.
+func (r *Result) IDs() []int { return r.res.AnswerIDs() }
+
+// Contains reports whether dataset graph id is in the answer set.
+func (r *Result) Contains(id int) bool { return r.res.Answer.Get(id) }
+
+// Len returns the answer set size.
+func (r *Result) Len() int { return r.res.Answer.Count() }
+
+// Stats returns the execution statistics of this query.
+func (r *Result) Stats() QueryStats { return r.res.Stats }
+
+// SubgraphQuery returns all live dataset graphs containing q.
+func (s *System) SubgraphQuery(q *Graph) (*Result, error) {
+	res, err := s.rt.SubgraphQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{res: res}, nil
+}
+
+// SupergraphQuery returns all live dataset graphs contained in q.
+func (s *System) SupergraphQuery(q *Graph) (*Result, error) {
+	res, err := s.rt.SupergraphQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{res: res}, nil
+}
+
+// AddGraph inserts a new dataset graph (ADD), returning its id.
+func (s *System) AddGraph(g *Graph) (int, error) { return s.ds.Add(g) }
+
+// DeleteGraph removes dataset graph id (DEL).
+func (s *System) DeleteGraph(id int) error { return s.ds.Delete(id) }
+
+// AddEdge adds edge {u,v} to dataset graph id (UA).
+func (s *System) AddEdge(id, u, v int) error { return s.ds.UpdateAddEdge(id, u, v) }
+
+// RemoveEdge removes edge {u,v} from dataset graph id (UR).
+func (s *System) RemoveEdge(id, u, v int) error { return s.ds.UpdateRemoveEdge(id, u, v) }
+
+// Graph returns the current version of dataset graph id (nil if deleted).
+func (s *System) Graph(id int) *Graph { return s.ds.Graph(id) }
+
+// GraphCount returns the number of live dataset graphs.
+func (s *System) GraphCount() int { return s.ds.LiveCount() }
+
+// LiveIDs returns the live dataset graph ids in ascending order.
+func (s *System) LiveIDs() []int { return s.ds.LiveIDs() }
+
+// CacheSize returns the number of admitted cache entries.
+func (s *System) CacheSize() int { return s.rt.CacheSize() }
+
+// Metrics returns a snapshot of the aggregated query statistics.
+func (s *System) Metrics() Metrics { return s.rt.Metrics() }
+
+// ResetMetrics clears the aggregates (e.g. after a warm-up phase) while
+// keeping the cache contents.
+func (s *System) ResetMetrics() { s.rt.ResetMeasurements() }
+
+// String describes the system configuration.
+func (s *System) String() string {
+	return fmt.Sprintf("gcplus.System(%s, %d graphs)", s.rt, s.ds.LiveCount())
+}
+
+// CacheEntryInfo is a read-only snapshot of one cached query, exposing
+// the consistency machinery for inspection (examples, debugging, tests).
+type CacheEntryInfo struct {
+	// Query is the cached query graph's name.
+	Query string
+	// Kind is "sub" or "super".
+	Kind string
+	// Answer holds the dataset graph ids of the cached answer snapshot.
+	Answer []int
+	// Valid holds the ids on which the snapshot is still valid (CGvalid).
+	Valid []int
+	// SparedTests is the entry's cumulative R statistic.
+	SparedTests float64
+}
+
+// CacheEntries snapshots the cache contents (window first).
+func (s *System) CacheEntries() []CacheEntryInfo {
+	var out []CacheEntryInfo
+	s.rt.ForEachCacheEntry(func(query string, kind string, answer, valid []int, spared float64) {
+		out = append(out, CacheEntryInfo{Query: query, Kind: kind, Answer: answer, Valid: valid, SparedTests: spared})
+	})
+	return out
+}
+
+// GenerateAIDSLike synthesizes an AIDS-calibrated dataset of n labelled
+// graphs (see DESIGN.md §3 for the substitution rationale). Deterministic
+// in seed.
+func GenerateAIDSLike(n int, seed int64) ([]*Graph, error) {
+	cfg := synthetic.Default().WithGraphs(n)
+	cfg.Seed = seed
+	return synthetic.Generate(cfg)
+}
+
+// Version is the library version.
+const Version = "1.0.0"

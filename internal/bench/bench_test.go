@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gcplus/internal/cache"
+)
+
+// tinyScale keeps unit tests fast.
+func tinyScale() Scale {
+	return Scale{
+		Name:             "tiny",
+		DatasetGraphs:    60,
+		Queries:          80,
+		WarmupQueries:    20,
+		MeanVertices:     16,
+		StdVertices:      5,
+		MaxVertices:      30,
+		CacheCapacity:    50,
+		WindowSize:       10,
+		PoolSize:         30,
+		NoAnswerPoolSize: 8,
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, n := range []string{"smoke", "repro", "paper"} {
+		s, err := ScaleByName(n)
+		if err != nil || s.Name != n {
+			t.Errorf("ScaleByName(%q) = %+v, %v", n, s, err)
+		}
+	}
+	if _, err := ScaleByName("nope"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	for _, n := range []string{"ZZ", "ZU", "UU", "0%", "20%", "50%"} {
+		s, err := SpecByName(n)
+		if err != nil || s.Name != n {
+			t.Errorf("SpecByName(%q) failed: %v", n, err)
+		}
+	}
+	if _, err := SpecByName("QQ"); err == nil {
+		t.Error("bad workload accepted")
+	}
+	if len(AllSpecs()) != 6 {
+		t.Error("AllSpecs should have 6 entries")
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	res, err := Run(RunConfig{
+		Scale:    tinyScale(),
+		Workload: TypeASpecs()[0],
+		Method:   "VF2",
+		System:   SystemM,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.MeasuredQueries != 60 { // 80 - 20 warmup
+		t.Fatalf("measured %d queries", m.MeasuredQueries)
+	}
+	// baseline tests every live graph
+	if m.SubIsoTests.Mean() < float64(tinyScale().DatasetGraphs)/2 {
+		t.Fatalf("baseline tested too few graphs: %.1f", m.SubIsoTests.Mean())
+	}
+	if m.Overhead.Sum() != 0 {
+		t.Fatal("baseline must have no overhead")
+	}
+	if res.OpsApplied == 0 {
+		t.Fatal("change plan did not run")
+	}
+}
+
+func TestRunUnknownMethod(t *testing.T) {
+	if _, err := Run(RunConfig{Scale: tinyScale(), Workload: TypeASpecs()[0], Method: "X", System: SystemM}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestRunCONOutprunesEVI(t *testing.T) {
+	sc := tinyScale()
+	spec := TypeASpecs()[0] // ZZ: most cache-friendly
+	var tests [3]float64
+	for i, sys := range []System{SystemM, SystemEVI, SystemCON} {
+		res, err := Run(RunConfig{Scale: sc, Workload: spec, Method: "VF2", System: sys, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tests[i] = res.Metrics.MeanSubIsoTests()
+	}
+	if !(tests[2] < tests[1] && tests[1] <= tests[0]) {
+		t.Fatalf("expected CON < EVI <= M in mean tests, got M=%.1f EVI=%.1f CON=%.1f",
+			tests[0], tests[1], tests[2])
+	}
+}
+
+func TestRunNoChangesMakesModelsEquivalent(t *testing.T) {
+	sc := tinyScale()
+	spec := TypeASpecs()[0]
+	get := func(sys System) float64 {
+		res, err := Run(RunConfig{Scale: sc, Workload: spec, Method: "VF2", System: sys, NoChanges: true, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics.SubIsoTests.Sum()
+	}
+	if evi, con := get(SystemEVI), get(SystemCON); evi != con {
+		t.Fatalf("static dataset: EVI (%.0f) and CON (%.0f) must coincide", evi, con)
+	}
+}
+
+func TestMatrixAndFigures(t *testing.T) {
+	sc := tinyScale()
+	specs := []WorkloadSpec{TypeASpecs()[0], TypeBSpecs()[0]}
+	m, err := RunMatrix(sc, 2, []string{"VF2", "VF2+"}, specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyIndependence(); err != nil {
+		t.Fatalf("method independence violated: %v", err)
+	}
+	var f4, f5, f6 bytes.Buffer
+	m.Figure4(&f4)
+	m.Figure5(&f5)
+	m.Figure6(&f6)
+	for name, out := range map[string]string{"fig4": f4.String(), "fig5": f5.String(), "fig6": f6.String()} {
+		if !strings.Contains(out, "ZZ") || !strings.Contains(out, "0%") {
+			t.Errorf("%s output missing workloads:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(f4.String(), "VF2+") {
+		t.Error("Figure 4 missing second method")
+	}
+	if got := m.Get("VF2", "ZZ", SystemCON); got == nil {
+		t.Error("Get failed")
+	}
+	if got := m.Get("GQL", "ZZ", SystemCON); got != nil {
+		t.Error("Get returned a cell that was not run")
+	}
+}
+
+func TestInsights(t *testing.T) {
+	rows, err := RunInsights(tinyScale(), 3, "VF2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d insight rows", len(rows))
+	}
+	var buf bytes.Buffer
+	PrintInsights(&buf, rows)
+	if !strings.Contains(buf.String(), "exact-hits") {
+		t.Error("insight table malformed")
+	}
+	for _, r := range rows {
+		if r.ZeroTestExact > r.IsoHitQueries {
+			t.Errorf("%s: zero-test exact hits (%d) exceed exact hits (%d)",
+				r.Workload, r.ZeroTestExact, r.IsoHitQueries)
+		}
+	}
+}
+
+func TestPolicyAblation(t *testing.T) {
+	rows, err := RunPolicyAblation(tinyScale(), 5, "VF2", TypeASpecs()[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d policy rows", len(rows))
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, "policies", rows)
+	if !strings.Contains(buf.String(), "HD") {
+		t.Error("ablation table malformed")
+	}
+}
+
+func TestValidityAblation(t *testing.T) {
+	rows, err := RunValidityAblation(tinyScale(), 5, "VF2", TypeASpecs()[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d validity rows", len(rows))
+	}
+	// strict invalidation can only prune less (more tests per query)
+	if rows[1].MeanTests+1e-9 < rows[0].MeanTests {
+		t.Errorf("strict variant pruned more than Algorithm 2: %.2f vs %.2f",
+			rows[1].MeanTests, rows[0].MeanTests)
+	}
+}
+
+func TestCacheSizeAblation(t *testing.T) {
+	rows, err := RunCacheSizeAblation(tinyScale(), 5, "VF2", TypeASpecs()[0], []int{10, 40}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d size rows", len(rows))
+	}
+}
+
+func TestChangeRateAblation(t *testing.T) {
+	rows, err := RunChangeRateAblation(tinyScale(), 5, "VF2", TypeASpecs()[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d change-rate rows", len(rows))
+	}
+	_ = cache.PolicyHD // silence import when assertions change
+}

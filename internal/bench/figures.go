@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gcplus/internal/core"
+	"gcplus/internal/subiso"
+)
+
+// Matrix holds the results of the method × workload × system grid that
+// Figures 4–6 are printed from.
+type Matrix struct {
+	Scale   Scale
+	Seed    int64
+	Methods []string
+	Specs   []WorkloadSpec
+	results map[string]*RunResult // key: method/workload/system
+}
+
+func key(method, wl string, sys System) string {
+	return method + "/" + wl + "/" + string(sys)
+}
+
+// Get returns one cell (nil if the cell was not run).
+func (m *Matrix) Get(method, wl string, sys System) *RunResult {
+	return m.results[key(method, wl, sys)]
+}
+
+// Progress receives human-readable progress lines during long runs.
+type Progress func(format string, args ...any)
+
+func nop(string, ...any) {}
+
+// RunMatrix executes the full grid needed by Figures 4–6: for every
+// method and workload, the three systems M, EVI and CON.
+func RunMatrix(sc Scale, seed int64, methods []string, specs []WorkloadSpec, progress Progress) (*Matrix, error) {
+	if progress == nil {
+		progress = nop
+	}
+	if len(methods) == 0 {
+		methods = subiso.Names()
+	}
+	if len(specs) == 0 {
+		specs = AllSpecs()
+	}
+	m := &Matrix{Scale: sc, Seed: seed, Methods: methods, Specs: specs, results: map[string]*RunResult{}}
+	for _, method := range methods {
+		for _, spec := range specs {
+			for _, sys := range []System{SystemM, SystemEVI, SystemCON} {
+				cfg := RunConfig{Scale: sc, Workload: spec, Method: method, System: sys, Seed: seed}
+				progress("run %-16s ...", cfg.Label())
+				res, err := Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s: %w", cfg.Label(), err)
+				}
+				m.results[key(method, spec.Name, sys)] = res
+				progress("run %-16s done in %v (mean query %.3fms, %.1f tests)",
+					cfg.Label(), res.Wall.Round(time.Millisecond),
+					res.Metrics.QueryTime.Mean()*1000, res.Metrics.MeanSubIsoTests())
+			}
+		}
+	}
+	return m, nil
+}
+
+// speedup returns base/x guarding against zero denominators.
+func speedup(base, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return base / x
+}
+
+// Figure4 prints the query-time speedups of EVI and CON over raw Method M
+// for every method × workload — the paper's Figure 4.
+func (m *Matrix) Figure4(w io.Writer) {
+	fmt.Fprintf(w, "Figure 4: GC+ Speedup in Query Time (scale=%s, %d graphs, %d queries, seed=%d)\n",
+		m.Scale.Name, m.Scale.DatasetGraphs, m.Scale.Queries, m.Seed)
+	fmt.Fprintf(w, "%-6s %-8s %8s %8s\n", "Method", "Workload", "EVI", "CON")
+	for _, method := range m.Methods {
+		for _, spec := range m.Specs {
+			base := m.Get(method, spec.Name, SystemM)
+			evi := m.Get(method, spec.Name, SystemEVI)
+			con := m.Get(method, spec.Name, SystemCON)
+			if base == nil || evi == nil || con == nil {
+				continue
+			}
+			bt := base.Metrics.QueryTime.Mean()
+			fmt.Fprintf(w, "%-6s %-8s %8.2f %8.2f\n", method, spec.Name,
+				speedup(bt, evi.Metrics.QueryTime.Mean()),
+				speedup(bt, con.Metrics.QueryTime.Mean()))
+		}
+	}
+}
+
+// Figure5 prints the speedups in number of sub-iso tests per query. The
+// paper notes these are independent of the choice of Method M (the pruned
+// candidate sets coincide); the first configured method's runs are used
+// and VerifyIndependence can assert the invariance.
+func (m *Matrix) Figure5(w io.Writer) {
+	method := m.Methods[0]
+	fmt.Fprintf(w, "Figure 5: GC+ Speedup in Number of Sub-iso Tests (scale=%s, method-independent)\n", m.Scale.Name)
+	fmt.Fprintf(w, "%-8s %8s %8s\n", "Workload", "EVI", "CON")
+	for _, spec := range m.Specs {
+		base := m.Get(method, spec.Name, SystemM)
+		evi := m.Get(method, spec.Name, SystemEVI)
+		con := m.Get(method, spec.Name, SystemCON)
+		if base == nil || evi == nil || con == nil {
+			continue
+		}
+		bt := base.Metrics.MeanSubIsoTests()
+		fmt.Fprintf(w, "%-8s %8.2f %8.2f\n", spec.Name,
+			speedup(bt, evi.Metrics.MeanSubIsoTests()),
+			speedup(bt, con.Metrics.MeanSubIsoTests()))
+	}
+}
+
+// VerifyIndependence checks the §7.2 invariant behind Figure 5: for every
+// workload, the mean number of sub-iso tests is identical across methods
+// (within floating slack). It returns a descriptive error on violation.
+func (m *Matrix) VerifyIndependence() error {
+	if len(m.Methods) < 2 {
+		return nil
+	}
+	for _, spec := range m.Specs {
+		for _, sys := range []System{SystemEVI, SystemCON} {
+			base := m.Get(m.Methods[0], spec.Name, sys)
+			if base == nil {
+				continue
+			}
+			for _, method := range m.Methods[1:] {
+				other := m.Get(method, spec.Name, sys)
+				if other == nil {
+					continue
+				}
+				a, b := base.Metrics.SubIsoTests.Sum(), other.Metrics.SubIsoTests.Sum()
+				if a != b {
+					return fmt.Errorf("bench: %s/%s tests differ: %s=%.0f %s=%.0f",
+						spec.Name, sys, m.Methods[0], a, method, b)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Figure6 prints the average execution time and overhead per query for
+// Method M, EVI and CON — the paper's Figure 6 (shown for the first
+// configured method; the paper uses VF2).
+func (m *Matrix) Figure6(w io.Writer) {
+	method := m.Methods[0]
+	fmt.Fprintf(w, "Figure 6: Average Execution Time and Overhead per Query (method=%s, scale=%s)\n", method, m.Scale.Name)
+	fmt.Fprintf(w, "%-8s %-6s %14s %14s %18s\n", "Workload", "System", "QueryTime(ms)", "Overhead(ms)", "Consistency(%ovh)")
+	for _, spec := range m.Specs {
+		for _, sys := range []System{SystemM, SystemEVI, SystemCON} {
+			res := m.Get(method, spec.Name, sys)
+			if res == nil {
+				continue
+			}
+			qt := res.Metrics.QueryTime.Mean() * 1000
+			ov := res.Metrics.Overhead.Mean() * 1000
+			share := 0.0
+			if ov > 0 {
+				share = res.Metrics.ConsistencyTime.Mean() / res.Metrics.Overhead.Mean() * 100
+			}
+			fmt.Fprintf(w, "%-8s %-6s %14.3f %14.4f %17.1f%%\n", spec.Name, sys, qt, ov, share)
+		}
+	}
+}
+
+// InsightResult carries the §7.2 textual-insight statistics for one
+// workload under CON.
+type InsightResult struct {
+	Workload string
+	// IsoHitQueries is the number of queries with an exact-match
+	// (isomorphic) cache hit.
+	IsoHitQueries int64
+	// ZeroTestExact is the number whose exact hit produced zero sub-iso
+	// tests (the fully valid ones).
+	ZeroTestExact int64
+	// ContainmentHits is the total number of subgraph/supergraph cache
+	// hits (containing + contained).
+	ContainmentHits int64
+	// EmptyShortcuts is the number of §6.3 case-2 firings.
+	EmptyShortcuts int64
+	// MeanTests is the mean sub-iso tests per query.
+	MeanTests float64
+}
+
+// RunInsights reproduces the §7.2 comparison between the ZU and UU
+// workloads under CON: ZU sees ~2.5× the exact-match hits of UU, but a
+// smaller share of them is zero-test; UU sees ~2× the sub/super hits.
+func RunInsights(sc Scale, seed int64, method string, progress Progress) ([]InsightResult, error) {
+	if progress == nil {
+		progress = nop
+	}
+	var out []InsightResult
+	for _, spec := range TypeASpecs() {
+		cfg := RunConfig{Scale: sc, Workload: spec, Method: method, System: SystemCON, Seed: seed}
+		progress("insights %-4s ...", spec.Name)
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		met := res.Metrics
+		out = append(out, InsightResult{
+			Workload:        spec.Name,
+			IsoHitQueries:   met.IsoHitQueries,
+			ZeroTestExact:   met.ExactHits,
+			ContainmentHits: met.ContainingHits + met.ContainedHits,
+			EmptyShortcuts:  met.EmptyShortcuts,
+			MeanTests:       met.MeanSubIsoTests(),
+		})
+	}
+	return out, nil
+}
+
+// PrintInsights renders the insight table.
+func PrintInsights(w io.Writer, rows []InsightResult) {
+	fmt.Fprintf(w, "§7.2 insight statistics (CON):\n")
+	fmt.Fprintf(w, "%-8s %12s %14s %16s %12s %10s\n",
+		"Workload", "exact-hits", "zero-test", "sub/super-hits", "empty-cuts", "tests/q")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %12d %14d %16d %12d %10.1f\n",
+			r.Workload, r.IsoHitQueries, r.ZeroTestExact, r.ContainmentHits, r.EmptyShortcuts, r.MeanTests)
+	}
+}
+
+// MetricsSummary formats a one-line digest of a run for logs.
+func MetricsSummary(m core.Metrics) string {
+	return fmt.Sprintf("q=%d time=%.3fms tests=%.1f saved=%.1f ovh=%.4fms iso=%d exact=%d empty=%d",
+		m.MeasuredQueries, m.QueryTime.Mean()*1000, m.SubIsoTests.Mean(), m.TestsSaved.Mean(),
+		m.Overhead.Mean()*1000, m.IsoHitQueries, m.ExactHits, m.EmptyShortcuts)
+}

@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"fmt"
+
+	"gcplus/internal/stats"
+)
+
+// Policy names a cache-replacement policy. Entries with the *lowest*
+// scores are evicted first.
+type Policy string
+
+const (
+	// PolicyPIN scores an entry by R, the total number of subgraph
+	// isomorphism tests it spared (§7.1).
+	PolicyPIN Policy = "PIN"
+	// PolicyPINC extends PIN with the heuristic per-test cost estimate:
+	// score = R × Ĉ, valuing entries whose spared tests were expensive.
+	PolicyPINC Policy = "PINC"
+	// PolicyHD is the paper's hybrid default: when the R distribution
+	// across the cache has squared coefficient of variation > 1 (high
+	// variability) it scores like PIN, otherwise like PINC.
+	PolicyHD Policy = "HD"
+	// PolicyLRU evicts the least recently used entry (GC baseline).
+	PolicyLRU Policy = "LRU"
+	// PolicyLFU evicts the least frequently contributing entry.
+	PolicyLFU Policy = "LFU"
+)
+
+// ParsePolicy validates a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case PolicyPIN, PolicyPINC, PolicyHD, PolicyLRU, PolicyLFU:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("cache: unknown policy %q (want PIN, PINC, HD, LRU or LFU)", s)
+}
+
+// scoreAll computes the eviction score of every entry under the policy.
+// HD decides between PIN and PINC once per invocation, from the CoV² of
+// the R distribution (the paper's Statistics Manager + [20] CoV test).
+func (p Policy) scoreAll(entries []*Entry) []float64 {
+	eff := p
+	if p == PolicyHD {
+		var r stats.Running
+		for _, e := range entries {
+			r.Add(e.R)
+		}
+		if r.CoV2() > 1 {
+			eff = PolicyPIN
+		} else {
+			eff = PolicyPINC
+		}
+	}
+	scores := make([]float64, len(entries))
+	for i, e := range entries {
+		switch eff {
+		case PolicyPIN:
+			scores[i] = e.R
+		case PolicyPINC:
+			scores[i] = e.R * e.CostEst
+		case PolicyLRU:
+			scores[i] = float64(e.LastUsed)
+		case PolicyLFU:
+			scores[i] = float64(e.Hits)
+		default:
+			scores[i] = e.R
+		}
+	}
+	return scores
+}

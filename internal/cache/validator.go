@@ -1,0 +1,88 @@
+package cache
+
+import "gcplus/internal/dataset"
+
+// This file implements the Cache Validator component — Algorithm 2 of the
+// paper ("Refreshing a cached graph's validity indicator") — generalized
+// to both query kinds.
+//
+// For a cached subgraph query g and a dataset graph Gi touched by the log:
+//
+//   - if the operations on Gi were exclusively UA (edge additions) and the
+//     cached result is a valid positive (g ⊆ Gi), the bit survives: adding
+//     edges cannot destroy an embedding of g in Gi;
+//   - if the operations were exclusively UR (edge removals) and the cached
+//     result is a valid negative (g ⊄ Gi), the bit survives: an embedding
+//     into the shrunken Gi would also be an embedding into the original;
+//   - everything else — DEL, ADD (a fresh id can collide with CT only via
+//     its own creation), mixed UA+UR — turns the bit off.
+//
+// For a cached supergraph query (Answer records Gi ⊆ g) the two survival
+// rules swap roles, by the same monotonicity arguments applied on the
+// other side of the relation:
+//
+//   - UR-exclusive preserves positives: Gi ⊆ g and Gi shrinks ⇒ the
+//     smaller Gi is a subgraph of the old Gi, hence still ⊆ g;
+//   - UA-exclusive preserves negatives: Gi ⊄ g and Gi grows ⇒ if the
+//     grown Gi embedded into g, so would its subgraph, the old Gi.
+//
+// New dataset ids carry no information about older cached queries: their
+// validity bits are (implicitly) false — bitset.Get beyond the written
+// range returns false, which realizes Algorithm 2's lines 4–6 without an
+// explicit extension step.
+
+// Refresh applies Algorithm 2 to a single entry using the Log Analyzer's
+// counters, and advances the entry's reflected sequence number to seq.
+func (e *Entry) Refresh(c *dataset.Counters, seq uint64) {
+	e.refresh(c, seq, false)
+}
+
+// RefreshStrict invalidates every touched bit without the UA/UR-exclusive
+// survival rules — the ablated Algorithm 2 used to quantify how much of
+// CON's benefit the optimizations contribute (still correct, strictly
+// more conservative).
+func (e *Entry) RefreshStrict(c *dataset.Counters, seq uint64) {
+	e.refresh(c, seq, true)
+}
+
+func (e *Entry) refresh(c *dataset.Counters, seq uint64, strict bool) {
+	for id := range c.Total {
+		if strict {
+			e.Valid.Clear(id)
+			continue
+		}
+		keepPositive := c.UAExclusive(id)
+		keepNegative := c.URExclusive(id)
+		if e.Kind == KindSuper {
+			keepPositive, keepNegative = keepNegative, keepPositive
+		}
+		switch {
+		case keepPositive && e.Valid.Get(id) && e.Answer.Get(id):
+			// validity survives (Algorithm 2 line 12–13)
+		case keepNegative && e.Valid.Get(id) && !e.Answer.Get(id):
+			// validity survives (Algorithm 2 line 14–15)
+		default:
+			e.Valid.Clear(id) // Algorithm 2 line 17
+		}
+	}
+	e.Seq = seq
+}
+
+// Validate runs the Cache Validator over every cached and windowed entry
+// (the paper: "cached graphs/queries by default cover those previous
+// queries in both cache and window"). Counters must describe exactly the
+// log records in (AppliedSeq, seq]. When the cache was configured with
+// StrictInvalidation, the ablated rule is used.
+func (c *Cache) Validate(ctrs *dataset.Counters, seq uint64) {
+	refresh := (*Entry).Refresh
+	if c.cfg.StrictInvalidation {
+		refresh = (*Entry).RefreshStrict
+	}
+	for _, e := range c.entries {
+		refresh(e, ctrs, seq)
+	}
+	for _, e := range c.window {
+		refresh(e, ctrs, seq)
+	}
+	c.appliedSeq = seq
+}

@@ -1,0 +1,220 @@
+// Package changeplan generates and executes the paper's dataset change
+// plans (§7.1 "Dataset Change Plan").
+//
+// A plan is a set of operation batches; each batch has an occurrence time
+// expressed as a query index ("occurrence time for the batch is selected
+// uniformly at random from the id of queries") and a list of operation
+// types drawn uniformly from {ADD, DEL, UA, UR}. The *types* are fixed at
+// generation, but the paper resolves the *targets* against the up-to-date
+// dataset at running time (DEL/UA/UR "using the up-to-date dataset at
+// running time", ADD "using the initial dataset ... so as to maximally
+// keep the original dataset characteristics"), so target resolution
+// happens in the Executor as the workload advances.
+//
+// The paper's AIDS plan: 2,000 operations in 100 batches of 20 during
+// 10,000 queries. Scaled configurations preserve the ops-per-query
+// density.
+package changeplan
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gcplus/internal/dataset"
+	"gcplus/internal/graph"
+	"gcplus/internal/randx"
+)
+
+// Config parameterizes plan generation.
+type Config struct {
+	// Queries is the workload length the plan spans (paper: 10,000).
+	Queries int
+	// Batches is the number of operation batches (paper: 100).
+	Batches int
+	// OpsPerBatch is the number of operations per batch (paper: 20).
+	OpsPerBatch int
+	// Seed drives both batch placement and runtime target resolution.
+	Seed int64
+}
+
+// Default returns the paper-scale plan configuration.
+func Default() Config {
+	return Config{Queries: 10000, Batches: 100, OpsPerBatch: 20, Seed: 1}
+}
+
+// Scaled shrinks the plan to q queries, preserving the paper's density of
+// operations per query (2,000 ops / 10,000 queries = 0.2).
+func Scaled(q int, seed int64) Config {
+	d := Default()
+	batches := d.Batches * q / d.Queries
+	if batches < 1 {
+		batches = 1
+	}
+	return Config{Queries: q, Batches: batches, OpsPerBatch: d.OpsPerBatch, Seed: seed}
+}
+
+// Batch is a group of operations applied immediately before the query
+// with index AtQuery executes.
+type Batch struct {
+	// AtQuery is the occurrence time (query index in [0, Queries)).
+	AtQuery int
+	// Ops are the operation types, resolved to targets at execution.
+	Ops []dataset.OpType
+}
+
+// Plan is an ordered sequence of batches (ascending AtQuery).
+type Plan struct {
+	// Batches sorted by AtQuery; several batches may share a time.
+	Batches []Batch
+	// Queries is the workload length the plan was generated for.
+	Queries int
+}
+
+// TotalOps returns the number of operations across all batches.
+func (p *Plan) TotalOps() int {
+	n := 0
+	for _, b := range p.Batches {
+		n += len(b.Ops)
+	}
+	return n
+}
+
+// Generate creates a plan: batch times uniform over query ids, operation
+// types uniform over {ADD, DEL, UA, UR}.
+func Generate(cfg Config) (*Plan, error) {
+	if cfg.Queries <= 0 || cfg.Batches < 0 || cfg.OpsPerBatch <= 0 {
+		return nil, fmt.Errorf("changeplan: invalid config %+v", cfg)
+	}
+	rng := randx.New(cfg.Seed)
+	p := &Plan{Queries: cfg.Queries, Batches: make([]Batch, cfg.Batches)}
+	for i := range p.Batches {
+		ops := make([]dataset.OpType, cfg.OpsPerBatch)
+		for j := range ops {
+			ops[j] = dataset.OpType(rng.Intn(4))
+		}
+		p.Batches[i] = Batch{AtQuery: rng.Intn(cfg.Queries), Ops: ops}
+	}
+	sort.SliceStable(p.Batches, func(a, b int) bool {
+		return p.Batches[a].AtQuery < p.Batches[b].AtQuery
+	})
+	return p, nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(cfg Config) *Plan {
+	p, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Executor applies a plan against a dataset as a workload advances. It
+// resolves operation targets at application time with its own seeded RNG,
+// per the paper's running-time semantics.
+type Executor struct {
+	plan *Plan
+	rng  *rand.Rand
+	// initial is the frozen initial dataset used as the ADD pool.
+	initial []*graph.Graph
+	next    int // index of the next unapplied batch
+	applied int // operations successfully applied
+	skipped int // operations dropped after exhausting retries
+}
+
+// NewExecutor prepares a plan for execution. The initial slice is the
+// dataset's original graph list (cloned on ADD).
+func NewExecutor(plan *Plan, initial []*graph.Graph, seed int64) *Executor {
+	return &Executor{plan: plan, rng: randx.New(seed), initial: initial}
+}
+
+// Applied returns the number of operations applied so far.
+func (e *Executor) Applied() int { return e.applied }
+
+// Skipped returns the number of operations that could not be resolved
+// (e.g. UR on an edgeless graph after many retries).
+func (e *Executor) Skipped() int { return e.skipped }
+
+// Done reports whether every batch has fired.
+func (e *Executor) Done() bool { return e.next >= len(e.plan.Batches) }
+
+// ApplyDue applies every batch with AtQuery ≤ queryIndex that has not yet
+// fired, resolving targets against the current dataset. It returns the
+// number of operations applied by this call.
+func (e *Executor) ApplyDue(ds *dataset.Dataset, queryIndex int) int {
+	n := 0
+	for e.next < len(e.plan.Batches) && e.plan.Batches[e.next].AtQuery <= queryIndex {
+		for _, op := range e.plan.Batches[e.next].Ops {
+			if e.applyOne(ds, op) {
+				n++
+				e.applied++
+			} else {
+				e.skipped++
+			}
+		}
+		e.next++
+	}
+	return n
+}
+
+// applyOne resolves and applies a single operation, retrying target
+// draws a bounded number of times.
+func (e *Executor) applyOne(ds *dataset.Dataset, op dataset.OpType) bool {
+	for tries := 0; tries < 32; tries++ {
+		switch op {
+		case dataset.OpAdd:
+			if len(e.initial) == 0 {
+				return false
+			}
+			g := e.initial[e.rng.Intn(len(e.initial))].Clone()
+			if _, err := ds.Add(g); err == nil {
+				return true
+			}
+		case dataset.OpDelete:
+			ids := ds.LiveIDs()
+			if len(ids) <= 1 {
+				return false // never drain the dataset
+			}
+			if ds.Delete(ids[e.rng.Intn(len(ids))]) == nil {
+				return true
+			}
+		case dataset.OpUpdateAddEdge:
+			ids := ds.LiveIDs()
+			if len(ids) == 0 {
+				return false
+			}
+			id := ids[e.rng.Intn(len(ids))]
+			g := ds.Graph(id)
+			n := g.NumVertices()
+			if n < 2 {
+				continue
+			}
+			u, v := e.rng.Intn(n), e.rng.Intn(n)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			if ds.UpdateAddEdge(id, u, v) == nil {
+				return true
+			}
+		case dataset.OpUpdateRemoveEdge:
+			ids := ds.LiveIDs()
+			if len(ids) == 0 {
+				return false
+			}
+			id := ids[e.rng.Intn(len(ids))]
+			g := ds.Graph(id)
+			if g.NumEdges() == 0 {
+				continue
+			}
+			es := g.EdgeList()
+			ed := es[e.rng.Intn(len(es))]
+			if ds.UpdateRemoveEdge(id, int(ed.U), int(ed.V)) == nil {
+				return true
+			}
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"time"
+
+	"gcplus/internal/stats"
+)
+
+// Metrics aggregates per-query statistics across a runtime's lifetime.
+// The benchmark harness derives every series of Figures 4–6 and the §7.2
+// insight numbers from one Metrics snapshot per configuration.
+type Metrics struct {
+	// Queries is the number of queries processed.
+	Queries int64
+	// MeasuredQueries is the number folded into the time/test averages
+	// (warm-up queries can be excluded via ResetMeasurements).
+	MeasuredQueries int64
+
+	// QueryTime aggregates per-query processing time (seconds).
+	QueryTime stats.Running
+	// VerifyTime aggregates the Method M share of processing time.
+	VerifyTime stats.Running
+	// HitTime aggregates hit-discovery time.
+	HitTime stats.Running
+	// Overhead aggregates cache-maintenance time per query.
+	Overhead stats.Running
+	// ConsistencyTime aggregates the log-analysis/validation (or purge)
+	// share of Overhead.
+	ConsistencyTime stats.Running
+	// SubIsoTests aggregates the number of Method M tests per query.
+	SubIsoTests stats.Running
+	// TestsSaved aggregates per-query spared tests.
+	TestsSaved stats.Running
+
+	// Hit-type counters (§7.2 insight metrics).
+
+	// IsoHitQueries counts queries that discovered at least one
+	// isomorphic cached query ("exact-match cache hits" in §7.2).
+	IsoHitQueries int64
+	// ExactHits counts isomorphic cache hits that fired the §6.3 optimal
+	// case (zero sub-iso tests by construction).
+	ExactHits int64
+	// EmptyShortcuts counts §6.3 second-optimal-case firings.
+	EmptyShortcuts int64
+	// ContainingHits counts containment hits (cached query ⊇ g).
+	ContainingHits int64
+	// ContainedHits counts containment hits (cached query ⊆ g).
+	ContainedHits int64
+	// ZeroTestQueries counts queries answered without any sub-iso test.
+	ZeroTestQueries int64
+}
+
+func (m *Metrics) fold(st *QueryStats) {
+	m.Queries++
+	m.MeasuredQueries++
+	m.QueryTime.AddDuration(st.QueryTime)
+	m.VerifyTime.AddDuration(st.VerifyTime)
+	m.HitTime.AddDuration(st.HitTime)
+	m.Overhead.AddDuration(st.Overhead)
+	m.ConsistencyTime.AddDuration(st.ConsistencyTime)
+	m.SubIsoTests.Add(float64(st.SubIsoTests))
+	m.TestsSaved.Add(float64(st.TestsSaved))
+	if st.IsoHits > 0 {
+		m.IsoHitQueries++
+	}
+	if st.ExactHit {
+		m.ExactHits++
+	}
+	if st.EmptyShortcut {
+		m.EmptyShortcuts++
+	}
+	m.ContainingHits += int64(st.ContainingHits)
+	m.ContainedHits += int64(st.ContainedHits)
+	if st.SubIsoTests == 0 {
+		m.ZeroTestQueries++
+	}
+}
+
+// Metrics returns a copy of the aggregated metrics.
+func (r *Runtime) Metrics() Metrics { return r.m }
+
+// ResetMeasurements clears the aggregates while keeping the cache warm —
+// the evaluation "allows one Window (20 queries) before starting
+// measuring GC+'s performance" (§7.1).
+func (r *Runtime) ResetMeasurements() {
+	queries := r.m.Queries
+	r.m = Metrics{Queries: queries}
+}
+
+// MeanQueryTime returns the mean per-query processing time.
+func (m *Metrics) MeanQueryTime() time.Duration {
+	return time.Duration(m.QueryTime.Mean() * float64(time.Second))
+}
+
+// MeanOverhead returns the mean per-query cache-maintenance time.
+func (m *Metrics) MeanOverhead() time.Duration {
+	return time.Duration(m.Overhead.Mean() * float64(time.Second))
+}
+
+// MeanConsistency returns the mean per-query consistency share of the
+// overhead (CON's Algorithms 1+2, EVI's purge).
+func (m *Metrics) MeanConsistency() time.Duration {
+	return time.Duration(m.ConsistencyTime.Mean() * float64(time.Second))
+}
+
+// MeanSubIsoTests returns the mean number of sub-iso tests per query.
+func (m *Metrics) MeanSubIsoTests() float64 { return m.SubIsoTests.Mean() }

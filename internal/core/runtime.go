@@ -1,0 +1,406 @@
+// Package core implements GC+'s Query Processing Runtime (§4 and §6 of
+// the paper): the GC+sub and GC+super processors that discover
+// subgraph/supergraph relations between a new query and cached queries,
+// the Candidate Set Pruner realizing formulas (1)–(5), the two optimal
+// cases of §6.3 (isomorphic cache hit and empty-answer shortcut), and the
+// orchestration that keeps the cache consistent with the dataset log
+// before every query (EVI purge or CON validation).
+//
+// The pruner's output is provably exact — Theorems 3 and 6 of the paper:
+// no false positives (every returned graph either passed a sub-iso test
+// or is implied by a still-valid cached positive) and no false negatives
+// (a graph is only exempted from testing when a still-valid cached fact
+// makes its answer certain). The package's property tests check GC+
+// against brute-force ground truth under randomized query/change
+// interleavings.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gcplus/internal/bitset"
+	"gcplus/internal/cache"
+	"gcplus/internal/dataset"
+	"gcplus/internal/feature"
+	"gcplus/internal/graph"
+	"gcplus/internal/stats"
+	"gcplus/internal/subiso"
+)
+
+// Options configures a Runtime.
+type Options struct {
+	// Algorithm is Method M's sub-iso implementation (required).
+	Algorithm subiso.Algorithm
+	// HitAlgorithm decides containment between *query* graphs during hit
+	// discovery; defaults to VF2+ (queries are small, VF2+ is robustly
+	// fast on them). Its invocations are GC+ overhead, never counted as
+	// Method M sub-iso tests.
+	HitAlgorithm subiso.Algorithm
+	// Cache configures the graph cache. Nil disables caching entirely,
+	// yielding the pure Method M baseline of the evaluation.
+	Cache *cache.Config
+}
+
+// Runtime executes subgraph/supergraph queries against a dataset,
+// optionally through the GC+ cache. It is not safe for concurrent use;
+// callers own serialization (the evaluation harness is single-streamed,
+// like the paper's query workloads).
+type Runtime struct {
+	ds      *dataset.Dataset
+	algo    subiso.Algorithm
+	hitAlgo subiso.Algorithm
+	cache   *cache.Cache // nil when caching is disabled
+
+	// avgTestCost tracks the observed mean cost of one Method M sub-iso
+	// test; it seeds cost estimates for entries admitted with zero tests.
+	avgTestCost stats.Running
+
+	m Metrics
+}
+
+// NewRuntime builds a Runtime over the dataset.
+func NewRuntime(ds *dataset.Dataset, opts Options) (*Runtime, error) {
+	if ds == nil {
+		return nil, errors.New("core: nil dataset")
+	}
+	if opts.Algorithm == nil {
+		return nil, errors.New("core: Options.Algorithm is required")
+	}
+	r := &Runtime{
+		ds:      ds,
+		algo:    opts.Algorithm,
+		hitAlgo: opts.HitAlgorithm,
+	}
+	if r.hitAlgo == nil {
+		r.hitAlgo = subiso.VF2Plus{}
+	}
+	if opts.Cache != nil {
+		r.cache = cache.New(*opts.Cache)
+	}
+	return r, nil
+}
+
+// Dataset returns the runtime's dataset.
+func (r *Runtime) Dataset() *dataset.Dataset { return r.ds }
+
+// CacheEnabled reports whether GC+ caching is active.
+func (r *Runtime) CacheEnabled() bool { return r.cache != nil }
+
+// CacheSize returns the number of admitted cache entries (0 if disabled).
+func (r *Runtime) CacheSize() int {
+	if r.cache == nil {
+		return 0
+	}
+	return r.cache.Size()
+}
+
+// Algorithm returns Method M's algorithm.
+func (r *Runtime) Algorithm() subiso.Algorithm { return r.algo }
+
+// Result is the outcome of one query.
+type Result struct {
+	// Answer is the answer set as dataset graph ids.
+	Answer *bitset.Set
+	// Stats describes how the answer was obtained.
+	Stats QueryStats
+}
+
+// AnswerIDs returns the answer as a sorted id slice.
+func (res *Result) AnswerIDs() []int { return res.Answer.Indices() }
+
+// QueryStats instruments one query execution.
+type QueryStats struct {
+	// Kind is the query kind.
+	Kind cache.Kind
+	// CandidatesBefore is |CS_M(g)|, the live dataset size.
+	CandidatesBefore int
+	// SubIsoTests is the number of Method M sub-iso tests executed after
+	// pruning (|CS_GC+|; the paper's headline count metric).
+	SubIsoTests int
+	// TestsSaved = CandidatesBefore − SubIsoTests.
+	TestsSaved int
+	// ContainingHits counts cached queries found to contain g.
+	ContainingHits int
+	// ContainedHits counts cached queries found to be contained in g.
+	ContainedHits int
+	// IsoHits counts cached queries discovered to be isomorphic to g
+	// (the paper's "exact-match cache hits"; only the fully valid ones
+	// fire the §6.3 optimal case and yield zero sub-iso tests).
+	IsoHits int
+	// ExactHit reports an isomorphic cache hit (§6.3 first optimal case;
+	// it fires only when the hit entry is fully valid).
+	ExactHit bool
+	// EmptyShortcut reports the §6.3 second optimal case (certain-empty
+	// answer without any sub-iso test).
+	EmptyShortcut bool
+	// QueryTime is the end-to-end processing time excluding Overhead.
+	QueryTime time.Duration
+	// VerifyTime is the Method M portion of QueryTime.
+	VerifyTime time.Duration
+	// HitTime is the hit-discovery portion of QueryTime.
+	HitTime time.Duration
+	// Overhead is cache-maintenance time: consistency (log analysis +
+	// validation or purge) plus window/cache updates. Figure 6's
+	// "Overhead" series.
+	Overhead time.Duration
+	// ConsistencyTime is the log-analysis + validation (or purge) part
+	// of Overhead; the paper reports it below 1% of CON's overhead.
+	ConsistencyTime time.Duration
+}
+
+// SubgraphQuery answers "which live dataset graphs contain g?".
+func (r *Runtime) SubgraphQuery(g *graph.Graph) (*Result, error) {
+	return r.process(g, cache.KindSub)
+}
+
+// SupergraphQuery answers "which live dataset graphs are contained in g?".
+func (r *Runtime) SupergraphQuery(g *graph.Graph) (*Result, error) {
+	return r.process(g, cache.KindSuper)
+}
+
+func (r *Runtime) process(g *graph.Graph, kind cache.Kind) (*Result, error) {
+	if g == nil {
+		return nil, errors.New("core: nil query graph")
+	}
+	start := time.Now()
+	st := QueryStats{Kind: kind}
+
+	// Consistency point: reconcile cache with the dataset log (§4: the
+	// Dataset Manager first identifies whether the dataset has changed;
+	// if so the Cache Validator is triggered).
+	r.syncCache(&st)
+
+	live := r.ds.LiveSnapshot()
+	csm := live.Clone() // CS_M(g): Method M would test the whole dataset
+	st.CandidatesBefore = csm.Count()
+
+	var (
+		direct     []*cache.Entry // entries whose valid positives transfer to g
+		restrict   []*cache.Entry // entries bounding g's possible answers
+		iso        *cache.Entry   // an entry isomorphic to g, if discovered
+		answerSure *bitset.Set    // Answer_sub(g) of formula (1)
+	)
+	if r.cache != nil {
+		ht0 := time.Now()
+		direct, restrict, iso = r.findHits(g, kind, &st)
+		st.HitTime = time.Since(ht0)
+
+		// §6.3 optimal case 1: isomorphic hit. Equal vertex and edge
+		// counts plus one-directional containment force an isomorphism,
+		// so if the entry is fully valid its cached answer (restricted
+		// to live graphs) is g's answer.
+		if iso != nil && iso.FullyValid(live) {
+			st.ExactHit = true
+			iso.Credit(st.CandidatesBefore, r.cache.Tick())
+			ans := iso.Answer.Clone()
+			ans.And(live)
+			st.TestsSaved = st.CandidatesBefore
+			return r.finish(g, kind, ans, live, iso, start, &st)
+		}
+
+		// §6.3 optimal case 2: certain-empty answer. A restrict-side hit
+		// with no (still-live) positive and full validity proves the
+		// answer empty: any positive for g would imply one for e.Query.
+		for _, e := range restrict {
+			if e.FullyValid(live) && !e.Answer.Intersects(live) {
+				st.EmptyShortcut = true
+				e.Credit(st.CandidatesBefore, r.cache.Tick())
+				st.TestsSaved = st.CandidatesBefore
+				return r.finish(g, kind, bitset.New(0), live, iso, start, &st)
+			}
+		}
+
+		// Formula (1): sure positives from direct hits — only dataset
+		// graphs that are both answered and still valid transfer.
+		answerSure = bitset.New(st.CandidatesBefore)
+		for _, e := range direct {
+			va := e.ValidAnswer()
+			e.Credit(va.IntersectionCount(csm), r.cache.Tick())
+			answerSure.Or(va)
+		}
+		answerSure.And(live)
+
+		// Formula (2): the sure positives need no test.
+		csm.AndNot(answerSure)
+
+		// Formulas (4)+(5): every restrict hit bounds the candidate set
+		// by complement(CGvalid) ∪ Answer — graphs validly *not* related
+		// to the cached query cannot relate to g either.
+		for _, e := range restrict {
+			pa := e.PossibleAnswer(live)
+			saved := st.CandidatesBefore - live.IntersectionCount(pa)
+			e.Credit(saved, r.cache.Tick())
+			csm.And(pa)
+		}
+	}
+
+	// Verification: Method M sub-iso tests over the pruned candidate set.
+	verified := bitset.New(st.CandidatesBefore)
+	vt0 := time.Now()
+	tests := 0
+	csm.ForEach(func(id int) bool {
+		target := r.ds.Graph(id)
+		var ok bool
+		if kind == cache.KindSub {
+			ok = r.algo.Contains(g, target)
+		} else {
+			ok = r.algo.Contains(target, g)
+		}
+		if ok {
+			verified.Set(id)
+		}
+		tests++
+		return true
+	})
+	st.VerifyTime = time.Since(vt0)
+	st.SubIsoTests = tests
+	st.TestsSaved = st.CandidatesBefore - tests
+	if tests > 0 {
+		r.avgTestCost.Add(st.VerifyTime.Seconds() / float64(tests))
+	}
+
+	// Formula (3): final answer = verified ∪ sure positives.
+	if answerSure != nil {
+		verified.Or(answerSure)
+	}
+	return r.finish(g, kind, verified, live, iso, start, &st)
+}
+
+// finish feeds the executed query back to the Cache Manager (overhead),
+// closes the books on st, and folds it into the runtime metrics.
+//
+// Admission control dedupes against isomorphic entries: if the query is
+// isomorphic to a cached one, that entry's answer snapshot and validity
+// indicator are refreshed in place (it now reflects the just-executed,
+// fully valid fact) instead of admitting a duplicate — duplicates would
+// crowd the fixed-capacity cache without adding pruning power.
+func (r *Runtime) finish(g *graph.Graph, kind cache.Kind, answer, live *bitset.Set, iso *cache.Entry, start time.Time, st *QueryStats) (*Result, error) {
+	if r.cache != nil {
+		at0 := time.Now()
+		if iso != nil {
+			iso.Answer.CopyFrom(answer)
+			iso.Valid.CopyFrom(live)
+			iso.Seq = r.cache.AppliedSeq()
+			iso.LastUsed = r.cache.Tick()
+		} else {
+			costEst := r.avgTestCost.Mean()
+			if st.SubIsoTests > 0 {
+				costEst = st.VerifyTime.Seconds() / float64(st.SubIsoTests)
+			}
+			if costEst <= 0 {
+				costEst = 1e-6 // neutral placeholder before first measurement
+			}
+			e := cache.NewEntry(g, kind, answer, live, r.cache.AppliedSeq(), costEst)
+			r.cache.Add(e)
+		}
+		st.Overhead += time.Since(at0)
+	}
+	st.QueryTime = time.Since(start) - st.Overhead
+	r.m.fold(st)
+	return &Result{Answer: answer, Stats: *st}, nil
+}
+
+// syncCache reconciles the cache with the dataset log: EVI purges, CON
+// analyzes the log suffix (Algorithm 1) and refreshes validity indicators
+// (Algorithm 2). The time spent is the ConsistencyTime share of Overhead.
+func (r *Runtime) syncCache(st *QueryStats) {
+	if r.cache == nil {
+		return
+	}
+	t0 := time.Now()
+	defer func() {
+		d := time.Since(t0)
+		st.ConsistencyTime = d
+		st.Overhead += d
+	}()
+	recs := r.ds.RecordsSince(r.cache.AppliedSeq())
+	if len(recs) == 0 {
+		return
+	}
+	seq := recs[len(recs)-1].Seq
+	if r.cache.Model() == cache.ModelEVI {
+		r.cache.Purge()
+		r.cache.SetAppliedSeq(seq)
+		return
+	}
+	ctrs := dataset.Analyze(recs)
+	r.cache.Validate(ctrs, seq)
+	r.cache.NoteValidation()
+}
+
+// findHits runs the GC+sub and GC+super processors: it scans window and
+// cache for same-kind entries and classifies each as a direct hit (its
+// valid positives transfer to g) or a restrict hit (it bounds g's
+// possible answers), using the fingerprint prefilter before the decisive
+// query-to-query sub-iso test.
+//
+// For a subgraph query, direct hits are cached queries *containing* g
+// (g ⊆ g′ ⇒ g′'s positives are g's positives) and restrict hits are
+// cached queries *contained in* g (g″ ⊆ g ⇒ g cannot match where g″
+// validly failed). For a supergraph query the roles are exactly inverted,
+// as §6's "supergraph queries follow the exact inverse logic".
+func (r *Runtime) findHits(g *graph.Graph, kind cache.Kind, st *QueryStats) (direct, restrict []*cache.Entry, iso *cache.Entry) {
+	qf := feature.Of(g)
+	r.cache.ForEach(func(e *cache.Entry) bool {
+		if e.Kind != kind {
+			return true
+		}
+		// Fingerprint prefilters in both directions, then the decisive
+		// query-to-query tests. An isomorphic entry is *both* a
+		// containing and a contained hit (and the second test is skipped:
+		// same size plus one-directional containment forces isomorphism).
+		isContaining := qf.SubsumedBy(e.Fp) && r.hitAlgo.Contains(g, e.Query)
+		isContained := e.Fp.SubsumedBy(qf) &&
+			((isContaining && e.Fp.SameSize(qf)) || r.hitAlgo.Contains(e.Query, g))
+		if isContaining && isContained {
+			st.IsoHits++
+			if iso == nil {
+				iso = e
+			}
+		}
+		if isContaining {
+			st.ContainingHits++
+			if kind == cache.KindSub {
+				direct = append(direct, e)
+			} else {
+				restrict = append(restrict, e)
+			}
+		}
+		if isContained {
+			st.ContainedHits++
+			if kind == cache.KindSub {
+				restrict = append(restrict, e)
+			} else {
+				direct = append(direct, e)
+			}
+		}
+		return true
+	})
+	return direct, restrict, iso
+}
+
+// ForEachCacheEntry exposes a read-only view of the cache contents
+// (window first, then admitted entries) for inspection tooling: the
+// public facade's CacheEntries and the consistency example use it to
+// show CGvalid evolving, mirroring the paper's Figure 2.
+func (r *Runtime) ForEachCacheEntry(fn func(query, kind string, answer, valid []int, sparedTests float64)) {
+	if r.cache == nil {
+		return
+	}
+	r.cache.ForEach(func(e *cache.Entry) bool {
+		fn(e.Query.Name(), e.Kind.String(), e.Answer.Indices(), e.Valid.Indices(), e.R)
+		return true
+	})
+}
+
+// String describes the runtime configuration.
+func (r *Runtime) String() string {
+	mode := "no-cache"
+	if r.cache != nil {
+		mode = fmt.Sprintf("%s/%s cap=%d win=%d",
+			r.cache.Model(), r.cache.Config().Policy, r.cache.Config().Capacity, r.cache.Config().WindowSize)
+	}
+	return fmt.Sprintf("Runtime(M=%s %s)", r.algo.Name(), mode)
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gcplus/internal/cache"
+	"gcplus/internal/dataset"
+	"gcplus/internal/graph"
+	"gcplus/internal/subiso"
+	"gcplus/internal/testutil"
+)
+
+// TestEmptyShortcutSupergraph exercises the §6.3 second optimal case in
+// the supergraph direction: for supergraph queries the inference runs
+// through a *containing* cached query with an empty answer.
+func TestEmptyShortcutSupergraph(t *testing.T) {
+	// dataset graphs all have ≥ 3 vertices, so nothing fits in a
+	// 2-vertex query: supergraph answers below are empty.
+	ds := dataset.New([]*graph.Graph{
+		graph.Path(0, 1, 0), graph.Cycle(0, 1, 0), graph.Path(1, 1, 1, 1),
+	})
+	r, err := NewRuntime(ds, Options{
+		Algorithm: subiso.VF2{},
+		Cache:     &cache.Config{Capacity: 8, WindowSize: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := graph.Path(7, 7, 7, 7) // label 7 nowhere in dataset
+	res1, err := r.SupergraphQuery(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Answer.Any() {
+		t.Fatal("expected empty supergraph answer")
+	}
+	// a query contained in the cached one: any G ⊆ small would also be
+	// ⊆ big, whose answer is empty ⇒ certain-empty without tests.
+	small := graph.Path(7, 7)
+	res2, err := r.SupergraphQuery(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Stats.EmptyShortcut || res2.Stats.SubIsoTests != 0 {
+		t.Fatalf("supergraph empty shortcut did not fire: %+v", res2.Stats)
+	}
+	if res2.Answer.Any() {
+		t.Fatal("shortcut answer must be empty")
+	}
+}
+
+func TestForEachCacheEntry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds, _ := newTestDataset(rng, 5)
+	r := cachedRuntime(t, ds, cache.ModelCON, cache.PolicyHD)
+	q := testutil.BFSExtract(rng, ds.Graph(0), 0, 3)
+	q.SetName("probe")
+	if _, err := r.SubgraphQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	r.ForEachCacheEntry(func(query, kind string, answer, valid []int, spared float64) {
+		count++
+		if query != "probe" || kind != "sub" {
+			t.Fatalf("entry = %s/%s", query, kind)
+		}
+		if len(valid) != ds.LiveCount() {
+			t.Fatalf("fresh entry valid on %d of %d", len(valid), ds.LiveCount())
+		}
+	})
+	if count != 1 {
+		t.Fatalf("visited %d entries", count)
+	}
+	// disabled cache: no entries, no panic
+	bare, err := NewRuntime(ds, Options{Algorithm: subiso.VF2{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare.ForEachCacheEntry(func(string, string, []int, []int, float64) {
+		t.Fatal("no entries expected")
+	})
+}
+
+// TestIsoRefreshKeepsSingleEntry: repeated executions of the same query
+// must refresh the cached entry in place rather than duplicating it.
+func TestIsoRefreshKeepsSingleEntry(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ds, _ := newTestDataset(rng, 6)
+	r := cachedRuntime(t, ds, cache.ModelCON, cache.PolicyHD)
+	q := testutil.BFSExtract(rng, ds.Graph(1), 0, 3)
+	for i := 0; i < 6; i++ {
+		if _, err := r.SubgraphQuery(q.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := 0
+	r.ForEachCacheEntry(func(string, string, []int, []int, float64) { entries++ })
+	if entries != 1 {
+		t.Fatalf("cache holds %d entries for one repeated query", entries)
+	}
+}
+
+// TestIsoRefreshRestoresFullValidity: after churn partially invalidates
+// an entry, re-executing the same query restores full validity, so the
+// next repetition is an exact hit again.
+func TestIsoRefreshRestoresFullValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ds, pool := newTestDataset(rng, 8)
+	r := cachedRuntime(t, ds, cache.ModelCON, cache.PolicyHD)
+	q := testutil.BFSExtract(rng, ds.Graph(2), 0, 3)
+	if _, err := r.SubgraphQuery(q.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	testutil.RandomChange(rng, ds, pool)
+	// first re-execution: possibly partial, refreshes the entry
+	if _, err := r.SubgraphQuery(q.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	// second re-execution without further churn: must be an exact hit
+	res, err := r.SubgraphQuery(q.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.ExactHit || res.Stats.SubIsoTests != 0 {
+		t.Fatalf("refresh did not restore exactness: %+v", res.Stats)
+	}
+	if !res.Answer.Equal(testutil.GroundTruthSub(ds, q)) {
+		t.Fatal("refreshed answer wrong")
+	}
+}
+
+// TestMoleculeScaleAgreement cross-checks the three production algorithms
+// on AIDS-scale graphs (too big for the brute-force oracle) — they must
+// agree with each other even when we cannot afford ground truth.
+func TestMoleculeScaleAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	algos := []subiso.Algorithm{subiso.VF2{}, subiso.VF2Plus{}, subiso.GraphQL{}}
+	for i := 0; i < 40; i++ {
+		target := testutil.RandomConnectedGraph(rng, 40+rng.Intn(40), 8, 0.03)
+		var pattern *graph.Graph
+		if rng.Intn(2) == 0 {
+			pattern = testutil.BFSExtract(rng, target, rng.Intn(target.NumVertices()), 4+rng.Intn(16))
+		} else {
+			pattern = testutil.RandomConnectedGraph(rng, 4+rng.Intn(10), 8, 0.2)
+		}
+		want := algos[0].Contains(pattern, target)
+		for _, a := range algos[1:] {
+			if got := a.Contains(pattern, target); got != want {
+				t.Fatalf("iter %d: %s=%v, VF2=%v", i, a.Name(), got, want)
+			}
+		}
+	}
+}
+
+// TestLongMixedScenario runs a longer interleaving with both query kinds
+// against ground truth under CON — a heavier variant of the theorem
+// tests kept separate so -short can skip it.
+func TestLongMixedScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	runScenario(t, 424242, cache.ModelCON, cache.PolicyHD, 150)
+	runScenario(t, 434343, cache.ModelEVI, cache.PolicyPIN, 150)
+}

@@ -1,0 +1,143 @@
+// Package feature computes containment-monotone fingerprints of graphs.
+//
+// GC+'s query processors must discover, for a new query g, the cached
+// queries g′ with g ⊆ g′ and the cached g″ with g″ ⊆ g (Result_sub and
+// Result_super of §6). Testing sub-isomorphism against every cached query
+// would be wasteful, so — standing in for the query index of the original
+// GraphCache — each cached query carries a fingerprint for which
+//
+//	g1 ⊆ g2  ⇒  Fingerprint(g1).SubsumedBy(Fingerprint(g2))
+//
+// holds (the converse need not). The fingerprint combines vertex/edge
+// counts, the descending degree sequence, per-label vertex counts and
+// per-label-pair edge counts; each component is monotone under subgraph
+// embedding, so SubsumedBy is a sound necessary condition usable as a
+// prefilter in both directions.
+package feature
+
+import (
+	"sort"
+
+	"gcplus/internal/graph"
+)
+
+// Fingerprint is a containment-monotone summary of one graph.
+type Fingerprint struct {
+	vertices int
+	edges    int
+	// degrees is the degree sequence, sorted descending.
+	degrees []int32
+	// labels holds per-label vertex counts, sorted by label.
+	labels []labelCount
+	// pairs holds per-label-pair edge counts, sorted by key.
+	pairs []pairCount
+}
+
+type labelCount struct {
+	label graph.Label
+	count int32
+}
+
+type pairCount struct {
+	key   uint64 // min label << 32 | max label
+	count int32
+}
+
+// Of computes the fingerprint of g.
+func Of(g *graph.Graph) *Fingerprint {
+	f := &Fingerprint{
+		vertices: g.NumVertices(),
+		edges:    g.NumEdges(),
+		degrees:  make([]int32, g.NumVertices()),
+	}
+	lc := make(map[graph.Label]int32, 8)
+	for v := 0; v < g.NumVertices(); v++ {
+		f.degrees[v] = int32(g.Degree(v))
+		lc[g.Label(v)]++
+	}
+	sort.Slice(f.degrees, func(i, j int) bool { return f.degrees[i] > f.degrees[j] })
+	f.labels = make([]labelCount, 0, len(lc))
+	for l, c := range lc {
+		f.labels = append(f.labels, labelCount{l, c})
+	}
+	sort.Slice(f.labels, func(i, j int) bool { return f.labels[i].label < f.labels[j].label })
+
+	pc := make(map[uint64]int32, 8)
+	for _, e := range g.EdgeList() {
+		la, lb := g.Label(int(e.U)), g.Label(int(e.V))
+		if la > lb {
+			la, lb = lb, la
+		}
+		pc[uint64(la)<<32|uint64(lb)]++
+	}
+	f.pairs = make([]pairCount, 0, len(pc))
+	for k, c := range pc {
+		f.pairs = append(f.pairs, pairCount{k, c})
+	}
+	sort.Slice(f.pairs, func(i, j int) bool { return f.pairs[i].key < f.pairs[j].key })
+	return f
+}
+
+// Vertices returns |V|.
+func (f *Fingerprint) Vertices() int { return f.vertices }
+
+// Edges returns |E|.
+func (f *Fingerprint) Edges() int { return f.edges }
+
+// SubsumedBy reports whether every fingerprint component of f is
+// dominated by o's — a necessary condition for the underlying graph of f
+// being subgraph-isomorphic to that of o.
+func (f *Fingerprint) SubsumedBy(o *Fingerprint) bool {
+	if f.vertices > o.vertices || f.edges > o.edges {
+		return false
+	}
+	// k-th largest degree must be dominated (valid because an embedding
+	// pairs every pattern vertex with a target vertex of ≥ degree, and
+	// sorted sequences preserve pairwise domination).
+	for k, d := range f.degrees {
+		if d > o.degrees[k] {
+			return false
+		}
+	}
+	// per-label vertex counts
+	i, j := 0, 0
+	for i < len(f.labels) {
+		if j == len(o.labels) || f.labels[i].label < o.labels[j].label {
+			return false // label missing in o
+		}
+		if f.labels[i].label > o.labels[j].label {
+			j++
+			continue
+		}
+		if f.labels[i].count > o.labels[j].count {
+			return false
+		}
+		i++
+		j++
+	}
+	// per-label-pair edge counts
+	i, j = 0, 0
+	for i < len(f.pairs) {
+		if j == len(o.pairs) || f.pairs[i].key < o.pairs[j].key {
+			return false
+		}
+		if f.pairs[i].key > o.pairs[j].key {
+			j++
+			continue
+		}
+		if f.pairs[i].count > o.pairs[j].count {
+			return false
+		}
+		i++
+		j++
+	}
+	return true
+}
+
+// SameSize reports whether f and o describe graphs with identical vertex
+// and edge counts — with SubsumedBy in one direction this witnesses the
+// "same number of nodes and edges" test of the paper's exact-match optimal
+// case (§6.3).
+func (f *Fingerprint) SameSize(o *Fingerprint) bool {
+	return f.vertices == o.vertices && f.edges == o.edges
+}

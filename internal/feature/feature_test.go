@@ -1,0 +1,136 @@
+package feature
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gcplus/internal/graph"
+	"gcplus/internal/subiso"
+)
+
+func TestBasicAccessors(t *testing.T) {
+	f := Of(graph.Path(1, 2, 3))
+	if f.Vertices() != 3 || f.Edges() != 2 {
+		t.Fatalf("got |V|=%d |E|=%d", f.Vertices(), f.Edges())
+	}
+}
+
+func TestSubsumedByObviousCases(t *testing.T) {
+	small := Of(graph.Path(1, 2))
+	big := Of(graph.Path(1, 2, 3))
+	if !small.SubsumedBy(big) {
+		t.Error("P2 fingerprint should be subsumed by P3's")
+	}
+	if big.SubsumedBy(small) {
+		t.Error("P3 fingerprint must not be subsumed by P2's")
+	}
+	if !small.SubsumedBy(small) {
+		t.Error("fingerprint should subsume itself")
+	}
+}
+
+func TestSubsumedByLabelSensitive(t *testing.T) {
+	a := Of(graph.Path(1, 1))
+	b := Of(graph.Path(1, 2, 2))
+	// a needs two vertices labelled 1; b only has one
+	if a.SubsumedBy(b) {
+		t.Error("label multiset violation not caught")
+	}
+}
+
+func TestSubsumedByEdgePairSensitive(t *testing.T) {
+	// same vertex labels, different edge wiring:
+	// a: 1-1 edge; b: path 1-2-1 has only (1,2) edges
+	a := Of(graph.Path(1, 1))
+	bld := graph.NewBuilder()
+	bld.AddVertex(1)
+	bld.AddVertex(2)
+	bld.AddVertex(1)
+	bld.AddEdge(0, 1)
+	bld.AddEdge(1, 2)
+	b := Of(bld.MustBuild())
+	if a.SubsumedBy(b) {
+		t.Error("edge label-pair violation not caught")
+	}
+}
+
+func TestSubsumedByDegreeSensitive(t *testing.T) {
+	star := Of(graph.Star(1, 1, 1, 1)) // center degree 3
+	path := Of(graph.Path(1, 1, 1, 1)) // max degree 2
+	if star.SubsumedBy(path) {
+		t.Error("degree sequence violation not caught")
+	}
+}
+
+func TestSameSize(t *testing.T) {
+	a := Of(graph.Path(1, 2, 3))
+	b := Of(graph.Cycle(1, 2, 3))
+	if a.SameSize(b) {
+		t.Error("P3 and C3 differ in edges")
+	}
+	c := Of(graph.Path(3, 2, 1))
+	if !a.SameSize(c) {
+		t.Error("same-size graphs not recognized")
+	}
+}
+
+func randomGraph(rng *rand.Rand, maxN, labels int, p float64) *graph.Graph {
+	n := 1 + rng.Intn(maxN)
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Label(rng.Intn(labels)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestQuickSoundness is the load-bearing property: containment must imply
+// fingerprint subsumption (no false negatives for the prefilter).
+func TestQuickSoundness(t *testing.T) {
+	oracle := subiso.Brute{}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pat := randomGraph(rng, 6, 3, 0.4)
+		tgt := randomGraph(rng, 10, 3, 0.35)
+		if oracle.Contains(pat, tgt) && !Of(pat).SubsumedBy(Of(tgt)) {
+			t.Logf("soundness violated at seed %d", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSelectivity sanity-checks that the filter actually rejects a
+// decent share of non-containments (it is a heuristic, so only a loose
+// bound is asserted).
+func TestQuickSelectivity(t *testing.T) {
+	oracle := subiso.Brute{}
+	rng := rand.New(rand.NewSource(17))
+	rejected, negatives := 0, 0
+	for i := 0; i < 500; i++ {
+		pat := randomGraph(rng, 6, 3, 0.4)
+		tgt := randomGraph(rng, 10, 3, 0.35)
+		if !oracle.Contains(pat, tgt) {
+			negatives++
+			if !Of(pat).SubsumedBy(Of(tgt)) {
+				rejected++
+			}
+		}
+	}
+	if negatives == 0 {
+		t.Skip("no negatives generated")
+	}
+	if float64(rejected)/float64(negatives) < 0.3 {
+		t.Errorf("filter rejected only %d/%d negatives", rejected, negatives)
+	}
+}

@@ -1,0 +1,241 @@
+package ftv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gcplus/internal/graph"
+	"gcplus/internal/subiso"
+	"gcplus/internal/testutil"
+)
+
+func TestPathSignaturesSmall(t *testing.T) {
+	// path 1-2-3: paths of length ≤2:
+	// singles {1,2,3}; edges {1-2, 2-3}; one 2-path 1-2-3.
+	g := graph.Path(1, 2, 3)
+	sigs := PathSignatures(g, 2)
+	want := map[string]bool{
+		"1": true, "2": true, "3": true,
+		"1-2": true, "2-3": true,
+		"1-2-3": true,
+	}
+	if len(sigs) != len(want) {
+		t.Fatalf("signatures = %v", sigs)
+	}
+	for _, s := range sigs {
+		if !want[s] {
+			t.Fatalf("unexpected signature %q in %v", s, sigs)
+		}
+	}
+}
+
+func TestPathSignaturesCanonical(t *testing.T) {
+	// 2-1 must canonicalize to 1-2 regardless of direction of traversal
+	g := graph.Path(2, 1)
+	sigs := PathSignatures(g, 1)
+	for _, s := range sigs {
+		if s == "2-1" {
+			t.Fatal("non-canonical signature emitted")
+		}
+	}
+}
+
+func TestIndexBasics(t *testing.T) {
+	ix := New(0)
+	if ix.MaxLen() != DefaultMaxLen {
+		t.Fatalf("MaxLen = %d", ix.MaxLen())
+	}
+	if err := ix.Add(-1, graph.Path(1)); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if err := ix.Add(0, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if err := ix.Add(0, graph.Path(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add(1, graph.Path(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Size() != 2 || ix.Features() == 0 {
+		t.Fatalf("Size=%d Features=%d", ix.Size(), ix.Features())
+	}
+
+	cands := ix.Candidates(graph.Path(2, 3))
+	if got := cands.String(); got != "{0}" {
+		t.Fatalf("Candidates(2-3) = %s", got)
+	}
+	cands = ix.Candidates(graph.Path(1, 2))
+	if got := cands.String(); got != "{0, 1}" {
+		t.Fatalf("Candidates(1-2) = %s", got)
+	}
+	cands = ix.Candidates(graph.Path(9))
+	if cands.Any() {
+		t.Fatalf("Candidates(9) = %s", cands)
+	}
+}
+
+func TestIndexRemove(t *testing.T) {
+	ix := New(2)
+	if err := ix.Add(0, graph.Path(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	feats := ix.Features()
+	ix.Remove(0)
+	if ix.Size() != 0 || ix.Features() != 0 {
+		t.Fatalf("after remove: Size=%d Features=%d (was %d)", ix.Size(), ix.Features(), feats)
+	}
+	ix.Remove(0) // idempotent
+	if ix.Candidates(graph.Path(1, 2)).Any() {
+		t.Fatal("removed graph still a candidate")
+	}
+}
+
+func TestIndexUpdateReindexes(t *testing.T) {
+	ix := New(2)
+	g := graph.Path(1, 2, 3)
+	if err := ix.Add(0, g); err != nil {
+		t.Fatal(err)
+	}
+	// UR: drop edge 1-2 (vertices 0-1); the path 1-2-3 disappears
+	g2, err := g.WithoutEdge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Update(0, g2); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Candidates(graph.Path(1, 2)).Any() {
+		t.Fatal("stale posting for removed edge")
+	}
+	if !ix.Candidates(graph.Path(2, 3)).Get(0) {
+		t.Fatal("surviving path lost on update")
+	}
+}
+
+func TestEmptyQueryMatchesEverything(t *testing.T) {
+	ix := New(2)
+	if err := ix.Add(3, graph.Path(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	empty := graph.NewBuilder().MustBuild()
+	if got := ix.Candidates(empty).String(); got != "{3}" {
+		t.Fatalf("empty-query candidates = %s", got)
+	}
+}
+
+// TestQuickNoFalseNegatives is the FTV soundness property: the candidate
+// set must contain every true answer.
+func TestQuickNoFalseNegatives(t *testing.T) {
+	oracle := subiso.Brute{}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := New(3)
+		graphs := make([]*graph.Graph, 6)
+		for i := range graphs {
+			graphs[i] = testutil.RandomGraph(rng, 10, 3, 0.3)
+			if err := ix.Add(i, graphs[i]); err != nil {
+				return false
+			}
+		}
+		q := testutil.BFSExtract(rng, graphs[rng.Intn(len(graphs))], 0, 1+rng.Intn(5))
+		cands := ix.Candidates(q)
+		for i, g := range graphs {
+			if oracle.Contains(q, g) && !cands.Get(i) {
+				t.Logf("false negative: graph %d for seed %d", i, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUpdateConsistency: after random UA/UR + Update, the index
+// behaves as if built fresh.
+func TestQuickUpdateConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomConnectedGraph(rng, 8, 3, 0.3)
+		ix := New(3)
+		if err := ix.Add(0, g); err != nil {
+			return false
+		}
+		// random edge flip
+		for tries := 0; tries < 16; tries++ {
+			u, v := rng.Intn(g.NumVertices()), rng.Intn(g.NumVertices())
+			if u == v {
+				continue
+			}
+			var g2 *graph.Graph
+			var err error
+			if g.HasEdge(u, v) {
+				g2, err = g.WithoutEdge(u, v)
+			} else {
+				g2, err = g.WithEdge(u, v)
+			}
+			if err != nil {
+				continue
+			}
+			g = g2
+			break
+		}
+		if err := ix.Update(0, g); err != nil {
+			return false
+		}
+		fresh := New(3)
+		if err := fresh.Add(0, g); err != nil {
+			return false
+		}
+		if ix.Features() != fresh.Features() {
+			return false
+		}
+		// candidate behaviour identical on a probe query
+		q := testutil.BFSExtract(rng, g, 0, 3)
+		return ix.Candidates(q).Equal(fresh.Candidates(q))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFilterSelectivity: on AIDS-like graphs the filter should prune a
+// solid share of non-answers for mid-size queries.
+func TestFilterSelectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ix := New(3)
+	graphs := make([]*graph.Graph, 40)
+	for i := range graphs {
+		graphs[i] = testutil.RandomConnectedGraph(rng, 20, 6, 0.1)
+		if err := ix.Add(i, graphs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	algo := subiso.VF2Plus{}
+	totalCand, totalTrue, totalAll := 0, 0, 0
+	for k := 0; k < 30; k++ {
+		q := testutil.BFSExtract(rng, graphs[rng.Intn(len(graphs))], rng.Intn(5), 8)
+		cands := ix.Candidates(q)
+		totalCand += cands.Count()
+		totalAll += len(graphs)
+		for i, g := range graphs {
+			has := algo.Contains(q, g)
+			if has {
+				totalTrue++
+				if !cands.Get(i) {
+					t.Fatal("false negative")
+				}
+			}
+		}
+	}
+	if totalCand >= totalAll {
+		t.Fatalf("filter pruned nothing: %d candidates of %d", totalCand, totalAll)
+	}
+	if totalCand < totalTrue {
+		t.Fatalf("impossible: fewer candidates (%d) than answers (%d)", totalCand, totalTrue)
+	}
+	t.Logf("filter: %d candidates for %d true answers out of %d pairs", totalCand, totalTrue, totalAll)
+}

@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text codec reads and writes the line-oriented format customary for
+// graph-database benchmarks (a close relative of the format the AIDS
+// dataset ships in):
+//
+//	t <name>        start of a graph
+//	v <id> <label>  vertex declaration; ids must be dense, in order
+//	e <u> <v>       undirected edge
+//	# ...           comment, ignored
+//
+// Blank lines are ignored. A file may contain any number of graphs.
+
+// Write serializes the graphs to w in the text format.
+func Write(w io.Writer, graphs []*Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, g := range graphs {
+		if _, err := fmt.Fprintf(bw, "t %s\n", g.Name()); err != nil {
+			return err
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if _, err := fmt.Fprintf(bw, "v %d %d\n", v, g.Label(v)); err != nil {
+				return err
+			}
+		}
+		for _, e := range g.EdgeList() {
+			if _, err := fmt.Fprintf(bw, "e %d %d\n", e.U, e.V); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads every graph in the text format from r.
+func Parse(r io.Reader) ([]*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		graphs []*Graph
+		b      *Builder
+		line   int
+	)
+	flush := func() error {
+		if b == nil {
+			return nil
+		}
+		g, err := b.Build()
+		if err != nil {
+			return fmt.Errorf("graph %d ending at line %d: %w", len(graphs), line, err)
+		}
+		graphs = append(graphs, g)
+		b = nil
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "t":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			b = NewBuilder()
+			if len(fields) > 1 {
+				b.SetName(strings.Join(fields[1:], " "))
+			}
+		case "v":
+			if b == nil {
+				return nil, fmt.Errorf("line %d: vertex before graph header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: want 'v <id> <label>'", line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad vertex id: %w", line, err)
+			}
+			if id != b.NumVertices() {
+				return nil, fmt.Errorf("line %d: vertex ids must be dense and ordered; got %d want %d", line, id, b.NumVertices())
+			}
+			lbl, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad label: %w", line, err)
+			}
+			b.AddVertex(Label(lbl))
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("line %d: edge before graph header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: want 'e <u> <v>'", line)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad endpoint: %w", line, err)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad endpoint: %w", line, err)
+			}
+			b.AddEdge(u, v)
+		default:
+			return nil, fmt.Errorf("line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return graphs, nil
+}

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	in := []*Graph{Path(1, 2, 3), Cycle(4, 5, 6, 7), Star(0, 1, 1, 2)}
+	in[0].SetName("p")
+	in[1].SetName("c")
+	in[2].SetName("s")
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("parsed %d graphs, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Name() != in[i].Name() {
+			t.Errorf("graph %d name %q want %q", i, out[i].Name(), in[i].Name())
+		}
+		if !sameGraph(in[i], out[i]) {
+			t.Errorf("graph %d round trip mismatch", i)
+		}
+	}
+}
+
+func sameGraph(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.Label(v) != b.Label(v) || a.Degree(v) != b.Degree(v) {
+			return false
+		}
+		for i, w := range a.Neighbors(v) {
+			if b.Neighbors(v)[i] != w {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+t one
+
+v 0 7
+v 1 8
+# another
+e 0 1
+`
+	gs, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 1 || gs[0].Name() != "one" || gs[0].NumEdges() != 1 || gs[0].Label(0) != 7 {
+		t.Fatalf("parsed %v", gs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"vertex before header": "v 0 1\n",
+		"edge before header":   "e 0 1\n",
+		"sparse vertex ids":    "t g\nv 1 0\n",
+		"bad vertex id":        "t g\nv x 0\n",
+		"bad label":            "t g\nv 0 -1\n",
+		"bad edge arity":       "t g\nv 0 1\nv 1 1\ne 0\n",
+		"bad endpoint":         "t g\nv 0 1\ne 0 z\n",
+		"unknown record":       "t g\nq 1\n",
+		"self loop":            "t g\nv 0 1\ne 0 0\n",
+		"duplicate edge":       "t g\nv 0 1\nv 1 1\ne 0 1\ne 1 0\n",
+		"dangling endpoint":    "t g\nv 0 1\ne 0 3\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, src)
+		}
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	gs, err := Parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 0 {
+		t.Fatalf("parsed %d graphs from empty input", len(gs))
+	}
+}
+
+func TestParseMultiWordName(t *testing.T) {
+	gs, err := Parse(strings.NewReader("t hello world\nv 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs[0].Name() != "hello world" {
+		t.Fatalf("name = %q", gs[0].Name())
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]*Graph, 1+rng.Intn(4))
+		for i := range in {
+			in[i] = randomGraph(rng, 15)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Parse(&buf)
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if !sameGraph(in[i], out[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,323 @@
+// Package graph implements the labelled undirected graphs that GC+ (the
+// EDBT 2017 GraphCache+ system) operates on.
+//
+// Following §3 of the paper, a graph G = (V, E, l) has vertices V
+// identified by dense integer indices, undirected edges E, and a labelling
+// function l over the vertices only (edge labels generalize trivially and
+// are omitted, as in the paper). Graphs are small (tens to a few hundred
+// vertices — the AIDS dataset used in the evaluation averages 45 vertices
+// and 47 edges) while datasets hold tens of thousands of them, so the
+// representation favours compactness: adjacency lists of int32 kept in
+// sorted order.
+//
+// Graph values are treated as immutable once published to a Dataset or a
+// cache; dataset update operations (UA/UR) use the copy-on-write WithEdge
+// and WithoutEdge so that answer snapshots taken by the cache remain
+// meaningful historical facts.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Label is a vertex label. The evaluation dataset (AIDS) uses atom types;
+// the synthetic generator uses small integers with a skewed distribution.
+type Label uint32
+
+// Graph is a labelled undirected graph. The zero value is an empty graph.
+type Graph struct {
+	name   string
+	labels []Label
+	adj    [][]int32 // adj[v] sorted ascending; both directions stored
+	m      int       // number of undirected edges
+}
+
+// Name returns the graph's optional name (dataset id, query id, ...).
+func (g *Graph) Name() string { return g.name }
+
+// SetName sets the graph's name. Names are metadata and do not take part
+// in isomorphism.
+func (g *Graph) SetName(n string) { g.name = n }
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.labels) }
+
+// NumEdges returns |E| (undirected edges counted once).
+func (g *Graph) NumEdges() int { return g.m }
+
+// Label returns the label of vertex v.
+func (g *Graph) Label(v int) Label { return g.labels[v] }
+
+// Labels returns the label slice indexed by vertex. The caller must not
+// modify it.
+func (g *Graph) Labels() []Label { return g.labels }
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbour list of v. The caller must not
+// modify it.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether the undirected edge {u, v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return false
+	}
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a, v = g.adj[v], u
+	}
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	return i < len(a) && a[i] == int32(v)
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct {
+	U, V int32
+}
+
+// EdgeList returns all undirected edges with U < V, sorted.
+func (g *Graph) EdgeList() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if int32(u) < v {
+				out = append(out, Edge{int32(u), v})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{name: g.name, m: g.m}
+	c.labels = append([]Label(nil), g.labels...)
+	c.adj = make([][]int32, len(g.adj))
+	for v, ns := range g.adj {
+		c.adj[v] = append([]int32(nil), ns...)
+	}
+	return c
+}
+
+// WithEdge returns a copy of g with the undirected edge {u, v} added.
+// It returns an error if the edge already exists, is a self loop, or an
+// endpoint is out of range. This is the dataset UA (update by edge
+// addition) primitive.
+func (g *Graph) WithEdge(u, v int) (*Graph, error) {
+	if err := g.checkEndpoints(u, v); err != nil {
+		return nil, err
+	}
+	if g.HasEdge(u, v) {
+		return nil, fmt.Errorf("graph: edge {%d,%d} already present", u, v)
+	}
+	c := g.Clone()
+	c.insertArc(u, v)
+	c.insertArc(v, u)
+	c.m++
+	return c, nil
+}
+
+// WithoutEdge returns a copy of g with the undirected edge {u, v} removed.
+// It returns an error if the edge does not exist. This is the dataset UR
+// (update by edge removal) primitive.
+func (g *Graph) WithoutEdge(u, v int) (*Graph, error) {
+	if err := g.checkEndpoints(u, v); err != nil {
+		return nil, err
+	}
+	if !g.HasEdge(u, v) {
+		return nil, fmt.Errorf("graph: edge {%d,%d} not present", u, v)
+	}
+	c := g.Clone()
+	c.removeArc(u, v)
+	c.removeArc(v, u)
+	c.m--
+	return c, nil
+}
+
+func (g *Graph) checkEndpoints(u, v int) error {
+	if u < 0 || v < 0 || u >= len(g.labels) || v >= len(g.labels) {
+		return fmt.Errorf("graph: endpoint out of range: {%d,%d} with %d vertices", u, v, len(g.labels))
+	}
+	if u == v {
+		return errors.New("graph: self loops are not allowed")
+	}
+	return nil
+}
+
+func (g *Graph) insertArc(u, v int) {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	a = append(a, 0)
+	copy(a[i+1:], a[i:])
+	a[i] = int32(v)
+	g.adj[u] = a
+}
+
+func (g *Graph) removeArc(u, v int) {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	if i < len(a) && a[i] == int32(v) {
+		g.adj[u] = append(a[:i], a[i+1:]...)
+	}
+}
+
+// LabelCounts returns the multiset of vertex labels as a map.
+func (g *Graph) LabelCounts() map[Label]int {
+	c := make(map[Label]int, 8)
+	for _, l := range g.labels {
+		c[l]++
+	}
+	return c
+}
+
+// MaxDegree returns the maximum vertex degree, or 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for _, ns := range g.adj {
+		if len(ns) > d {
+			d = len(ns)
+		}
+	}
+	return d
+}
+
+// Connected reports whether g is connected. The empty graph counts as
+// connected; a single vertex does too.
+func (g *Graph) Connected() bool {
+	n := len(g.labels)
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int32{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// Validate checks internal invariants: sorted adjacency, symmetry, no self
+// loops or duplicates, edge count consistency. It is used by the codec and
+// by tests.
+func (g *Graph) Validate() error {
+	arcs := 0
+	for u, ns := range g.adj {
+		for i, v := range ns {
+			if v < 0 || int(v) >= len(g.labels) {
+				return fmt.Errorf("graph %q: vertex %d has out-of-range neighbour %d", g.name, u, v)
+			}
+			if int(v) == u {
+				return fmt.Errorf("graph %q: self loop at %d", g.name, u)
+			}
+			if i > 0 && ns[i-1] >= v {
+				return fmt.Errorf("graph %q: adjacency of %d not strictly sorted", g.name, u)
+			}
+			if !g.HasEdge(int(v), u) {
+				return fmt.Errorf("graph %q: asymmetric edge {%d,%d}", g.name, u, v)
+			}
+		}
+		arcs += len(ns)
+	}
+	if arcs != 2*g.m {
+		return fmt.Errorf("graph %q: edge count %d inconsistent with %d arcs", g.name, g.m, arcs)
+	}
+	return nil
+}
+
+// String summarizes the graph for debugging.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(%q |V|=%d |E|=%d)", g.name, len(g.labels), g.m)
+}
+
+// A Builder incrementally constructs a Graph. It tolerates edges inserted
+// in any order and duplicates are rejected at Build time.
+type Builder struct {
+	labels []Label
+	edges  []Edge
+	name   string
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// SetName sets the name of the graph under construction.
+func (b *Builder) SetName(n string) *Builder { b.name = n; return b }
+
+// AddVertex appends a vertex with the given label and returns its index.
+func (b *Builder) AddVertex(l Label) int {
+	b.labels = append(b.labels, l)
+	return len(b.labels) - 1
+}
+
+// NumVertices returns the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.labels) }
+
+// AddEdge records the undirected edge {u, v}. Validation happens in Build.
+func (b *Builder) AddEdge(u, v int) *Builder {
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, Edge{int32(u), int32(v)})
+	return b
+}
+
+// Build materializes the graph, validating endpoints, rejecting self loops
+// and duplicate edges.
+func (b *Builder) Build() (*Graph, error) {
+	g := &Graph{
+		name:   b.name,
+		labels: append([]Label(nil), b.labels...),
+		adj:    make([][]int32, len(b.labels)),
+	}
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].U != b.edges[j].U {
+			return b.edges[i].U < b.edges[j].U
+		}
+		return b.edges[i].V < b.edges[j].V
+	})
+	for i, e := range b.edges {
+		if i > 0 && e == b.edges[i-1] {
+			return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", e.U, e.V)
+		}
+		if int(e.U) < 0 || int(e.V) >= len(b.labels) {
+			return nil, fmt.Errorf("graph: edge {%d,%d} endpoint out of range", e.U, e.V)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: self loop at %d", e.U)
+		}
+		g.adj[e.U] = append(g.adj[e.U], e.V)
+		g.adj[e.V] = append(g.adj[e.V], e.U)
+		g.m++
+	}
+	for v := range g.adj {
+		ns := g.adj[v]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; for tests and literals.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,66 @@
+package graph
+
+// Convenience constructors for common shapes. They are used throughout the
+// test suite and the examples; queries in the paper's workloads are
+// connected graphs of 4–20 edges, which these shapes emulate directly.
+
+// Path returns the path graph v0-v1-...-vn with the given vertex labels.
+func Path(labels ...Label) *Graph {
+	b := NewBuilder()
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		b.AddEdge(i-1, i)
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the cycle graph over the given labels (needs >= 3 vertices
+// to have a cycle; fewer degenerate to Path).
+func Cycle(labels ...Label) *Graph {
+	if len(labels) < 3 {
+		return Path(labels...)
+	}
+	b := NewBuilder()
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	for i := 1; i < len(labels); i++ {
+		b.AddEdge(i-1, i)
+	}
+	b.AddEdge(len(labels)-1, 0)
+	return b.MustBuild()
+}
+
+// Star returns a star with the given center label and leaf labels.
+func Star(center Label, leaves ...Label) *Graph {
+	b := NewBuilder()
+	c := b.AddVertex(center)
+	for _, l := range leaves {
+		v := b.AddVertex(l)
+		b.AddEdge(c, v)
+	}
+	return b.MustBuild()
+}
+
+// Clique returns the complete graph over the given labels.
+func Clique(labels ...Label) *Graph {
+	b := NewBuilder()
+	for _, l := range labels {
+		b.AddVertex(l)
+	}
+	for i := 0; i < len(labels); i++ {
+		for j := i + 1; j < len(labels); j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Single returns the one-vertex graph with the given label.
+func Single(l Label) *Graph {
+	b := NewBuilder()
+	b.AddVertex(l)
+	return b.MustBuild()
+}

@@ -1,0 +1,113 @@
+// Package stats provides the small statistical toolbox GC+ needs: running
+// moments (Welford), the squared coefficient of variation used by the HD
+// cache-replacement policy (§7.1: CoV² > 1 ⇒ the R distribution is "high
+// variability" and PIN is used, otherwise PINC), and summary helpers for
+// the benchmark reports.
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Running accumulates count/mean/variance online (Welford's algorithm).
+// The zero value is ready to use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// AddDuration folds a duration (in seconds) into the accumulator.
+func (r *Running) AddDuration(d time.Duration) { r.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the running mean (0 for no observations).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the population variance.
+func (r *Running) Variance() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// Std returns the population standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Variance()) }
+
+// Sum returns mean*n.
+func (r *Running) Sum() float64 { return r.mean * float64(r.n) }
+
+// CoV2 returns the squared coefficient of variation σ²/μ². For an all-zero
+// or empty sample it returns 0 (deemed low variability, matching the HD
+// policy's intent: indistinguishable R values carry no discriminating
+// power).
+func (r *Running) CoV2() float64 {
+	if r.n == 0 || r.mean == 0 {
+		return 0
+	}
+	return r.Variance() / (r.mean * r.mean)
+}
+
+// CoV2Of computes the squared coefficient of variation of a sample.
+func CoV2Of(xs []float64) float64 {
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	return r.CoV2()
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	return r.Std()
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// nearest-rank on a sorted copy. Empty input yields 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}

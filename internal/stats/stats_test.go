@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.CoV2() != 0 || r.N() != 0 {
+		t.Fatal("zero value not neutral")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if !almost(r.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %g", r.Mean())
+	}
+	if !almost(r.Variance(), 4, 1e-12) {
+		t.Fatalf("Variance = %g", r.Variance())
+	}
+	if !almost(r.Std(), 2, 1e-12) {
+		t.Fatalf("Std = %g", r.Std())
+	}
+	if !almost(r.Sum(), 40, 1e-9) {
+		t.Fatalf("Sum = %g", r.Sum())
+	}
+	if !almost(r.CoV2(), 4.0/25.0, 1e-12) {
+		t.Fatalf("CoV2 = %g", r.CoV2())
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var r Running
+	r.AddDuration(1500 * time.Millisecond)
+	r.AddDuration(500 * time.Millisecond)
+	if !almost(r.Mean(), 1.0, 1e-12) {
+		t.Fatalf("Mean = %g", r.Mean())
+	}
+}
+
+func TestCoV2Exponential(t *testing.T) {
+	// Exponential distribution has CoV == 1; HD uses CoV² > 1 as the
+	// high-variability threshold, so the sample value should hover ~1.
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 40000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	got := CoV2Of(xs)
+	if got < 0.9 || got > 1.1 {
+		t.Fatalf("exponential CoV² = %g, want ≈1", got)
+	}
+}
+
+func TestCoV2Constant(t *testing.T) {
+	if got := CoV2Of([]float64{3, 3, 3, 3}); got != 0 {
+		t.Fatalf("constant CoV² = %g, want 0", got)
+	}
+	if got := CoV2Of(nil); got != 0 {
+		t.Fatalf("empty CoV² = %g, want 0", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Fatal("Mean wrong")
+	}
+	if !almost(Std([]float64{2, 4, 4, 4, 5, 5, 7, 9}), 2, 1e-12) {
+		t.Fatal("Std wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {20, 1}, {40, 2}, {50, 3}, {100, 5}, {-5, 1}, {200, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("Percentile(nil) != 0")
+	}
+	// input must not be mutated
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestQuickRunningMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		var r Running
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+			r.Add(xs[i])
+		}
+		return almost(r.Mean(), Mean(xs), 1e-9) &&
+			almost(r.Std(), Std(xs), 1e-9) &&
+			almost(r.CoV2(), CoV2Of(xs), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

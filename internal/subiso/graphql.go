@@ -1,0 +1,259 @@
+package subiso
+
+import "gcplus/internal/graph"
+
+// GraphQL implements the subgraph-matching algorithm of He & Singh
+// (SIGMOD 2008), the strongest of the paper's three Method M choices. It
+// prunes candidate sets in three stages before searching:
+//
+//  1. local pruning: candidates must match the label, dominate the degree
+//     and contain the vertex's neighbourhood label profile;
+//  2. global iterative refinement ("pseudo subgraph isomorphism"): a
+//     candidate v for u survives only if the neighbours of u can be
+//     injectively matched to distinct neighbours of v that are themselves
+//     candidates — a bipartite matching test, iterated to (bounded)
+//     fixpoint;
+//  3. search-order optimization: vertices are matched in ascending order
+//     of candidate-set size, preferring vertices adjacent to the already
+//     matched ones.
+type GraphQL struct {
+	// RefineLevels bounds the number of global-refinement sweeps; the
+	// zero value means DefaultRefineLevels. He & Singh observe little
+	// gain beyond 2–3 levels.
+	RefineLevels int
+}
+
+// DefaultRefineLevels is the global-refinement sweep bound used when
+// GraphQL.RefineLevels is zero.
+const DefaultRefineLevels = 2
+
+// Name implements Algorithm.
+func (GraphQL) Name() string { return "GQL" }
+
+// Contains implements Algorithm.
+func (a GraphQL) Contains(pattern, target *graph.Graph) bool {
+	if pattern.NumVertices() == 0 {
+		return true
+	}
+	if quickReject(pattern, target) {
+		return false
+	}
+	np, nt := pattern.NumVertices(), target.NumVertices()
+
+	// Stage 1: local pruning.
+	cand := make([][]int32, np) // sorted candidate lists
+	inCand := make([][]bool, np)
+	profiles := make([][]graph.Label, nt)
+	for u := 0; u < np; u++ {
+		pu := neighborProfile(pattern, u)
+		inCand[u] = make([]bool, nt)
+		for v := 0; v < nt; v++ {
+			if pattern.Label(u) != target.Label(v) || pattern.Degree(u) > target.Degree(v) {
+				continue
+			}
+			if profiles[v] == nil {
+				profiles[v] = neighborProfile(target, v)
+			}
+			if !profileContains(pu, profiles[v]) {
+				continue
+			}
+			cand[u] = append(cand[u], int32(v))
+			inCand[u][v] = true
+		}
+		if len(cand[u]) == 0 {
+			return false
+		}
+	}
+
+	// Stage 2: global refinement via bipartite matching.
+	levels := a.RefineLevels
+	if levels <= 0 {
+		levels = DefaultRefineLevels
+	}
+	match := newBipartiteMatcher(nt)
+	for level := 0; level < levels; level++ {
+		changed := false
+		for u := 0; u < np; u++ {
+			pn := pattern.Neighbors(u)
+			if len(pn) == 0 {
+				continue
+			}
+			kept := cand[u][:0]
+			for _, v := range cand[u] {
+				if match.semiPerfect(pn, target.Neighbors(int(v)), inCand) {
+					kept = append(kept, v)
+				} else {
+					inCand[u][v] = false
+					changed = true
+				}
+			}
+			cand[u] = kept
+			if len(cand[u]) == 0 {
+				return false
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Stage 3: search-order optimization + DFS.
+	order := gqlOrder(pattern, cand)
+	s := &gqlState{
+		p:      pattern,
+		t:      target,
+		order:  order,
+		anchor: anchorFor(pattern, order),
+		cand:   cand,
+		inCand: inCand,
+		core:   make([]int, np),
+		used:   make([]bool, nt),
+	}
+	for i := range s.core {
+		s.core[i] = -1
+	}
+	return s.search(0)
+}
+
+// gqlOrder picks the next vertex (preferring ones adjacent to the already
+// ordered set) with the smallest candidate list.
+func gqlOrder(p *graph.Graph, cand [][]int32) []int {
+	n := p.NumVertices()
+	order := make([]int, 0, n)
+	done := make([]bool, n)
+	adjacent := make([]bool, n)
+	for len(order) < n {
+		best, bestAdj := -1, false
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			switch {
+			case best == -1,
+				adjacent[v] && !bestAdj,
+				adjacent[v] == bestAdj && len(cand[v]) < len(cand[best]),
+				adjacent[v] == bestAdj && len(cand[v]) == len(cand[best]) && p.Degree(v) > p.Degree(best):
+				best, bestAdj = v, adjacent[v]
+			}
+		}
+		done[best] = true
+		order = append(order, best)
+		for _, w := range p.Neighbors(best) {
+			adjacent[w] = true
+		}
+	}
+	return order
+}
+
+type gqlState struct {
+	p, t   *graph.Graph
+	order  []int
+	anchor []int
+	cand   [][]int32
+	inCand [][]bool
+	core   []int
+	used   []bool
+}
+
+func (s *gqlState) search(d int) bool {
+	if d == len(s.order) {
+		return true
+	}
+	pv := s.order[d]
+	try := func(tv int) bool {
+		if s.used[tv] || !s.inCand[pv][tv] {
+			return false
+		}
+		for _, pn := range s.p.Neighbors(pv) {
+			if m := s.core[pn]; m >= 0 && !s.t.HasEdge(m, tv) {
+				return false
+			}
+		}
+		s.core[pv] = tv
+		s.used[tv] = true
+		ok := s.search(d + 1)
+		s.core[pv] = -1
+		s.used[tv] = false
+		return ok
+	}
+	if a := s.anchor[d]; a >= 0 {
+		tAnchor := s.core[s.order[a]]
+		for _, tv := range s.t.Neighbors(tAnchor) {
+			if try(int(tv)) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, tv := range s.cand[pv] {
+		if try(int(tv)) {
+			return true
+		}
+	}
+	return false
+}
+
+// bipartiteMatcher runs Kuhn's augmenting-path maximum matching between a
+// pattern vertex's neighbours and a target vertex's neighbours. Buffers
+// are reused across calls; stamp-based visited marks avoid clearing.
+type bipartiteMatcher struct {
+	matchR  []int // target vertex -> pattern-neighbour index, or -1
+	matchU  []int // target vertex -> pattern vertex occupying it
+	visited []int // stamp per target vertex
+	stamp   int
+}
+
+func newBipartiteMatcher(targetVertices int) *bipartiteMatcher {
+	m := &bipartiteMatcher{
+		matchR:  make([]int, targetVertices),
+		matchU:  make([]int, targetVertices),
+		visited: make([]int, targetVertices),
+	}
+	for i := range m.matchR {
+		m.matchR[i] = -1
+	}
+	return m
+}
+
+// semiPerfect reports whether every pattern neighbour pn[i] can be matched
+// to a distinct target neighbour tv ∈ tn with tv ∈ cand(pn[i]). This is
+// GraphQL's "semi-perfect matching" condition.
+func (m *bipartiteMatcher) semiPerfect(pn []int32, tn []int32, inCand [][]bool) bool {
+	if len(pn) > len(tn) {
+		return false
+	}
+	for _, tv := range tn {
+		m.matchR[tv] = -1
+	}
+	size := 0
+	for i, u := range pn {
+		m.stamp++
+		if m.augment(int(u), i, tn, inCand) {
+			size++
+		} else {
+			return false // matching must cover every pattern neighbour
+		}
+	}
+	return size == len(pn)
+}
+
+func (m *bipartiteMatcher) augment(u, ui int, tn []int32, inCand [][]bool) bool {
+	for _, tv := range tn {
+		if m.visited[tv] == m.stamp || !inCand[u][tv] {
+			continue
+		}
+		m.visited[tv] = m.stamp
+		if m.matchR[tv] == -1 {
+			m.matchR[tv] = ui
+			m.matchU[tv] = u
+			return true
+		}
+		// try to re-augment the current occupant
+		if m.augment(m.matchU[tv], m.matchR[tv], tn, inCand) {
+			m.matchR[tv] = ui
+			m.matchU[tv] = u
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,185 @@
+// Package subiso implements the subgraph-isomorphism "Method M" algorithms
+// that GC+ expedites (§7.1 of the paper): vanilla VF2 (Cordella et al.,
+// TPAMI 2004), VF2+ (VF2 with the candidate-ordering and neighbourhood
+// pruning refinements used by CT-index, Klein et al., ICDE 2011), and
+// GraphQL (He & Singh, SIGMOD 2008: neighbourhood profiles, global
+// iterative refinement, and candidate-driven search). A naive brute-force
+// matcher doubles as the correctness oracle for the test suite.
+//
+// All algorithms decide non-induced subgraph isomorphism ("monomorphism"):
+// pattern p ⊆ target t iff there is an injection φ from V(p) to V(t) with
+// matching labels that maps every edge of p onto an edge of t. Non-edges
+// of p impose no constraint, per §3 of the paper.
+package subiso
+
+import (
+	"fmt"
+	"sort"
+
+	"gcplus/internal/graph"
+)
+
+// Algorithm decides subgraph isomorphism.
+type Algorithm interface {
+	// Name returns the algorithm's short name ("VF2", "VF2+", "GQL", ...).
+	Name() string
+	// Contains reports whether pattern is subgraph-isomorphic to target.
+	Contains(pattern, target *graph.Graph) bool
+}
+
+// New returns the algorithm with the given name: "VF2", "VF2+", "GQL" or
+// "BRUTE" (case sensitive, matching the paper's names).
+func New(name string) (Algorithm, error) {
+	switch name {
+	case "VF2":
+		return VF2{}, nil
+	case "VF2+":
+		return VF2Plus{}, nil
+	case "GQL":
+		return GraphQL{}, nil
+	case "BRUTE":
+		return Brute{}, nil
+	}
+	return nil, fmt.Errorf("subiso: unknown algorithm %q (want VF2, VF2+, GQL or BRUTE)", name)
+}
+
+// Names lists the production algorithm names in the paper's order.
+func Names() []string { return []string{"VF2", "VF2+", "GQL"} }
+
+// quickReject applies the O(|V|+|E|) necessary conditions every algorithm
+// shares: size bounds and label-multiset containment.
+func quickReject(p, t *graph.Graph) bool {
+	if p.NumVertices() > t.NumVertices() || p.NumEdges() > t.NumEdges() {
+		return true
+	}
+	if p.MaxDegree() > t.MaxDegree() {
+		return true
+	}
+	tc := t.LabelCounts()
+	for l, c := range p.LabelCounts() {
+		if tc[l] < c {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckEmbedding verifies that m is a valid monomorphism from pattern to
+// target: m must have one entry per pattern vertex, be injective, preserve
+// labels, and map every pattern edge to a target edge. Used by tests.
+func CheckEmbedding(pattern, target *graph.Graph, m []int) error {
+	if len(m) != pattern.NumVertices() {
+		return fmt.Errorf("subiso: mapping has %d entries, pattern has %d vertices", len(m), pattern.NumVertices())
+	}
+	seen := make(map[int]bool, len(m))
+	for u, v := range m {
+		if v < 0 || v >= target.NumVertices() {
+			return fmt.Errorf("subiso: vertex %d maps out of range (%d)", u, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("subiso: mapping not injective at target vertex %d", v)
+		}
+		seen[v] = true
+		if pattern.Label(u) != target.Label(v) {
+			return fmt.Errorf("subiso: label mismatch at %d→%d", u, v)
+		}
+	}
+	for _, e := range pattern.EdgeList() {
+		if !target.HasEdge(m[e.U], m[e.V]) {
+			return fmt.Errorf("subiso: pattern edge {%d,%d} not preserved", e.U, e.V)
+		}
+	}
+	return nil
+}
+
+// connectedOrder returns a visit order for the pattern where each vertex
+// after the first of its component has at least one earlier neighbour.
+// rootRank breaks ties for component roots and first expansion; it lets
+// VF2 use plain index order and VF2+ use rarity order.
+func connectedOrder(p *graph.Graph, better func(a, b int) bool) []int {
+	n := p.NumVertices()
+	order := make([]int, 0, n)
+	inOrder := make([]bool, n)
+	// orderedNeighbors[v] counts already-ordered neighbours of v, used to
+	// prefer vertices most constrained by the partial mapping.
+	orderedNeighbors := make([]int, n)
+	for len(order) < n {
+		best := -1
+		for v := 0; v < n; v++ {
+			if inOrder[v] {
+				continue
+			}
+			if best == -1 {
+				best = v
+				continue
+			}
+			switch {
+			case orderedNeighbors[v] > orderedNeighbors[best]:
+				best = v
+			case orderedNeighbors[v] == orderedNeighbors[best] && better(v, best):
+				best = v
+			}
+		}
+		inOrder[best] = true
+		order = append(order, best)
+		for _, w := range p.Neighbors(best) {
+			orderedNeighbors[w]++
+		}
+	}
+	return order
+}
+
+// anchorFor returns, for each position in order, the earliest position of
+// an already-ordered neighbour (-1 if the vertex starts a new component).
+// During search the candidate set of order[i] is the target-neighbourhood
+// of the image of order[anchor[i]].
+func anchorFor(p *graph.Graph, order []int) []int {
+	pos := make([]int, p.NumVertices())
+	for i, v := range order {
+		pos[v] = i
+	}
+	anchor := make([]int, len(order))
+	for i, v := range order {
+		anchor[i] = -1
+		best := len(order)
+		for _, w := range p.Neighbors(v) {
+			if pw := pos[w]; pw < i && pw < best {
+				best = pw
+			}
+		}
+		if best < len(order) {
+			anchor[i] = best
+		}
+	}
+	return anchor
+}
+
+// neighborLabelCounts returns, for vertex v of g, the multiset of its
+// neighbours' labels as a sorted slice (for profile containment checks).
+func neighborProfile(g *graph.Graph, v int) []graph.Label {
+	ns := g.Neighbors(v)
+	out := make([]graph.Label, len(ns))
+	for i, w := range ns {
+		out[i] = g.Label(int(w))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// profileContains reports whether sorted multiset a is contained in sorted
+// multiset b.
+func profileContains(a, b []graph.Label) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] > b[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(a)
+}

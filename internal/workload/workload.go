@@ -1,0 +1,350 @@
+// Package workload synthesizes the query workloads of the paper's
+// evaluation (§7.1).
+//
+// Type A workloads extract each query by a BFS from a randomly selected
+// node of a randomly selected dataset graph, with either Uniform (U) or
+// Zipf (Z, α=1.4) distributions for the two selections; the paper's
+// categories "UU", "ZU" and "ZZ" name the (graph, node) distribution
+// pair. Query sizes are drawn uniformly from {4, 8, 12, 16, 20} edges.
+//
+// Type B workloads mix queries from two pre-built pools — one whose
+// queries have non-empty answers against the initial dataset (random-walk
+// extracted), and one of "no-answer" queries (random-walk extracted, then
+// relabelled until the query keeps a non-empty candidate set but an empty
+// answer set). A biased coin picks the pool (no-answer probability 0%,
+// 20% or 50%), then a Zipf draw picks the query within the pool, so
+// popular queries repeat — the cache-hit-friendly skew the paper relies
+// on.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gcplus/internal/feature"
+	"gcplus/internal/graph"
+	"gcplus/internal/randx"
+	"gcplus/internal/subiso"
+)
+
+// DefaultSizes are the paper's query sizes in edges.
+var DefaultSizes = []int{4, 8, 12, 16, 20}
+
+// DefaultAlpha is the paper's Zipf exponent.
+const DefaultAlpha = 1.4
+
+// Dist selects a sampling distribution for Type A.
+type Dist uint8
+
+const (
+	// Uniform selection.
+	Uniform Dist = iota
+	// Zipf selection with the workload's Alpha.
+	Zipf
+)
+
+// String returns "U" or "Z".
+func (d Dist) String() string {
+	if d == Zipf {
+		return "Z"
+	}
+	return "U"
+}
+
+// Workload is a named sequence of query graphs.
+type Workload struct {
+	// Name is the paper's label: "UU", "ZU", "ZZ", "0%", "20%", "50%".
+	Name string
+	// Queries in submission order.
+	Queries []*graph.Graph
+}
+
+// TypeAConfig parameterizes Type A generation.
+type TypeAConfig struct {
+	// Queries is the workload length (paper: 10,000).
+	Queries int
+	// Sizes are the query sizes in edges (default DefaultSizes).
+	Sizes []int
+	// GraphDist and NodeDist choose source graph and start node.
+	GraphDist, NodeDist Dist
+	// Alpha is the Zipf exponent (default 1.4).
+	Alpha float64
+	// Seed drives generation.
+	Seed int64
+}
+
+// TypeA generates a Type A workload over the initial dataset graphs.
+func TypeA(dataset []*graph.Graph, cfg TypeAConfig) (*Workload, error) {
+	if len(dataset) == 0 {
+		return nil, fmt.Errorf("workload: empty dataset")
+	}
+	if cfg.Queries <= 0 {
+		return nil, fmt.Errorf("workload: Queries must be positive, got %d", cfg.Queries)
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = DefaultSizes
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = DefaultAlpha
+	}
+	rng := randx.New(cfg.Seed)
+	var graphZipf *randx.Zipf
+	if cfg.GraphDist == Zipf {
+		graphZipf = randx.MustZipf(len(dataset), cfg.Alpha)
+	}
+	w := &Workload{
+		Name:    cfg.GraphDist.String() + cfg.NodeDist.String(),
+		Queries: make([]*graph.Graph, cfg.Queries),
+	}
+	for i := range w.Queries {
+		var src *graph.Graph
+		if graphZipf != nil {
+			src = dataset[graphZipf.Sample(rng)]
+		} else {
+			src = dataset[rng.Intn(len(dataset))]
+		}
+		var start int
+		if cfg.NodeDist == Zipf {
+			z := randx.MustZipf(src.NumVertices(), cfg.Alpha)
+			start = z.Sample(rng)
+		} else {
+			start = rng.Intn(src.NumVertices())
+		}
+		size := cfg.Sizes[rng.Intn(len(cfg.Sizes))]
+		q := bfsQuery(src, start, size)
+		q.SetName(fmt.Sprintf("%s-q%d", w.Name, i))
+		w.Queries[i] = q
+	}
+	return w, nil
+}
+
+// bfsQuery extracts a connected query of up to maxEdges edges: a BFS from
+// start where each newly reached node brings every edge connecting it to
+// already-visited nodes, until the size is reached (§7.1 Type A rules).
+//
+// The extraction is deterministic in (g, start, maxEdges) — neighbours are
+// visited in adjacency order, as in the paper, which does not randomize
+// the BFS. Determinism is what makes repeated (graph, node) selections
+// yield *identical* queries (the exact-match cache hits the paper counts)
+// and makes different sizes from the same start form prefix-containment
+// chains (its subgraph/supergraph hits).
+func bfsQuery(g *graph.Graph, start, maxEdges int) *graph.Graph {
+	b := graph.NewBuilder()
+	idx := map[int]int{start: b.AddVertex(g.Label(start))}
+	visited := []int{start}
+	queue := []int{start}
+	edges := 0
+	for len(queue) > 0 && edges < maxEdges {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w32 := range g.Neighbors(v) {
+			if edges >= maxEdges {
+				break
+			}
+			w := int(w32)
+			if _, seen := idx[w]; seen {
+				continue
+			}
+			wi := b.AddVertex(g.Label(w))
+			idx[w] = wi
+			// all edges of w into the visited set
+			for _, u := range visited {
+				if g.HasEdge(w, u) && edges < maxEdges {
+					b.AddEdge(wi, idx[u])
+					edges++
+				}
+			}
+			visited = append(visited, w)
+			queue = append(queue, w)
+		}
+	}
+	return b.MustBuild()
+}
+
+// randomWalkQuery extracts a connected query of up to maxEdges edges by a
+// random walk from start, adding each first-traversed edge (§7.1 Type B
+// rules). Walks that stall (all neighbours exhausted repeatedly) return
+// early with fewer edges.
+func randomWalkQuery(rng *rand.Rand, g *graph.Graph, start, maxEdges int) *graph.Graph {
+	b := graph.NewBuilder()
+	idx := map[int]int{start: b.AddVertex(g.Label(start))}
+	type key [2]int
+	taken := map[key]bool{}
+	cur := start
+	edges := 0
+	for steps := 0; edges < maxEdges && steps < 50*maxEdges; steps++ {
+		ns := g.Neighbors(cur)
+		if len(ns) == 0 {
+			break
+		}
+		next := int(ns[rng.Intn(len(ns))])
+		a, c := cur, next
+		if a > c {
+			a, c = c, a
+		}
+		if !taken[key{a, c}] {
+			taken[key{a, c}] = true
+			ni, seen := idx[next]
+			if !seen {
+				ni = b.AddVertex(g.Label(next))
+				idx[next] = ni
+			}
+			b.AddEdge(idx[cur], ni)
+			edges++
+		}
+		cur = next
+	}
+	return b.MustBuild()
+}
+
+// TypeBConfig parameterizes Type B generation.
+type TypeBConfig struct {
+	// Queries is the workload length.
+	Queries int
+	// Sizes are the query sizes in edges.
+	Sizes []int
+	// PoolSize is the per-size positive pool size (paper: 10,000 total).
+	PoolSize int
+	// NoAnswerPoolSize is the per-size no-answer pool size (paper: 3,000
+	// total).
+	NoAnswerPoolSize int
+	// NoAnswerProb is the biased coin's no-answer probability
+	// (0, 0.2, 0.5).
+	NoAnswerProb float64
+	// Alpha is the Zipf exponent for in-pool selection.
+	Alpha float64
+	// Seed drives generation.
+	Seed int64
+	// Verifier decides answer emptiness when building the pools
+	// (default VF2+).
+	Verifier subiso.Algorithm
+}
+
+// TypeB generates a Type B workload over the initial dataset graphs.
+func TypeB(dataset []*graph.Graph, cfg TypeBConfig) (*Workload, error) {
+	if len(dataset) == 0 {
+		return nil, fmt.Errorf("workload: empty dataset")
+	}
+	if cfg.Queries <= 0 {
+		return nil, fmt.Errorf("workload: Queries must be positive, got %d", cfg.Queries)
+	}
+	if cfg.NoAnswerProb < 0 || cfg.NoAnswerProb > 1 {
+		return nil, fmt.Errorf("workload: NoAnswerProb out of [0,1]: %g", cfg.NoAnswerProb)
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = DefaultSizes
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = DefaultAlpha
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 100
+	}
+	if cfg.NoAnswerPoolSize <= 0 {
+		cfg.NoAnswerPoolSize = cfg.PoolSize * 3 / 10
+	}
+	if cfg.Verifier == nil {
+		cfg.Verifier = subiso.VF2Plus{}
+	}
+	rng := randx.New(cfg.Seed)
+
+	// Node universe: uniform over all nodes of all dataset graphs.
+	type site struct{ g, v int }
+	var sites []site
+	labelPool := make([]graph.Label, 0, 1024)
+	for gi, g := range dataset {
+		for v := 0; v < g.NumVertices(); v++ {
+			sites = append(sites, site{gi, v})
+			labelPool = append(labelPool, g.Label(v))
+		}
+	}
+	fps := make([]*feature.Fingerprint, len(dataset))
+	for i, g := range dataset {
+		fps[i] = feature.Of(g)
+	}
+	hasAnswer := func(q *graph.Graph) bool {
+		qf := feature.Of(q)
+		for i, g := range dataset {
+			if qf.SubsumedBy(fps[i]) && cfg.Verifier.Contains(q, g) {
+				return true
+			}
+		}
+		return false
+	}
+	hasCandidates := func(q *graph.Graph) bool {
+		qf := feature.Of(q)
+		for i := range dataset {
+			if qf.SubsumedBy(fps[i]) {
+				return true
+			}
+		}
+		return false
+	}
+
+	drawPositive := func() (*graph.Graph, error) {
+		for tries := 0; tries < 1000; tries++ {
+			s := sites[rng.Intn(len(sites))]
+			size := cfg.Sizes[rng.Intn(len(cfg.Sizes))]
+			q := randomWalkQuery(rng, dataset[s.g], s.v, size)
+			if q.NumEdges() > 0 {
+				return q, nil // extracted from a dataset graph ⇒ answer non-empty
+			}
+		}
+		return nil, fmt.Errorf("workload: dataset graphs have no extractable edges")
+	}
+
+	positives := make([]*graph.Graph, cfg.PoolSize)
+	for i := range positives {
+		q, err := drawPositive()
+		if err != nil {
+			return nil, err
+		}
+		positives[i] = q
+	}
+
+	noAnswers := make([]*graph.Graph, 0, cfg.NoAnswerPoolSize)
+	for rounds := 0; len(noAnswers) < cfg.NoAnswerPoolSize; rounds++ {
+		if rounds > 50*cfg.NoAnswerPoolSize {
+			return nil, fmt.Errorf("workload: could not synthesize %d no-answer queries (label space too uniform?)", cfg.NoAnswerPoolSize)
+		}
+		q, err := drawPositive()
+		if err != nil {
+			return nil, err
+		}
+		// relabel until candidate set non-empty but answer empty
+		for attempt := 0; attempt < 200; attempt++ {
+			b := graph.NewBuilder()
+			for v := 0; v < q.NumVertices(); v++ {
+				b.AddVertex(labelPool[rng.Intn(len(labelPool))])
+			}
+			for _, e := range q.EdgeList() {
+				b.AddEdge(int(e.U), int(e.V))
+			}
+			cand := b.MustBuild()
+			if hasCandidates(cand) && !hasAnswer(cand) {
+				noAnswers = append(noAnswers, cand)
+				break
+			}
+		}
+	}
+
+	posZipf := randx.MustZipf(len(positives), cfg.Alpha)
+	negZipf := randx.MustZipf(len(noAnswers), cfg.Alpha)
+	w := &Workload{
+		Name:    fmt.Sprintf("%d%%", int(cfg.NoAnswerProb*100)),
+		Queries: make([]*graph.Graph, cfg.Queries),
+	}
+	for i := range w.Queries {
+		var q *graph.Graph
+		if rng.Float64() < cfg.NoAnswerProb {
+			q = noAnswers[negZipf.Sample(rng)]
+		} else {
+			q = positives[posZipf.Sample(rng)]
+		}
+		// queries repeat by design; clone so per-query names are unique
+		qc := q.Clone()
+		qc.SetName(fmt.Sprintf("%s-q%d", w.Name, i))
+		w.Queries[i] = qc
+	}
+	return w, nil
+}

@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"testing"
+
+	"gcplus/internal/graph"
+	"gcplus/internal/subiso"
+	"gcplus/internal/synthetic"
+)
+
+func testDataset(t *testing.T, n int) []*graph.Graph {
+	t.Helper()
+	cfg := synthetic.Default().WithGraphs(n)
+	cfg.MeanVertices = 20
+	cfg.StdVertices = 6
+	cfg.MaxVertices = 40
+	gs, err := synthetic.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gs
+}
+
+func TestTypeAValidation(t *testing.T) {
+	ds := testDataset(t, 5)
+	if _, err := TypeA(nil, TypeAConfig{Queries: 5}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := TypeA(ds, TypeAConfig{Queries: 0}); err == nil {
+		t.Error("zero queries accepted")
+	}
+}
+
+func TestTypeACategories(t *testing.T) {
+	ds := testDataset(t, 30)
+	cases := []struct {
+		gd, nd Dist
+		name   string
+	}{
+		{Uniform, Uniform, "UU"},
+		{Zipf, Uniform, "ZU"},
+		{Zipf, Zipf, "ZZ"},
+	}
+	for _, c := range cases {
+		w, err := TypeA(ds, TypeAConfig{Queries: 60, GraphDist: c.gd, NodeDist: c.nd, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name != c.name {
+			t.Errorf("Name = %q, want %q", w.Name, c.name)
+		}
+		if len(w.Queries) != 60 {
+			t.Fatalf("%s: %d queries", c.name, len(w.Queries))
+		}
+		for i, q := range w.Queries {
+			if err := q.Validate(); err != nil {
+				t.Fatalf("%s query %d invalid: %v", c.name, i, err)
+			}
+			if q.NumEdges() == 0 || q.NumEdges() > 20 {
+				t.Fatalf("%s query %d has %d edges", c.name, i, q.NumEdges())
+			}
+			if !q.Connected() {
+				t.Fatalf("%s query %d disconnected", c.name, i)
+			}
+		}
+	}
+}
+
+func TestTypeAQueriesAreSubgraphsOfSource(t *testing.T) {
+	ds := testDataset(t, 20)
+	w, err := TypeA(ds, TypeAConfig{Queries: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo := subiso.VF2Plus{}
+	for i, q := range w.Queries {
+		found := false
+		for _, g := range ds {
+			if algo.Contains(q, g) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("query %d matches no dataset graph (extraction broken)", i)
+		}
+	}
+}
+
+func TestTypeASizesRespected(t *testing.T) {
+	ds := testDataset(t, 10)
+	w, err := TypeA(ds, TypeAConfig{Queries: 100, Sizes: []int{4}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range w.Queries {
+		if q.NumEdges() > 4 {
+			t.Fatalf("query %d has %d edges, cap 4", i, q.NumEdges())
+		}
+	}
+}
+
+func TestTypeAZipfSkewsSourceGraphs(t *testing.T) {
+	// With Zipf graph selection, early dataset graphs must be used much
+	// more often. Track usage via label statistics proxy: instead,
+	// regenerate with single-graph equality checks: make dataset graphs
+	// distinguishable by size.
+	ds := testDataset(t, 50)
+	wz, err := TypeA(ds, TypeAConfig{Queries: 400, GraphDist: Zipf, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wu, err := TypeA(ds, TypeAConfig{Queries: 400, GraphDist: Uniform, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// proxy: count exact-duplicate queries; the Zipf workload revisits
+	// the same few source graphs and nodes far more often.
+	dup := func(w *Workload) int {
+		seen := map[string]int{}
+		for _, q := range w.Queries {
+			key := fingerprintKey(q)
+			seen[key]++
+		}
+		d := 0
+		for _, c := range seen {
+			if c > 1 {
+				d += c - 1
+			}
+		}
+		return d
+	}
+	if dup(wz) <= dup(wu) {
+		t.Errorf("Zipf workload no more repetitive than uniform: %d vs %d", dup(wz), dup(wu))
+	}
+}
+
+func fingerprintKey(g *graph.Graph) string {
+	out := make([]byte, 0, 64)
+	out = append(out, byte(g.NumVertices()), byte(g.NumEdges()))
+	for v := 0; v < g.NumVertices(); v++ {
+		out = append(out, byte(g.Label(v)), byte(g.Degree(v)))
+	}
+	return string(out)
+}
+
+func TestTypeADeterminism(t *testing.T) {
+	ds := testDataset(t, 10)
+	a, err := TypeA(ds, TypeAConfig{Queries: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TypeA(ds, TypeAConfig{Queries: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Queries {
+		if fingerprintKey(a.Queries[i]) != fingerprintKey(b.Queries[i]) {
+			t.Fatalf("query %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestTypeBValidation(t *testing.T) {
+	ds := testDataset(t, 5)
+	if _, err := TypeB(nil, TypeBConfig{Queries: 5}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := TypeB(ds, TypeBConfig{Queries: 0}); err == nil {
+		t.Error("zero queries accepted")
+	}
+	if _, err := TypeB(ds, TypeBConfig{Queries: 5, NoAnswerProb: 1.5}); err == nil {
+		t.Error("bad probability accepted")
+	}
+}
+
+func TestTypeBWorkloads(t *testing.T) {
+	ds := testDataset(t, 25)
+	oracle := subiso.VF2Plus{}
+	hasAnswer := func(q *graph.Graph) bool {
+		for _, g := range ds {
+			if oracle.Contains(q, g) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, prob := range []float64{0, 0.2, 0.5} {
+		w, err := TypeB(ds, TypeBConfig{
+			Queries: 60, PoolSize: 30, NoAnswerPoolSize: 10,
+			NoAnswerProb: prob, Seed: 13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantName := map[float64]string{0: "0%", 0.2: "20%", 0.5: "50%"}[prob]
+		if w.Name != wantName {
+			t.Errorf("Name = %q, want %q", w.Name, wantName)
+		}
+		empty := 0
+		for i, q := range w.Queries {
+			if err := q.Validate(); err != nil {
+				t.Fatalf("%s query %d invalid: %v", w.Name, i, err)
+			}
+			if !hasAnswer(q) {
+				empty++
+			}
+		}
+		frac := float64(empty) / float64(len(w.Queries))
+		if prob == 0 && empty != 0 {
+			t.Errorf("0%% workload contains %d no-answer queries", empty)
+		}
+		if prob > 0 && (frac < prob-0.2 || frac > prob+0.2) {
+			t.Errorf("%s workload: no-answer fraction %.2f, want ≈%.2f", w.Name, frac, prob)
+		}
+	}
+}
+
+func TestTypeBQueriesRepeat(t *testing.T) {
+	// Zipf pool selection must produce repeated queries — the skew that
+	// makes caching worthwhile.
+	ds := testDataset(t, 25)
+	w, err := TypeB(ds, TypeBConfig{Queries: 120, PoolSize: 40, NoAnswerPoolSize: 5, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, q := range w.Queries {
+		seen[fingerprintKey(q)]++
+	}
+	max := 0
+	for _, c := range seen {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3 {
+		t.Errorf("most popular query repeated only %d times", max)
+	}
+}
+
+func TestDistString(t *testing.T) {
+	if Uniform.String() != "U" || Zipf.String() != "Z" {
+		t.Fatal("Dist.String wrong")
+	}
+}
