@@ -8,7 +8,9 @@ package gcplus
 
 import (
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"gcplus/internal/bench"
 	"gcplus/internal/cache"
@@ -140,6 +142,74 @@ func BenchmarkAblationValidityRules(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			runCell(b, bench.RunConfig{Scale: sc, Workload: spec, Method: "VF2", System: bench.SystemCON, StrictInvalidation: strict, Seed: 42}, nil)
+		})
+	}
+}
+
+// BenchmarkConcurrentThroughput measures the sharded serving front-end:
+// parallel clients issue subgraph queries against a warm Server while a
+// background writer applies ADD batches, exercising the epoch-sequenced
+// update path under load. Compare ns/op across shard counts for the
+// scaling trajectory (cmd/gcbench -throughput reports qps/p50/p99 for the
+// same system).
+func BenchmarkConcurrentThroughput(b *testing.B) {
+	graphs, err := GenerateAIDSLike(400, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := graphs[0]
+	queries := []*Graph{
+		PathGraph(base.Label(0), base.Label(1)),
+		PathGraph(base.Label(0), base.Label(1), base.Label(2)),
+		StarGraph(base.Label(1), base.Label(0), base.Label(2)),
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			srv, err := NewServer(graphs, ServeOptions{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			for _, q := range queries { // warm the shard caches
+				if _, err := srv.SubgraphQuery(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			stop := make(chan struct{})
+			var writerWG sync.WaitGroup
+			writerWG.Add(1)
+			go func() {
+				defer writerWG.Done()
+				i := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					op := NewAddOp(graphs[i%len(graphs)].Clone())
+					if _, err := srv.Update([]UpdateOp{op}); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+					time.Sleep(time.Millisecond)
+				}
+			}()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := srv.SubgraphQuery(queries[i%len(queries)]); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			writerWG.Wait()
 		})
 	}
 }

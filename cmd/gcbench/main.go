@@ -9,6 +9,12 @@
 //	gcbench -insights                   # §7.2 exact/sub/super hit stats
 //	gcbench -ablation all               # policies, cache sizes, validity, churn
 //	gcbench -figure all -scale paper    # full 40k × 10k run (hours)
+//	gcbench -throughput -shards 8 -clients 16   # concurrent serving summary
+//
+// The -throughput mode drives the sharded serving front-end (the system
+// behind cmd/gcserve) with concurrent clients and a live update stream,
+// and emits a JSON summary (queries/sec, p50/p95/p99 latency) so serving
+// performance has a trajectory to compare across changes.
 //
 // Absolute times depend on the host; the speedup shapes are what
 // reproduce the paper (see EXPERIMENTS.md).
@@ -33,9 +39,17 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload list (default all six)")
 		seed      = flag.Int64("seed", 42, "experiment seed")
 		verbose   = flag.Bool("v", false, "print per-run progress")
+
+		throughput  = flag.Bool("throughput", false, "run the concurrent-serving throughput benchmark (JSON output)")
+		shards      = flag.Int("shards", 4, "throughput: server shard count")
+		clients     = flag.Int("clients", 8, "throughput: concurrent query clients")
+		tpQueries   = flag.Int("queries", 0, "throughput: total queries (default scale's query count)")
+		updateEvery = flag.Int("update-every", 50, "throughput: apply an update batch every N queries (0 disables)")
+		eager       = flag.Bool("eager", false, "throughput: validate shard caches at update time")
+		nocache     = flag.Bool("nocache", false, "throughput: serve through raw Method M")
 	)
 	flag.Parse()
-	if *figure == "" && !*insights && *ablation == "" {
+	if *figure == "" && !*insights && *ablation == "" && !*throughput {
 		*figure = "all"
 	}
 
@@ -59,6 +73,30 @@ func main() {
 		specs = append(specs, spec)
 	}
 
+	if *throughput {
+		var spec bench.WorkloadSpec // zero value: RunThroughput's default
+		if len(specs) > 0 {
+			spec = specs[0]
+		}
+		res, err := bench.RunThroughput(bench.ThroughputConfig{
+			Scale:         sc,
+			Workload:      spec,
+			Method:        methodList[0],
+			Shards:        *shards,
+			Clients:       *clients,
+			Queries:       *tpQueries,
+			UpdateEvery:   *updateEvery,
+			EagerValidate: *eager,
+			DisableCache:  *nocache,
+			Seed:          *seed,
+		}, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteThroughputJSON(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+	}
 	if *figure != "" {
 		runFigures(*figure, sc, *seed, methodList, specs, progress)
 	}

@@ -38,4 +38,27 @@
 // — all implemented in this module with no external dependencies. See
 // the examples directory for runnable scenarios and cmd/gcbench for the
 // harness regenerating the paper's evaluation figures.
+//
+// # Concurrent serving
+//
+// A System is single-threaded by design; for serving concurrent traffic
+// use a Server instead. NewServer partitions the dataset round-robin
+// across N shards, each owning its own System-equivalent runtime and
+// GC+ cache behind one worker goroutine; queries fan out to all shards
+// in parallel and the per-shard answers are merged. Dataset updates flow
+// through an epoch-sequenced single-writer path: a batch is applied
+// atomically with respect to queries, and every answer reports the epoch
+// (dataset version) it reflects — each query observes exactly the update
+// batches with epoch ≤ its snapshot, never a torn state, so the paper's
+// exactness guarantees carry over to concurrent serving per shard.
+//
+//	srv, err := gcplus.NewServer(initialGraphs, gcplus.ServeOptions{Shards: 8})
+//	if err != nil { ... }
+//	res, err := srv.SubgraphQuery(pattern)   // safe from any goroutine
+//	_, err = srv.Update([]gcplus.UpdateOp{gcplus.NewAddOp(g), gcplus.NewDeleteOp(3)})
+//	http.ListenAndServe(":8844", srv.Handler())  // the cmd/gcserve API
+//
+// cmd/gcserve wraps the Server in a standalone HTTP daemon (POST /query,
+// POST /update, GET /stats), and cmd/gcbench's -throughput mode measures
+// its queries/sec and latency percentiles under concurrent load.
 package gcplus

@@ -3,11 +3,14 @@ package gcplus
 import (
 	"fmt"
 	"io"
+	"net/http"
 
 	"gcplus/internal/cache"
+	"gcplus/internal/changeplan"
 	"gcplus/internal/core"
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
+	"gcplus/internal/serve"
 	"gcplus/internal/subiso"
 	"gcplus/internal/synthetic"
 )
@@ -224,6 +227,125 @@ func (s *System) CacheEntries() []CacheEntryInfo {
 	})
 	return out
 }
+
+// ServeOptions configures a Server. The embedded Options configure each
+// shard's runtime exactly like a single-threaded System.
+type ServeOptions struct {
+	Options
+	// Shards is the number of runtime shards; each owns a partition of
+	// the dataset, its own GC+ cache and one worker goroutine
+	// (default 4).
+	Shards int
+	// EagerValidate reconciles shard caches (CON validation / EVI purge)
+	// at update time instead of lazily before the next query, trading
+	// update latency for query latency.
+	EagerValidate bool
+}
+
+// UpdateOp describes one dataset change operation for Server.Update; use
+// NewAddOp, NewDeleteOp, NewAddEdgeOp and NewRemoveEdgeOp to build them.
+type UpdateOp = changeplan.Op
+
+// NewAddOp describes an ADD of g.
+func NewAddOp(g *Graph) UpdateOp { return changeplan.AddOp(g) }
+
+// NewDeleteOp describes a DEL of graph id.
+func NewDeleteOp(id int) UpdateOp { return changeplan.DeleteOp(id) }
+
+// NewAddEdgeOp describes a UA adding {u,v} to graph id.
+func NewAddEdgeOp(id, u, v int) UpdateOp { return changeplan.AddEdgeOp(id, u, v) }
+
+// NewRemoveEdgeOp describes a UR removing {u,v} from graph id.
+func NewRemoveEdgeOp(id, u, v int) UpdateOp { return changeplan.RemoveEdgeOp(id, u, v) }
+
+// ServerAnswer is a query outcome from a Server: the merged answer ids,
+// the epoch (dataset version) the answer reflects, and aggregate stats.
+type ServerAnswer = serve.QueryResult
+
+// ServerUpdateResult summarizes one update batch.
+type ServerUpdateResult = serve.UpdateResult
+
+// ServerStats is the server-wide statistics snapshot.
+type ServerStats = serve.Stats
+
+// Server is the concurrent, sharded GC+ front-end: queries fan out to N
+// independent runtime shards in parallel while dataset updates flow
+// through an epoch-sequenced single-writer path, so every query observes
+// one consistent dataset version. All methods are safe for concurrent
+// use; see internal/serve for the architecture and the consistency
+// argument.
+type Server struct {
+	srv *serve.Server
+}
+
+// NewServer builds a concurrent Server over the initial dataset graphs,
+// which receive global ids 0..len(initial)-1 and are partitioned
+// round-robin across the shards.
+func NewServer(initial []*Graph, opts ServeOptions) (*Server, error) {
+	srvOpts := serve.Options{
+		Shards:        opts.Shards,
+		Method:        opts.Method,
+		DisableCache:  opts.DisableCache,
+		EagerValidate: opts.EagerValidate,
+	}
+	if !opts.DisableCache {
+		srvOpts.Cache = &cache.Config{
+			Capacity:   opts.CacheSize,
+			WindowSize: opts.WindowSize,
+			Model:      opts.Model,
+			Policy:     opts.Policy,
+		}
+	}
+	srv, err := serve.New(initial, srvOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{srv: srv}, nil
+}
+
+// SubgraphQuery returns all live dataset graphs containing q.
+func (s *Server) SubgraphQuery(q *Graph) (*ServerAnswer, error) {
+	return s.srv.SubgraphQuery(q)
+}
+
+// SupergraphQuery returns all live dataset graphs contained in q.
+func (s *Server) SupergraphQuery(q *Graph) (*ServerAnswer, error) {
+	return s.srv.SupergraphQuery(q)
+}
+
+// Update applies a batch of dataset change operations atomically with
+// respect to concurrent queries and advances the epoch once.
+func (s *Server) Update(ops []UpdateOp) (*ServerUpdateResult, error) {
+	return s.srv.Update(ops)
+}
+
+// AddGraph inserts one dataset graph, returning its global id.
+func (s *Server) AddGraph(g *Graph) (int, error) {
+	res, err := s.srv.Update([]UpdateOp{NewAddOp(g)})
+	if err != nil {
+		return 0, err
+	}
+	if res.Ops[0].Err != nil {
+		return 0, res.Ops[0].Err
+	}
+	return res.Ops[0].ID, nil
+}
+
+// Epoch returns the current dataset version (update batches applied).
+func (s *Server) Epoch() uint64 { return s.srv.Epoch() }
+
+// Stats snapshots server-wide and per-shard statistics.
+func (s *Server) Stats() (*ServerStats, error) { return s.srv.Stats() }
+
+// Handler returns the HTTP API (POST /query, POST /update, GET /stats)
+// that cmd/gcserve serves.
+func (s *Server) Handler() http.Handler { return s.srv.Handler() }
+
+// Shards returns the number of runtime shards.
+func (s *Server) Shards() int { return s.srv.Shards() }
+
+// Close shuts the shard workers down; subsequent calls fail.
+func (s *Server) Close() { s.srv.Close() }
 
 // GenerateAIDSLike synthesizes an AIDS-calibrated dataset of n labelled
 // graphs (see DESIGN.md §3 for the substitution rationale). Deterministic

@@ -248,3 +248,92 @@ func TestMetricsAndReset(t *testing.T) {
 		t.Fatal("reset failed")
 	}
 }
+
+func TestServerMatchesSystem(t *testing.T) {
+	graphs, err := GenerateAIDSLike(50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Open(graphs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(graphs, ServeOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Shards() != 4 {
+		t.Fatalf("Shards = %d", srv.Shards())
+	}
+
+	base := graphs[0]
+	queries := []*Graph{
+		PathGraph(base.Label(0), base.Label(1)),
+		PathGraph(base.Label(0), base.Label(1), base.Label(2)),
+		StarGraph(base.Label(1), base.Label(0), base.Label(2)),
+	}
+	check := func() {
+		t.Helper()
+		for qi, q := range queries {
+			want, err := sys.SubgraphQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := srv.SubgraphQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantIDs := want.IDs()
+			if len(got.IDs) != len(wantIDs) {
+				t.Fatalf("query %d: server %v, system %v", qi, got.IDs, wantIDs)
+			}
+			for i := range wantIDs {
+				if got.IDs[i] != wantIDs[i] {
+					t.Fatalf("query %d: server %v, system %v", qi, got.IDs, wantIDs)
+				}
+			}
+		}
+	}
+	check()
+
+	// The same updates through both front-ends keep answers identical.
+	added, err := srv.AddGraph(graphs[1].Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 50 {
+		t.Fatalf("AddGraph id = %d, want 50", added)
+	}
+	if _, err := sys.AddGraph(graphs[1].Clone()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Update([]UpdateOp{NewDeleteOp(3), NewRemoveEdgeOp(added, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 || res.Epoch != 2 {
+		t.Fatalf("update result: %+v", res)
+	}
+	if err := sys.DeleteGraph(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RemoveEdge(added, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	check()
+
+	if srv.Epoch() != 2 {
+		t.Fatalf("Epoch = %d", srv.Epoch())
+	}
+	st, err := srv.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LiveGraphs != 50 || st.Shards != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if srv.Handler() == nil {
+		t.Fatal("nil handler")
+	}
+}

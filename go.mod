@@ -1,0 +1,3 @@
+module gcplus
+
+go 1.24

@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"gcplus/internal/cache"
+	"gcplus/internal/changeplan"
+	"gcplus/internal/randx"
+	"gcplus/internal/serve"
+	"gcplus/internal/stats"
+)
+
+// ThroughputConfig sizes a concurrent-serving benchmark: C client
+// goroutines drive queries against a sharded serve.Server while a writer
+// applies update batches at the paper's ops-per-query density, giving
+// future PRs a queries/sec + latency-percentile trajectory to compare
+// against.
+type ThroughputConfig struct {
+	// Scale sizes dataset and workload (smoke/repro/paper).
+	Scale Scale
+	// Workload selects the query mix (default ZZ).
+	Workload WorkloadSpec
+	// Method names Method M's verifier (default VF2).
+	Method string
+	// Shards is the server's shard count (default 4).
+	Shards int
+	// Clients is the number of concurrent query goroutines (default 8).
+	Clients int
+	// Queries is the total number of queries issued across clients;
+	// defaults to Scale.Queries.
+	Queries int
+	// UpdateEvery applies one update batch of OpsPerBatch operations
+	// after every UpdateEvery queries (0 disables updates).
+	UpdateEvery int
+	// OpsPerBatch is the batch size (default 5).
+	OpsPerBatch int
+	// EagerValidate reconciles shard caches at update time.
+	EagerValidate bool
+	// DisableCache serves through raw Method M (baseline).
+	DisableCache bool
+	// Seed drives dataset, workload and update generation.
+	Seed int64
+}
+
+func (c ThroughputConfig) withDefaults() ThroughputConfig {
+	if c.Workload.Name == "" {
+		c.Workload, _ = SpecByName("ZZ")
+	}
+	if c.Method == "" {
+		c.Method = "VF2"
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Queries <= 0 {
+		c.Queries = c.Scale.Queries
+	}
+	if c.OpsPerBatch <= 0 {
+		c.OpsPerBatch = 5
+	}
+	return c
+}
+
+// ThroughputResult is the JSON summary the -throughput mode emits.
+type ThroughputResult struct {
+	Scale         string  `json:"scale"`
+	Workload      string  `json:"workload"`
+	Method        string  `json:"method"`
+	Shards        int     `json:"shards"`
+	Clients       int     `json:"clients"`
+	EagerValidate bool    `json:"eager_validate"`
+	DisableCache  bool    `json:"disable_cache"`
+	Seed          int64   `json:"seed"`
+	Queries       int     `json:"queries"`
+	UpdateBatches int     `json:"update_batches"`
+	OpsApplied    int     `json:"ops_applied"`
+	Epoch         uint64  `json:"epoch"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	QPS           float64 `json:"qps"`
+	P50Millis     float64 `json:"p50_ms"`
+	P95Millis     float64 `json:"p95_ms"`
+	P99Millis     float64 `json:"p99_ms"`
+	MeanMillis    float64 `json:"mean_ms"`
+	SubIsoTests   float64 `json:"subiso_tests_per_query"`
+	HitRate       float64 `json:"hit_rate"`
+	LiveGraphs    int     `json:"live_graphs"`
+}
+
+// RunThroughput drives a sharded server with concurrent clients and a
+// serialized update stream, and summarizes throughput and latency.
+func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, error) {
+	cfg = cfg.withDefaults()
+	initial, err := generateDataset(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := memoizedWorkload(cfg.Workload, initial, cfg.Scale, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+
+	srvOpts := serve.Options{
+		Shards:        cfg.Shards,
+		Method:        cfg.Method,
+		DisableCache:  cfg.DisableCache,
+		EagerValidate: cfg.EagerValidate,
+	}
+	if !cfg.DisableCache {
+		srvOpts.Cache = &cache.Config{
+			Capacity:   cfg.Scale.CacheCapacity,
+			WindowSize: cfg.Scale.WindowSize,
+		}
+	}
+	srv, err := serve.New(initial, srvOpts)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	if progress != nil {
+		progress("throughput: %d queries, %d clients, %d shards", cfg.Queries, cfg.Clients, cfg.Shards)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies = make([]float64, 0, cfg.Queries)
+		firstErr  error
+		next      int // next query index to claim; guarded by mu
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= cfg.Queries || firstErr != nil {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	// The writer applies one batch after every UpdateEvery queries have
+	// been *issued*; it samples progress rather than synchronizing with
+	// the clients, matching a live system's decoupled update stream.
+	updates := make(chan struct{}, 1)
+	var updateBatches, opsApplied int
+	var writerWG sync.WaitGroup
+	if cfg.UpdateEvery > 0 {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			rng := randx.New(cfg.Seed + 7)
+			for range updates {
+				ops := make([]changeplan.Op, 0, cfg.OpsPerBatch)
+				for len(ops) < cfg.OpsPerBatch {
+					// ADD-only update stream: target resolution against
+					// the sharded server is the front-end's job, and ADD
+					// keeps the dataset growing like live ingest.
+					ops = append(ops, changeplan.AddOp(initial[rng.Intn(len(initial))].Clone()))
+				}
+				res, err := srv.Update(ops)
+				if err != nil {
+					fail(err)
+					return
+				}
+				updateBatches++
+				opsApplied += res.Applied
+			}
+		}()
+	}
+
+	start := time.Now()
+	wg.Add(cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		go func() {
+			defer wg.Done()
+			local := make([]float64, 0, cfg.Queries/cfg.Clients+1)
+			for {
+				i := claim()
+				if i < 0 {
+					break
+				}
+				q := wl.Queries[i%len(wl.Queries)]
+				t0 := time.Now()
+				if _, err := srv.SubgraphQuery(q); err != nil {
+					fail(err)
+					break
+				}
+				local = append(local, time.Since(t0).Seconds())
+				if cfg.UpdateEvery > 0 && (i+1)%cfg.UpdateEvery == 0 {
+					select {
+					case updates <- struct{}{}:
+					default: // writer busy; skip rather than queue up
+					}
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	close(updates)
+	writerWG.Wait()
+	wall := time.Since(start)
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	st, err := srv.Stats()
+	if err != nil {
+		return nil, err
+	}
+	// Total Method M tests across shards, per front-end query.
+	totalTests := 0.0
+	for _, ss := range st.PerShard {
+		totalTests += ss.Metrics.SubIsoTests.Mean * float64(ss.Metrics.SubIsoTests.N)
+	}
+	res := &ThroughputResult{
+		Scale:         cfg.Scale.Name,
+		Workload:      cfg.Workload.Name,
+		Method:        cfg.Method,
+		Shards:        cfg.Shards,
+		Clients:       cfg.Clients,
+		EagerValidate: cfg.EagerValidate,
+		DisableCache:  cfg.DisableCache,
+		Seed:          cfg.Seed,
+		Queries:       len(latencies),
+		UpdateBatches: updateBatches,
+		OpsApplied:    opsApplied,
+		Epoch:         st.Epoch,
+		WallSeconds:   wall.Seconds(),
+		P50Millis:     stats.Percentile(latencies, 50) * 1000,
+		P95Millis:     stats.Percentile(latencies, 95) * 1000,
+		P99Millis:     stats.Percentile(latencies, 99) * 1000,
+		MeanMillis:    stats.Mean(latencies) * 1000,
+		HitRate:       st.HitRate,
+		LiveGraphs:    st.LiveGraphs,
+	}
+	if wall > 0 {
+		res.QPS = float64(len(latencies)) / wall.Seconds()
+	}
+	if len(latencies) > 0 {
+		res.SubIsoTests = totalTests / float64(len(latencies))
+	}
+	return res, nil
+}
+
+// WriteThroughputJSON emits the summary as indented JSON.
+func WriteThroughputJSON(w io.Writer, res *ThroughputResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -214,6 +214,46 @@ func (c *Cache) Counters() (admitted, evicted, purges, validates int64) {
 	return c.admitted, c.evicted, c.purges, c.validates
 }
 
+// Stats is a point-in-time snapshot of a cache's state and lifetime
+// counters. Serving front-ends report one Stats per shard-local cache
+// (the /stats endpoint of cmd/gcserve); all fields are plain values so
+// the snapshot serializes to JSON without exposing the live cache.
+type Stats struct {
+	// Entries is the number of admitted (post-window) entries.
+	Entries int `json:"entries"`
+	// Window is the number of entries waiting in the admission window.
+	Window int `json:"window"`
+	// Capacity is the configured maximum number of admitted entries.
+	Capacity int `json:"capacity"`
+	// Model is the consistency model ("CON" or "EVI").
+	Model string `json:"model"`
+	// Policy is the replacement policy name.
+	Policy string `json:"policy"`
+	// Admitted, Evicted, Purges and Validations are lifetime counters.
+	Admitted    int64 `json:"admitted"`
+	Evicted     int64 `json:"evicted"`
+	Purges      int64 `json:"purges"`
+	Validations int64 `json:"validations"`
+	// AppliedSeq is the dataset log sequence number the contents reflect.
+	AppliedSeq uint64 `json:"applied_seq"`
+}
+
+// Stats snapshots the cache state and lifetime counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Entries:     len(c.entries),
+		Window:      len(c.window),
+		Capacity:    c.cfg.Capacity,
+		Model:       c.cfg.Model.String(),
+		Policy:      string(c.cfg.Policy),
+		Admitted:    c.admitted,
+		Evicted:     c.evicted,
+		Purges:      c.purges,
+		Validations: c.validates,
+		AppliedSeq:  c.appliedSeq,
+	}
+}
+
 // RValues snapshots the R statistic of all admitted and windowed entries;
 // the HD policy derives its variability signal from this distribution.
 func (c *Cache) RValues() []float64 {

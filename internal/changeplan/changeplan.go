@@ -110,6 +110,74 @@ func MustGenerate(cfg Config) *Plan {
 	return p
 }
 
+// Op is one fully resolved dataset change operation: the operation type
+// plus its concrete target. It is the reusable currency between change
+// plans, the serving layer's update API (POST /update on gcserve) and
+// ad-hoc dataset manipulation — anything that needs to describe "one ADD
+// / DEL / UA / UR against specific targets" independent of how the
+// targets were chosen.
+type Op struct {
+	// Type is the operation type.
+	Type dataset.OpType
+	// Graph is the graph to insert; required for ADD, ignored otherwise.
+	Graph *graph.Graph
+	// GraphID is the target dataset graph for DEL/UA/UR.
+	GraphID int
+	// U, V are the edge endpoints for UA/UR.
+	U, V int
+}
+
+// AddOp describes an ADD of g.
+func AddOp(g *graph.Graph) Op { return Op{Type: dataset.OpAdd, Graph: g} }
+
+// DeleteOp describes a DEL of graph id.
+func DeleteOp(id int) Op { return Op{Type: dataset.OpDelete, GraphID: id} }
+
+// AddEdgeOp describes a UA adding {u,v} to graph id.
+func AddEdgeOp(id, u, v int) Op {
+	return Op{Type: dataset.OpUpdateAddEdge, GraphID: id, U: u, V: v}
+}
+
+// RemoveEdgeOp describes a UR removing {u,v} from graph id.
+func RemoveEdgeOp(id, u, v int) Op {
+	return Op{Type: dataset.OpUpdateRemoveEdge, GraphID: id, U: u, V: v}
+}
+
+// String renders the op in the paper's notation.
+func (op Op) String() string {
+	switch op.Type {
+	case dataset.OpAdd:
+		name := "?"
+		if op.Graph != nil {
+			name = op.Graph.Name()
+		}
+		return fmt.Sprintf("ADD(%s)", name)
+	case dataset.OpDelete:
+		return fmt.Sprintf("DEL(G%d)", op.GraphID)
+	case dataset.OpUpdateAddEdge:
+		return fmt.Sprintf("UA(G%d,{%d,%d})", op.GraphID, op.U, op.V)
+	case dataset.OpUpdateRemoveEdge:
+		return fmt.Sprintf("UR(G%d,{%d,%d})", op.GraphID, op.U, op.V)
+	}
+	return op.Type.String()
+}
+
+// Apply executes the op against ds. For ADD it returns the id assigned to
+// the new graph; for the other operations it returns op.GraphID.
+func (op Op) Apply(ds *dataset.Dataset) (int, error) {
+	switch op.Type {
+	case dataset.OpAdd:
+		return ds.Add(op.Graph)
+	case dataset.OpDelete:
+		return op.GraphID, ds.Delete(op.GraphID)
+	case dataset.OpUpdateAddEdge:
+		return op.GraphID, ds.UpdateAddEdge(op.GraphID, op.U, op.V)
+	case dataset.OpUpdateRemoveEdge:
+		return op.GraphID, ds.UpdateRemoveEdge(op.GraphID, op.U, op.V)
+	}
+	return 0, fmt.Errorf("changeplan: unknown op type %v", op.Type)
+}
+
 // Executor applies a plan against a dataset as a workload advances. It
 // resolves operation targets at application time with its own seeded RNG,
 // per the paper's running-time semantics.
@@ -158,63 +226,79 @@ func (e *Executor) ApplyDue(ds *dataset.Dataset, queryIndex int) int {
 	return n
 }
 
-// applyOne resolves and applies a single operation, retrying target
-// draws a bounded number of times.
+// applyOne resolves a single operation into an Op against the current
+// dataset and applies it, retrying target draws a bounded number of times.
 func (e *Executor) applyOne(ds *dataset.Dataset, op dataset.OpType) bool {
 	for tries := 0; tries < 32; tries++ {
-		switch op {
-		case dataset.OpAdd:
-			if len(e.initial) == 0 {
-				return false
-			}
-			g := e.initial[e.rng.Intn(len(e.initial))].Clone()
-			if _, err := ds.Add(g); err == nil {
-				return true
-			}
-		case dataset.OpDelete:
-			ids := ds.LiveIDs()
-			if len(ids) <= 1 {
-				return false // never drain the dataset
-			}
-			if ds.Delete(ids[e.rng.Intn(len(ids))]) == nil {
-				return true
-			}
-		case dataset.OpUpdateAddEdge:
-			ids := ds.LiveIDs()
-			if len(ids) == 0 {
-				return false
-			}
-			id := ids[e.rng.Intn(len(ids))]
-			g := ds.Graph(id)
-			n := g.NumVertices()
-			if n < 2 {
-				continue
-			}
-			u, v := e.rng.Intn(n), e.rng.Intn(n)
-			if u == v || g.HasEdge(u, v) {
-				continue
-			}
-			if ds.UpdateAddEdge(id, u, v) == nil {
-				return true
-			}
-		case dataset.OpUpdateRemoveEdge:
-			ids := ds.LiveIDs()
-			if len(ids) == 0 {
-				return false
-			}
-			id := ids[e.rng.Intn(len(ids))]
-			g := ds.Graph(id)
-			if g.NumEdges() == 0 {
-				continue
-			}
-			es := g.EdgeList()
-			ed := es[e.rng.Intn(len(es))]
-			if ds.UpdateRemoveEdge(id, int(ed.U), int(ed.V)) == nil {
-				return true
-			}
-		default:
+		resolved, status := e.resolve(ds, op)
+		switch status {
+		case resolveImpossible:
 			return false
+		case resolveRetry:
+			continue
+		}
+		if _, err := resolved.Apply(ds); err == nil {
+			return true
 		}
 	}
 	return false
+}
+
+type resolveStatus uint8
+
+const (
+	resolveOK resolveStatus = iota
+	// resolveRetry means this draw was unusable (e.g. the drawn edge
+	// already exists) but another draw may succeed.
+	resolveRetry
+	// resolveImpossible means no draw can succeed in the current state.
+	resolveImpossible
+)
+
+// resolve draws concrete targets for one operation type against the
+// up-to-date dataset, per the paper's running-time semantics.
+func (e *Executor) resolve(ds *dataset.Dataset, op dataset.OpType) (Op, resolveStatus) {
+	switch op {
+	case dataset.OpAdd:
+		if len(e.initial) == 0 {
+			return Op{}, resolveImpossible
+		}
+		return AddOp(e.initial[e.rng.Intn(len(e.initial))].Clone()), resolveOK
+	case dataset.OpDelete:
+		ids := ds.LiveIDs()
+		if len(ids) <= 1 {
+			return Op{}, resolveImpossible // never drain the dataset
+		}
+		return DeleteOp(ids[e.rng.Intn(len(ids))]), resolveOK
+	case dataset.OpUpdateAddEdge:
+		ids := ds.LiveIDs()
+		if len(ids) == 0 {
+			return Op{}, resolveImpossible
+		}
+		id := ids[e.rng.Intn(len(ids))]
+		g := ds.Graph(id)
+		n := g.NumVertices()
+		if n < 2 {
+			return Op{}, resolveRetry
+		}
+		u, v := e.rng.Intn(n), e.rng.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			return Op{}, resolveRetry
+		}
+		return AddEdgeOp(id, u, v), resolveOK
+	case dataset.OpUpdateRemoveEdge:
+		ids := ds.LiveIDs()
+		if len(ids) == 0 {
+			return Op{}, resolveImpossible
+		}
+		id := ids[e.rng.Intn(len(ids))]
+		g := ds.Graph(id)
+		if g.NumEdges() == 0 {
+			return Op{}, resolveRetry
+		}
+		es := g.EdgeList()
+		ed := es[e.rng.Intn(len(es))]
+		return RemoveEdgeOp(id, int(ed.U), int(ed.V)), resolveOK
+	}
+	return Op{}, resolveImpossible
 }

@@ -105,3 +105,73 @@ func (m *Metrics) MeanConsistency() time.Duration {
 
 // MeanSubIsoTests returns the mean number of sub-iso tests per query.
 func (m *Metrics) MeanSubIsoTests() float64 { return m.SubIsoTests.Mean() }
+
+// RunningSnapshot summarizes one Running accumulator with plain fields so
+// metrics serialize to JSON (stats.Running keeps its state unexported).
+type RunningSnapshot struct {
+	// N is the number of observations folded in.
+	N int64 `json:"n"`
+	// Mean and Std are the running mean and population standard
+	// deviation (seconds for the timing accumulators).
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+}
+
+func snap(r stats.Running) RunningSnapshot {
+	return RunningSnapshot{N: r.N(), Mean: r.Mean(), Std: r.Std()}
+}
+
+// MetricsSnapshot is a JSON-serializable view of Metrics; serving
+// front-ends expose one per runtime shard on their stats endpoint.
+type MetricsSnapshot struct {
+	Queries         int64 `json:"queries"`
+	MeasuredQueries int64 `json:"measured_queries"`
+
+	QueryTimeSec       RunningSnapshot `json:"query_time_sec"`
+	VerifyTimeSec      RunningSnapshot `json:"verify_time_sec"`
+	HitTimeSec         RunningSnapshot `json:"hit_time_sec"`
+	OverheadSec        RunningSnapshot `json:"overhead_sec"`
+	ConsistencyTimeSec RunningSnapshot `json:"consistency_time_sec"`
+	SubIsoTests        RunningSnapshot `json:"subiso_tests"`
+	TestsSaved         RunningSnapshot `json:"tests_saved"`
+
+	IsoHitQueries   int64 `json:"iso_hit_queries"`
+	ExactHits       int64 `json:"exact_hits"`
+	EmptyShortcuts  int64 `json:"empty_shortcuts"`
+	ContainingHits  int64 `json:"containing_hits"`
+	ContainedHits   int64 `json:"contained_hits"`
+	ZeroTestQueries int64 `json:"zero_test_queries"`
+}
+
+// Snapshot converts the metrics to their JSON-serializable form.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Queries:            m.Queries,
+		MeasuredQueries:    m.MeasuredQueries,
+		QueryTimeSec:       snap(m.QueryTime),
+		VerifyTimeSec:      snap(m.VerifyTime),
+		HitTimeSec:         snap(m.HitTime),
+		OverheadSec:        snap(m.Overhead),
+		ConsistencyTimeSec: snap(m.ConsistencyTime),
+		SubIsoTests:        snap(m.SubIsoTests),
+		TestsSaved:         snap(m.TestsSaved),
+		IsoHitQueries:      m.IsoHitQueries,
+		ExactHits:          m.ExactHits,
+		EmptyShortcuts:     m.EmptyShortcuts,
+		ContainingHits:     m.ContainingHits,
+		ContainedHits:      m.ContainedHits,
+		ZeroTestQueries:    m.ZeroTestQueries,
+	}
+}
+
+// HitRate returns the fraction of measured queries answered without a
+// single Method M sub-iso test (the §6.3 optimal cases plus fully pruned
+// candidate sets) — the serving layer's headline per-shard cache metric.
+// MeasuredQueries is the denominator because ZeroTestQueries, like every
+// aggregate, is cleared by ResetMeasurements while Queries is not.
+func (m *Metrics) HitRate() float64 {
+	if m.MeasuredQueries == 0 {
+		return 0
+	}
+	return float64(m.ZeroTestQueries) / float64(m.MeasuredQueries)
+}

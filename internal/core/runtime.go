@@ -330,6 +330,30 @@ func (r *Runtime) syncCache(st *QueryStats) {
 	r.cache.NoteValidation()
 }
 
+// Sync reconciles the cache with the dataset log outside the query path —
+// an EVI purge or a CON validation sweep, exactly as syncCache would run
+// it before the next query. Serving front-ends use it as the
+// update-application hook: calling Sync right after applying a dataset
+// operation moves the consistency work off the query's critical path (the
+// next query finds an already reconciled cache and spends ~zero
+// ConsistencyTime). It returns the time spent; the time is not folded
+// into the runtime metrics since no query triggered it. Like every
+// Runtime method, Sync must be externally serialized.
+func (r *Runtime) Sync() time.Duration {
+	var st QueryStats
+	r.syncCache(&st)
+	return st.ConsistencyTime
+}
+
+// CacheStats snapshots the cache state and lifetime counters (the zero
+// Stats when caching is disabled).
+func (r *Runtime) CacheStats() cache.Stats {
+	if r.cache == nil {
+		return cache.Stats{}
+	}
+	return r.cache.Stats()
+}
+
 // findHits runs the GC+sub and GC+super processors: it scans window and
 // cache for same-kind entries and classifies each as a direct hit (its
 // valid positives transfer to g) or a restrict hit (it bounds g's

@@ -48,6 +48,22 @@ func (t OpType) String() string {
 	return fmt.Sprintf("OpType(%d)", uint8(t))
 }
 
+// ParseOpType converts the paper's abbreviation ("ADD", "DEL", "UA",
+// "UR") back to an OpType; update APIs use it to decode wire requests.
+func ParseOpType(s string) (OpType, error) {
+	switch s {
+	case "ADD":
+		return OpAdd, nil
+	case "DEL":
+		return OpDelete, nil
+	case "UA":
+		return OpUpdateAddEdge, nil
+	case "UR":
+		return OpUpdateRemoveEdge, nil
+	}
+	return 0, fmt.Errorf("dataset: unknown op type %q (want ADD, DEL, UA or UR)", s)
+}
+
 // Record is one entry of the dataset update log.
 type Record struct {
 	// Seq is the 1-based log sequence number.

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"gcplus/internal/changeplan"
+	"gcplus/internal/dataset"
+	"gcplus/internal/graph"
+)
+
+// The HTTP API of cmd/gcserve:
+//
+//	POST /query?kind=sub|super   body: one graph in the text codec
+//	POST /update                 body: JSON update batch (see updateRequest)
+//	GET  /stats                  JSON server + per-shard statistics
+//
+// Queries run concurrently; update batches are serialized through the
+// single-writer path and reported with the epoch they produced.
+
+// Handler returns the HTTP API over the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// queryResponse is the wire form of a QueryResult.
+type queryResponse struct {
+	IDs            []int  `json:"ids"`
+	Count          int    `json:"count"`
+	Epoch          uint64 `json:"epoch"`
+	Kind           string `json:"kind"`
+	WallMicros     int64  `json:"wall_us"`
+	Candidates     int    `json:"candidates"`
+	SubIsoTests    int    `json:"subiso_tests"`
+	TestsSaved     int    `json:"tests_saved"`
+	ZeroTestShards int    `json:"zero_test_shards"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	kind := r.URL.Query().Get("kind")
+	if kind == "" {
+		kind = "sub"
+	}
+	if kind != "sub" && kind != "super" {
+		httpError(w, http.StatusBadRequest, "kind must be sub or super, got %q", kind)
+		return
+	}
+	graphs, err := graph.Parse(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad query graph: %v", err)
+		return
+	}
+	if len(graphs) != 1 {
+		httpError(w, http.StatusBadRequest, "want exactly one query graph, got %d", len(graphs))
+		return
+	}
+	var res *QueryResult
+	if kind == "sub" {
+		res, err = s.SubgraphQuery(graphs[0])
+	} else {
+		res, err = s.SupergraphQuery(graphs[0])
+	}
+	if err != nil {
+		httpError(w, statusOf(err), "query failed: %v", err)
+		return
+	}
+	ids := res.IDs
+	if ids == nil {
+		ids = []int{}
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		IDs:            ids,
+		Count:          len(ids),
+		Epoch:          res.Epoch,
+		Kind:           res.Kind,
+		WallMicros:     res.Wall.Microseconds(),
+		Candidates:     res.Candidates,
+		SubIsoTests:    res.SubIsoTests,
+		TestsSaved:     res.TestsSaved,
+		ZeroTestShards: res.ZeroTestShards,
+	})
+}
+
+// updateRequest is the wire form of an update batch.
+type updateRequest struct {
+	Ops []wireOp `json:"ops"`
+}
+
+// wireOp is one operation: {"op":"ADD","graph":"t g\nv 0 1\n..."} or
+// {"op":"DEL","id":3} or {"op":"UA","id":2,"u":0,"v":1} (UR likewise).
+// The targets are pointers so a missing field is rejected instead of
+// silently defaulting to graph 0 / vertex 0.
+type wireOp struct {
+	Op    string `json:"op"`
+	Graph string `json:"graph,omitempty"`
+	ID    *int   `json:"id,omitempty"`
+	U     *int   `json:"u,omitempty"`
+	V     *int   `json:"v,omitempty"`
+}
+
+// decode converts the wire op to a changeplan.Op.
+func (wo wireOp) decode() (changeplan.Op, error) {
+	t, err := dataset.ParseOpType(wo.Op)
+	if err != nil {
+		return changeplan.Op{}, err
+	}
+	op := changeplan.Op{Type: t}
+	if t == dataset.OpAdd {
+		gs, err := graph.Parse(strings.NewReader(wo.Graph))
+		if err != nil {
+			return changeplan.Op{}, fmt.Errorf("ADD graph: %w", err)
+		}
+		if len(gs) != 1 {
+			return changeplan.Op{}, fmt.Errorf("ADD wants exactly one graph, got %d", len(gs))
+		}
+		op.Graph = gs[0]
+		return op, nil
+	}
+	if wo.ID == nil {
+		return changeplan.Op{}, fmt.Errorf("%s requires \"id\"", wo.Op)
+	}
+	op.GraphID = *wo.ID
+	if t == dataset.OpUpdateAddEdge || t == dataset.OpUpdateRemoveEdge {
+		if wo.U == nil || wo.V == nil {
+			return changeplan.Op{}, fmt.Errorf("%s requires \"u\" and \"v\"", wo.Op)
+		}
+		op.U, op.V = *wo.U, *wo.V
+	}
+	return op, nil
+}
+
+// updateResponse is the wire form of an UpdateResult.
+type updateResponse struct {
+	Epoch   uint64         `json:"epoch"`
+	Applied int            `json:"applied"`
+	Ops     []wireOpResult `json:"ops"`
+}
+
+type wireOpResult struct {
+	ID    int    `json:"id"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad update request: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		httpError(w, http.StatusBadRequest, "empty update batch")
+		return
+	}
+	ops := make([]changeplan.Op, len(req.Ops))
+	for i, wo := range req.Ops {
+		op, err := wo.decode()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "op %d: %v", i, err)
+			return
+		}
+		ops[i] = op
+	}
+	res, err := s.Update(ops)
+	if err != nil {
+		httpError(w, statusOf(err), "update failed: %v", err)
+		return
+	}
+	out := updateResponse{Epoch: res.Epoch, Applied: res.Applied, Ops: make([]wireOpResult, len(res.Ops))}
+	for i, opRes := range res.Ops {
+		out.Ops[i].ID = opRes.ID
+		if opRes.Err != nil {
+			out.Ops[i].Error = opRes.Err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Stats()
+	if err != nil {
+		httpError(w, statusOf(err), "stats failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func statusOf(err error) int {
+	if err == ErrClosed {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

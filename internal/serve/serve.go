@@ -1,0 +1,544 @@
+// Package serve is GC+'s concurrent query-serving subsystem: a sharded,
+// thread-safe front-end over N independent core.Runtime shards, each
+// owning a partition of the dataset and its own GC+ cache.
+//
+// # Architecture
+//
+// A core.Runtime is deliberately single-threaded (the paper's evaluation
+// harness is single-streamed), so the available concurrency is shard-level
+// parallelism. The Server partitions the dataset round-robin over N
+// shards; each shard runs one worker goroutine — collectively the query
+// worker pool — that owns the shard's dataset, runtime and cache
+// exclusively and drains a FIFO job queue. A query fans out one job per
+// shard, the shards prune and verify their partitions in parallel
+// (per-shard CON validation runs exactly as in §5.2 against the shard's
+// own update log), and the front-end unions the per-shard answers after
+// translating shard-local graph ids back to global ids.
+//
+// # Epoch-sequenced consistency
+//
+// Dataset changes flow through a single-writer update path. An update
+// batch acquires the sequence lock exclusively, routes each operation to
+// the shard owning its target graph, enqueues the operations on the shard
+// workers, and advances the epoch — execution and result collection
+// happen after the lock is released. Queries likewise acquire the
+// sequence lock shared only while *enqueueing* their per-shard jobs
+// (snapshotting the epoch at that instant), not while executing. Because
+// enqueues are atomic under the lock and each shard worker drains its
+// queue in FIFO order, every shard observes a given query strictly before
+// or strictly after a given update batch — the same side on every shard.
+// Hence each query sees one consistent dataset version: exactly the
+// batches with epoch ≤ its snapshot, never a torn mid-batch state, and
+// the per-shard GC+ caches reconcile (Algorithms 1+2, or an EVI purge)
+// against precisely that version before pruning. Theorems 3 and 6 then
+// apply per shard, and the union over a partition preserves them, so
+// concurrent serving keeps the paper's no-false-positives /
+// no-false-negatives guarantee.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gcplus/internal/cache"
+	"gcplus/internal/changeplan"
+	"gcplus/internal/core"
+	"gcplus/internal/dataset"
+	"gcplus/internal/graph"
+	"gcplus/internal/subiso"
+)
+
+// ErrClosed is returned by operations on a closed Server.
+var ErrClosed = errors.New("serve: server is closed")
+
+// Options configures a Server. The zero value gives 4 shards with the
+// paper-default CON cache (capacity 100, window 20, HD policy) and VF2.
+type Options struct {
+	// Shards is the number of runtime shards (default 4).
+	Shards int
+	// Method names Method M's sub-iso verifier: "VF2" (default), "VF2+",
+	// "GQL". Each shard gets its own verifier instance.
+	Method string
+	// Cache configures each shard's GC+ cache. Nil means the default CON
+	// cache; use DisableCache for the raw Method M baseline.
+	Cache *cache.Config
+	// DisableCache turns GC+ caching off on every shard.
+	DisableCache bool
+	// EagerValidate runs cache reconciliation (CON validation or EVI
+	// purge) on each shard as part of applying an update, instead of
+	// lazily before the shard's next query. This moves the consistency
+	// cost from the query path to the update path — the serving-friendly
+	// trade — at the price of validating even if no query arrives.
+	EagerValidate bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.Method == "" {
+		o.Method = "VF2"
+	}
+	if o.Cache == nil && !o.DisableCache {
+		o.Cache = &cache.Config{}
+	}
+	return o
+}
+
+// location addresses one global graph id inside the shard space.
+type location struct {
+	shard int32
+	local int32
+}
+
+// Server is the sharded front-end. All exported methods are safe for
+// concurrent use.
+type Server struct {
+	opts   Options
+	shards []*shard
+
+	// seqMu orders job enqueues: queries enqueue under RLock, update
+	// batches apply under Lock. This is the epoch sequencer — see the
+	// package comment for why enqueue-order atomicity plus per-shard FIFO
+	// queues yield per-query dataset-version consistency.
+	seqMu  sync.RWMutex
+	epoch  uint64
+	closed bool
+
+	// writerMu serializes the single-writer update path end to end
+	// (target resolution + application + id-map maintenance).
+	writerMu sync.Mutex
+	// loc maps global graph id -> owning shard and shard-local id; only
+	// the update path reads or grows it.
+	loc []location
+	// nextAdd round-robins ADD placement across shards.
+	nextAdd int
+}
+
+// New builds a Server over the initial dataset graphs, which receive
+// global ids 0..len(initial)-1 and are partitioned round-robin across the
+// shards. The graphs are treated as immutable and owned by the Server.
+func New(initial []*graph.Graph, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		shards:  make([]*shard, opts.Shards),
+		loc:     make([]location, len(initial)),
+		nextAdd: len(initial),
+	}
+	parts := make([][]*graph.Graph, opts.Shards)
+	gids := make([][]int, opts.Shards)
+	for gid, g := range initial {
+		if g == nil {
+			return nil, fmt.Errorf("serve: initial graph %d is nil", gid)
+		}
+		sid := gid % opts.Shards
+		s.loc[gid] = location{shard: int32(sid), local: int32(len(parts[sid]))}
+		parts[sid] = append(parts[sid], g)
+		gids[sid] = append(gids[sid], gid)
+	}
+	for i := range s.shards {
+		algo, err := subiso.New(opts.Method)
+		if err != nil {
+			return nil, err
+		}
+		coreOpts := core.Options{Algorithm: algo}
+		if !opts.DisableCache {
+			cfg := *opts.Cache
+			coreOpts.Cache = &cfg
+		}
+		sh, err := newShard(i, parts[i], gids[i], coreOpts)
+		if err != nil {
+			s.stopShards()
+			return nil, err
+		}
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+func (s *Server) stopShards() {
+	for _, sh := range s.shards {
+		if sh != nil {
+			sh.stop()
+		}
+	}
+}
+
+// Close shuts the shard workers down. Queries and updates issued after
+// Close return ErrClosed; Close waits for in-flight jobs to drain.
+func (s *Server) Close() {
+	s.seqMu.Lock()
+	if s.closed {
+		s.seqMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.seqMu.Unlock()
+	s.stopShards()
+}
+
+// Shards returns the number of runtime shards.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// Epoch returns the current dataset version (the number of update batches
+// applied so far).
+func (s *Server) Epoch() uint64 {
+	s.seqMu.RLock()
+	defer s.seqMu.RUnlock()
+	return s.epoch
+}
+
+// QueryResult is one query's outcome: the merged answer over all shards
+// plus the dataset version it reflects and aggregated execution stats.
+type QueryResult struct {
+	// IDs is the answer set as ascending global dataset graph ids.
+	IDs []int `json:"ids"`
+	// Epoch is the dataset version the answer reflects: the query
+	// observed exactly the update batches 1..Epoch.
+	Epoch uint64 `json:"epoch"`
+	// Kind is "sub" or "super".
+	Kind string `json:"kind"`
+	// Wall is the end-to-end front-end latency.
+	Wall time.Duration `json:"wall_ns"`
+	// Candidates sums |CS_M| over shards (the live dataset size).
+	Candidates int `json:"candidates"`
+	// SubIsoTests sums the Method M tests executed across shards.
+	SubIsoTests int `json:"subiso_tests"`
+	// TestsSaved sums the spared tests across shards.
+	TestsSaved int `json:"tests_saved"`
+	// ZeroTestShards counts shards that answered without any sub-iso
+	// test (§6.3 optimal cases or a fully pruned candidate set).
+	ZeroTestShards int `json:"zero_test_shards"`
+	// PerShard holds the raw per-shard execution stats, shard order.
+	PerShard []core.QueryStats `json:"-"`
+}
+
+// SubgraphQuery answers "which live dataset graphs contain q?" across all
+// shards.
+func (s *Server) SubgraphQuery(q *graph.Graph) (*QueryResult, error) {
+	return s.query(q, cache.KindSub)
+}
+
+// SupergraphQuery answers "which live dataset graphs are contained in q?"
+// across all shards.
+func (s *Server) SupergraphQuery(q *graph.Graph) (*QueryResult, error) {
+	return s.query(q, cache.KindSuper)
+}
+
+func (s *Server) query(q *graph.Graph, kind cache.Kind) (*QueryResult, error) {
+	if q == nil {
+		return nil, errors.New("serve: nil query graph")
+	}
+	start := time.Now()
+	type shardAnswer struct {
+		ids []int
+		st  core.QueryStats
+		err error
+	}
+	answers := make([]shardAnswer, len(s.shards))
+	var wg sync.WaitGroup
+
+	// Enqueue one job per shard atomically w.r.t. update batches; the
+	// epoch read here is exactly the dataset version every shard will
+	// answer at (FIFO queues — see package comment).
+	s.seqMu.RLock()
+	if s.closed {
+		s.seqMu.RUnlock()
+		return nil, ErrClosed
+	}
+	epoch := s.epoch
+	wg.Add(len(s.shards))
+	for i, sh := range s.shards {
+		sh.jobs <- func() {
+			defer wg.Done()
+			var res *core.Result
+			var err error
+			if kind == cache.KindSub {
+				res, err = sh.rt.SubgraphQuery(q)
+			} else {
+				res, err = sh.rt.SupergraphQuery(q)
+			}
+			if err != nil {
+				answers[i].err = err
+				return
+			}
+			locals := res.AnswerIDs()
+			ids := make([]int, len(locals))
+			for j, l := range locals {
+				ids[j] = sh.localToGlobal[l]
+			}
+			answers[i] = shardAnswer{ids: ids, st: res.Stats}
+		}
+	}
+	s.seqMu.RUnlock()
+	wg.Wait()
+
+	out := &QueryResult{Epoch: epoch, Kind: kind.String(), PerShard: make([]core.QueryStats, len(s.shards))}
+	total := 0
+	for _, a := range answers {
+		if a.err != nil {
+			return nil, a.err
+		}
+		total += len(a.ids)
+	}
+	lists := make([][]int, 0, len(answers))
+	for i, a := range answers {
+		lists = append(lists, a.ids)
+		out.PerShard[i] = a.st
+		out.Candidates += a.st.CandidatesBefore
+		out.SubIsoTests += a.st.SubIsoTests
+		out.TestsSaved += a.st.TestsSaved
+		if a.st.SubIsoTests == 0 {
+			out.ZeroTestShards++
+		}
+	}
+	out.IDs = mergeSorted(lists, total)
+	out.Wall = time.Since(start)
+	return out, nil
+}
+
+// OpResult is the outcome of one operation within an update batch.
+type OpResult struct {
+	// ID is the global graph id: the id assigned by ADD, or the target
+	// id of DEL/UA/UR. It is -1 when the op failed.
+	ID int `json:"id"`
+	// Err is the per-op failure, nil on success.
+	Err error `json:"-"`
+}
+
+// UpdateResult summarizes one update batch.
+type UpdateResult struct {
+	// Epoch is the dataset version after the batch; queries reporting an
+	// epoch ≥ this observe every operation of the batch.
+	Epoch uint64 `json:"epoch"`
+	// Applied counts the operations that succeeded.
+	Applied int `json:"applied"`
+	// Ops holds one result per input operation, in order.
+	Ops []OpResult `json:"ops"`
+}
+
+// Update applies a batch of dataset change operations through the
+// single-writer path and advances the epoch once for the whole batch.
+// Concurrent queries observe either none or all of the batch. Individual
+// operations may fail (e.g. DEL of an already deleted graph) without
+// aborting the batch; inspect the per-op results. The returned error is
+// non-nil only when the server is closed or the batch is empty.
+//
+// The sequence lock is held only while *enqueueing* the batch's shard
+// jobs: routing (including the local id an ADD will receive) is decided
+// writer-side, so nothing needs a job result before the next op can be
+// routed, and queries resume enqueueing while the batch executes —
+// FIFO order alone guarantees they observe all of it.
+func (s *Server) Update(ops []changeplan.Op) (*UpdateResult, error) {
+	if len(ops) == 0 {
+		return nil, errors.New("serve: empty update batch")
+	}
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+
+	s.seqMu.Lock()
+	if s.closed {
+		s.seqMu.Unlock()
+		return nil, ErrClosed
+	}
+	touched := make(map[*shard]bool)
+	pending := make([]<-chan OpResult, len(ops))
+	for i, op := range ops {
+		pending[i] = s.enqueueOp(op, touched)
+	}
+	if s.opts.EagerValidate {
+		// One reconciliation sweep per touched shard covers the whole
+		// batch: Sync processes the shard's log suffix in one pass, and
+		// FIFO order places it before any query enqueued after us.
+		for sh := range touched {
+			sh.jobs <- func() { sh.rt.Sync() }
+		}
+	}
+	s.epoch++
+	epoch := s.epoch
+	s.seqMu.Unlock()
+
+	res := &UpdateResult{Epoch: epoch, Ops: make([]OpResult, len(ops))}
+	for i, ch := range pending {
+		res.Ops[i] = <-ch
+		if res.Ops[i].Err == nil {
+			res.Applied++
+		}
+	}
+	return res, nil
+}
+
+// enqueueOp routes one operation to the shard owning its target graph
+// and enqueues its application, returning a channel that delivers the
+// result once the shard worker has run it. Routing failures resolve
+// immediately. Called with writerMu and seqMu held; the id bookkeeping
+// (loc, nextLocal) is updated here, at enqueue time, so later ops in the
+// same batch can target a graph an earlier op is about to add.
+func (s *Server) enqueueOp(op changeplan.Op, touched map[*shard]bool) <-chan OpResult {
+	out := make(chan OpResult, 1)
+	fail := func(err error) <-chan OpResult {
+		out <- OpResult{ID: -1, Err: err}
+		return out
+	}
+	switch op.Type {
+	case dataset.OpAdd:
+		if op.Graph == nil {
+			return fail(errors.New("serve: ADD with nil graph"))
+		}
+		sh := s.shards[s.nextAdd%len(s.shards)]
+		s.nextAdd++
+		gid := len(s.loc)
+		s.loc = append(s.loc, location{shard: int32(sh.id), local: int32(sh.nextLocal)})
+		sh.nextLocal++
+		touched[sh] = true
+		g := op.Graph
+		sh.jobs <- func() {
+			local, err := sh.ds.Add(g)
+			if err == nil && local != len(sh.localToGlobal) {
+				// Cannot happen while all ADDs flow through this path;
+				// fail loudly rather than corrupt the id translation.
+				err = fmt.Errorf("serve: shard %d local id %d out of step (want %d)",
+					sh.id, local, len(sh.localToGlobal))
+			}
+			if err != nil {
+				out <- OpResult{ID: -1, Err: err}
+				return
+			}
+			sh.localToGlobal = append(sh.localToGlobal, gid)
+			out <- OpResult{ID: gid}
+		}
+		return out
+	case dataset.OpDelete, dataset.OpUpdateAddEdge, dataset.OpUpdateRemoveEdge:
+		gid := op.GraphID
+		if gid < 0 || gid >= len(s.loc) {
+			return fail(fmt.Errorf("serve: graph id %d out of range [0,%d)", gid, len(s.loc)))
+		}
+		l := s.loc[gid]
+		sh := s.shards[l.shard]
+		local := int(l.local)
+		touched[sh] = true
+		sh.jobs <- func() {
+			var err error
+			switch op.Type {
+			case dataset.OpDelete:
+				err = sh.ds.Delete(local)
+			case dataset.OpUpdateAddEdge:
+				err = sh.ds.UpdateAddEdge(local, op.U, op.V)
+			default:
+				err = sh.ds.UpdateRemoveEdge(local, op.U, op.V)
+			}
+			if err != nil {
+				// Shard errors speak in shard-local ids; re-anchor them
+				// to the global id the caller used.
+				out <- OpResult{ID: -1, Err: fmt.Errorf("serve: %s on graph %d (shard %d, local %d): %w",
+					op.Type, gid, sh.id, local, err)}
+				return
+			}
+			out <- OpResult{ID: gid}
+		}
+		return out
+	}
+	return fail(fmt.Errorf("serve: unknown op type %v", op.Type))
+}
+
+// ShardStats reports one shard's state on the stats endpoint.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// LiveGraphs is the shard partition's live dataset size.
+	LiveGraphs int `json:"live_graphs"`
+	// LogSeq is the shard dataset's latest update-log sequence number.
+	LogSeq uint64 `json:"log_seq"`
+	// HitRate is the fraction of shard queries answered with zero
+	// Method M sub-iso tests.
+	HitRate float64 `json:"hit_rate"`
+	// Metrics is the shard runtime's aggregate query statistics.
+	Metrics core.MetricsSnapshot `json:"metrics"`
+	// Cache is the shard cache's state snapshot (zero when disabled).
+	Cache cache.Stats `json:"cache"`
+}
+
+// Stats is the server-wide statistics snapshot.
+type Stats struct {
+	// Epoch is the current dataset version.
+	Epoch uint64 `json:"epoch"`
+	// Shards is the shard count.
+	Shards int `json:"shards"`
+	// LiveGraphs is the live dataset size across shards.
+	LiveGraphs int `json:"live_graphs"`
+	// Queries is the number of queries served: the maximum per-shard
+	// query count (every query touches every shard once, so the counts
+	// agree up to queries in flight during the snapshot).
+	Queries int64 `json:"queries"`
+	// HitRate is the mean per-shard zero-test rate.
+	HitRate float64 `json:"hit_rate"`
+	// PerShard holds the shard breakdown.
+	PerShard []ShardStats `json:"per_shard"`
+}
+
+// Stats snapshots server-wide and per-shard statistics. The snapshot is
+// epoch-consistent with concurrently running updates, like a query.
+func (s *Server) Stats() (*Stats, error) {
+	per := make([]ShardStats, len(s.shards))
+	var wg sync.WaitGroup
+
+	s.seqMu.RLock()
+	if s.closed {
+		s.seqMu.RUnlock()
+		return nil, ErrClosed
+	}
+	epoch := s.epoch
+	wg.Add(len(s.shards))
+	for i, sh := range s.shards {
+		sh.jobs <- func() {
+			defer wg.Done()
+			m := sh.rt.Metrics()
+			per[i] = ShardStats{
+				Shard:      sh.id,
+				LiveGraphs: sh.ds.LiveCount(),
+				LogSeq:     sh.ds.Seq(),
+				HitRate:    m.HitRate(),
+				Metrics:    m.Snapshot(),
+				Cache:      sh.rt.CacheStats(),
+			}
+		}
+	}
+	s.seqMu.RUnlock()
+	wg.Wait()
+
+	out := &Stats{Epoch: epoch, Shards: len(s.shards), PerShard: per}
+	for _, ss := range per {
+		out.LiveGraphs += ss.LiveGraphs
+		out.HitRate += ss.HitRate
+		if ss.Metrics.Queries > out.Queries {
+			out.Queries = ss.Metrics.Queries
+		}
+	}
+	if len(per) > 0 {
+		out.HitRate /= float64(len(per))
+	}
+	return out, nil
+}
+
+// mergeSorted k-way merges the per-shard answer lists. Each list is
+// already ascending: shard-local ids are assigned in global-id order
+// (round-robin initial partition, then round-robin ADDs), so the local →
+// global translation is monotone.
+func mergeSorted(lists [][]int, total int) []int {
+	out := make([]int, 0, total)
+	pos := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for i, l := range lists {
+			if pos[i] < len(l) && (best < 0 || l[pos[i]] < lists[best][pos[best]]) {
+				best = i
+			}
+		}
+		out = append(out, lists[best][pos[best]])
+		pos[best]++
+	}
+	return out
+}

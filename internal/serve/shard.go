@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"gcplus/internal/core"
+	"gcplus/internal/dataset"
+	"gcplus/internal/graph"
+)
+
+// jobQueueDepth bounds how many jobs can wait per shard before enqueue
+// blocks. Enqueues happen under the sequence lock, so a deep queue keeps
+// bursts from serializing front-end callers on a single slow shard.
+const jobQueueDepth = 128
+
+// shard owns one partition of the dataset: its own dataset.Dataset (with
+// its own update log for §5.2 CON validation), core.Runtime and GC+
+// cache. A single worker goroutine — this shard's member of the query
+// worker pool — executes every job touching the shard state, which is
+// what makes the not-thread-safe runtime safe to serve from: all access
+// is funnelled through the FIFO jobs queue.
+type shard struct {
+	id   int
+	ds   *dataset.Dataset
+	rt   *core.Runtime
+	jobs chan func()
+	done chan struct{}
+
+	// localToGlobal translates shard-local graph ids to global ids. It
+	// is appended to by ADD jobs and read by query jobs — both run on
+	// the worker goroutine, so no locking is needed.
+	localToGlobal []int
+
+	// nextLocal predicts the local id the next ADD will receive. It is
+	// writer-path state (guarded by Server.seqMu exclusive): the update
+	// router needs the mapping before the shard job has run, so later
+	// ops in the same batch can target a graph added earlier in it.
+	nextLocal int
+}
+
+// newShard builds a shard over its partition. gids lists the global ids
+// of the partition graphs in local-id order.
+func newShard(id int, part []*graph.Graph, gids []int, opts core.Options) (*shard, error) {
+	ds := dataset.New(part)
+	rt, err := core.NewRuntime(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	sh := &shard{
+		id:            id,
+		ds:            ds,
+		rt:            rt,
+		jobs:          make(chan func(), jobQueueDepth),
+		done:          make(chan struct{}),
+		localToGlobal: gids,
+		nextLocal:     len(part),
+	}
+	go sh.loop()
+	return sh, nil
+}
+
+// loop is the worker goroutine: drain jobs in FIFO order until stopped.
+func (sh *shard) loop() {
+	defer close(sh.done)
+	for job := range sh.jobs {
+		job()
+	}
+}
+
+// stop closes the job queue and waits for the worker to drain it.
+func (sh *shard) stop() {
+	close(sh.jobs)
+	<-sh.done
+}
