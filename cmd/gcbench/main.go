@@ -47,6 +47,7 @@ func main() {
 		updateEvery = flag.Int("update-every", 50, "throughput: apply an update batch every N queries (0 disables)")
 		eager       = flag.Bool("eager", false, "throughput: validate shard caches at update time")
 		nocache     = flag.Bool("nocache", false, "throughput: serve through raw Method M")
+		verifyPar   = flag.Int("verify-parallelism", 0, "throughput: per-shard intra-query verification workers (0 = auto: GOMAXPROCS/shards, 1 = sequential)")
 	)
 	flag.Parse()
 	if *figure == "" && !*insights && *ablation == "" && !*throughput {
@@ -79,16 +80,17 @@ func main() {
 			spec = specs[0]
 		}
 		res, err := bench.RunThroughput(bench.ThroughputConfig{
-			Scale:         sc,
-			Workload:      spec,
-			Method:        methodList[0],
-			Shards:        *shards,
-			Clients:       *clients,
-			Queries:       *tpQueries,
-			UpdateEvery:   *updateEvery,
-			EagerValidate: *eager,
-			DisableCache:  *nocache,
-			Seed:          *seed,
+			Scale:             sc,
+			Workload:          spec,
+			Method:            methodList[0],
+			Shards:            *shards,
+			Clients:           *clients,
+			Queries:           *tpQueries,
+			UpdateEvery:       *updateEvery,
+			EagerValidate:     *eager,
+			DisableCache:      *nocache,
+			VerifyParallelism: *verifyPar,
+			Seed:              *seed,
 		}, progress)
 		if err != nil {
 			fatal(err)

@@ -49,6 +49,7 @@ func main() {
 		window    = flag.Int("window", 20, "per-shard admission window size")
 		nocache   = flag.Bool("nocache", false, "disable GC+ caching (raw Method M baseline)")
 		eager     = flag.Bool("eager", false, "validate caches at update time instead of lazily at query time")
+		verifyPar = flag.Int("verify-parallelism", 0, "per-shard intra-query verification workers (0 = auto: GOMAXPROCS/shards, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 	opts.CacheSize = *cacheCap
 	opts.WindowSize = *window
 	opts.DisableCache = *nocache
+	opts.VerifyParallelism = *verifyPar
 	if opts.Model, err = cache.ParseModel(*modelName); err != nil {
 		log.Fatal("gcserve: ", err)
 	}

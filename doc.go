@@ -39,6 +39,21 @@
 // the examples directory for runnable scenarios and cmd/gcbench for the
 // harness regenerating the paper's evaluation figures.
 //
+// # Compiled verification
+//
+// The sub-iso tests that survive GC+ pruning run through a compiled
+// matcher engine: the query is compiled once per verification loop
+// (visit order, anchors, structural summary, neighbourhood profiles)
+// and each candidate test reuses pooled scratch, allocating nothing in
+// steady state. Every dataset graph carries a memoized structural
+// summary (sorted label counts, degree sequence, per-vertex neighbour
+// profiles) computed at insert/update time, making the per-candidate
+// quick-reject a map-free slice comparison. The surviving candidates
+// can additionally be verified by a bounded worker pool inside one
+// query — Options.VerifyParallelism, default GOMAXPROCS — with answers
+// bit-identical to sequential verification (checked by a randomized
+// -race stress test).
+//
 // # Concurrent serving
 //
 // A System is single-threaded by design; for serving concurrent traffic

@@ -96,6 +96,11 @@ type Options struct {
 	// DisableCache turns GC+ off entirely, leaving the raw Method M
 	// (every live graph verified per query). Useful for baselines.
 	DisableCache bool
+	// VerifyParallelism bounds the intra-query verification worker pool:
+	// after GC+ pruning, the surviving candidates are verified by up to
+	// this many workers, each with its own compiled-matcher scratch.
+	// 0 means GOMAXPROCS; 1 keeps verification sequential.
+	VerifyParallelism int
 }
 
 // System is a GC+ instance: an evolving dataset plus the semantic cache
@@ -117,7 +122,7 @@ func Open(initial []*Graph, opts Options) (*System, error) {
 		return nil, err
 	}
 	ds := dataset.New(initial)
-	coreOpts := core.Options{Algorithm: algo}
+	coreOpts := core.Options{Algorithm: algo, VerifyParallelism: opts.VerifyParallelism}
 	if !opts.DisableCache {
 		coreOpts.Cache = &cache.Config{
 			Capacity:   opts.CacheSize,
@@ -229,7 +234,10 @@ func (s *System) CacheEntries() []CacheEntryInfo {
 }
 
 // ServeOptions configures a Server. The embedded Options configure each
-// shard's runtime exactly like a single-threaded System.
+// shard's runtime exactly like a single-threaded System, with one twist:
+// a zero VerifyParallelism here means GOMAXPROCS divided by the shard
+// count (min 1), so shard-level and intra-query fan-out together stay
+// near the core count instead of oversubscribing it.
 type ServeOptions struct {
 	Options
 	// Shards is the number of runtime shards; each owns a partition of
@@ -283,10 +291,11 @@ type Server struct {
 // round-robin across the shards.
 func NewServer(initial []*Graph, opts ServeOptions) (*Server, error) {
 	srvOpts := serve.Options{
-		Shards:        opts.Shards,
-		Method:        opts.Method,
-		DisableCache:  opts.DisableCache,
-		EagerValidate: opts.EagerValidate,
+		Shards:            opts.Shards,
+		Method:            opts.Method,
+		DisableCache:      opts.DisableCache,
+		EagerValidate:     opts.EagerValidate,
+		VerifyParallelism: opts.VerifyParallelism,
 	}
 	if !opts.DisableCache {
 		srvOpts.Cache = &cache.Config{

@@ -110,8 +110,12 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	exec := changeplan.NewExecutor(plan, initial, cfg.Seed+3)
 
-	// System under test.
-	opts := core.Options{Algorithm: algo}
+	// System under test. Verification stays sequential here: the figure,
+	// insight and ablation experiments reproduce the paper's
+	// single-streamed per-query timings, which must not depend on the
+	// host's core count (the throughput mode is where parallel
+	// verification is measured).
+	opts := core.Options{Algorithm: algo, VerifyParallelism: 1}
 	if cfg.System != SystemM {
 		capacity := cfg.Scale.CacheCapacity
 		if cfg.CacheCapacity > 0 {

@@ -41,6 +41,9 @@ type ThroughputConfig struct {
 	EagerValidate bool
 	// DisableCache serves through raw Method M (baseline).
 	DisableCache bool
+	// VerifyParallelism bounds each shard's intra-query verification
+	// worker pool (0 = auto: GOMAXPROCS/shards min 1, 1 = sequential).
+	VerifyParallelism int
 	// Seed drives dataset, workload and update generation.
 	Seed int64
 }
@@ -76,6 +79,7 @@ type ThroughputResult struct {
 	Clients       int     `json:"clients"`
 	EagerValidate bool    `json:"eager_validate"`
 	DisableCache  bool    `json:"disable_cache"`
+	VerifyPar     int     `json:"verify_parallelism"`
 	Seed          int64   `json:"seed"`
 	Queries       int     `json:"queries"`
 	UpdateBatches int     `json:"update_batches"`
@@ -106,10 +110,11 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 	}
 
 	srvOpts := serve.Options{
-		Shards:        cfg.Shards,
-		Method:        cfg.Method,
-		DisableCache:  cfg.DisableCache,
-		EagerValidate: cfg.EagerValidate,
+		Shards:            cfg.Shards,
+		Method:            cfg.Method,
+		DisableCache:      cfg.DisableCache,
+		EagerValidate:     cfg.EagerValidate,
+		VerifyParallelism: cfg.VerifyParallelism,
 	}
 	if !cfg.DisableCache {
 		srvOpts.Cache = &cache.Config{
@@ -238,6 +243,10 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		Clients:       cfg.Clients,
 		EagerValidate: cfg.EagerValidate,
 		DisableCache:  cfg.DisableCache,
+		// Record the resolved worker count, not the raw config: the auto
+		// default (0) is machine-dependent, and trajectory entries must
+		// say what actually ran.
+		VerifyPar:     serve.ResolveVerifyParallelism(cfg.VerifyParallelism, cfg.Shards),
 		Seed:          cfg.Seed,
 		Queries:       len(latencies),
 		UpdateBatches: updateBatches,

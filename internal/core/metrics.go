@@ -18,8 +18,12 @@ type Metrics struct {
 
 	// QueryTime aggregates per-query processing time (seconds).
 	QueryTime stats.Running
-	// VerifyTime aggregates the Method M share of processing time.
+	// VerifyTime aggregates the Method M share of processing time (wall
+	// clock of the possibly parallel verification loop).
 	VerifyTime stats.Running
+	// VerifyCPU aggregates the verification workers' summed busy time per
+	// query; VerifyCPU/VerifyTime is the realized intra-query speedup.
+	VerifyCPU stats.Running
 	// HitTime aggregates hit-discovery time.
 	HitTime stats.Running
 	// Overhead aggregates cache-maintenance time per query.
@@ -55,6 +59,7 @@ func (m *Metrics) fold(st *QueryStats) {
 	m.MeasuredQueries++
 	m.QueryTime.AddDuration(st.QueryTime)
 	m.VerifyTime.AddDuration(st.VerifyTime)
+	m.VerifyCPU.AddDuration(st.VerifyCPUTime)
 	m.HitTime.AddDuration(st.HitTime)
 	m.Overhead.AddDuration(st.Overhead)
 	m.ConsistencyTime.AddDuration(st.ConsistencyTime)
@@ -129,6 +134,7 @@ type MetricsSnapshot struct {
 
 	QueryTimeSec       RunningSnapshot `json:"query_time_sec"`
 	VerifyTimeSec      RunningSnapshot `json:"verify_time_sec"`
+	VerifyCPUSec       RunningSnapshot `json:"verify_cpu_sec"`
 	HitTimeSec         RunningSnapshot `json:"hit_time_sec"`
 	OverheadSec        RunningSnapshot `json:"overhead_sec"`
 	ConsistencyTimeSec RunningSnapshot `json:"consistency_time_sec"`
@@ -150,6 +156,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		MeasuredQueries:    m.MeasuredQueries,
 		QueryTimeSec:       snap(m.QueryTime),
 		VerifyTimeSec:      snap(m.VerifyTime),
+		VerifyCPUSec:       snap(m.VerifyCPU),
 		HitTimeSec:         snap(m.HitTime),
 		OverheadSec:        snap(m.Overhead),
 		ConsistencyTimeSec: snap(m.ConsistencyTime),

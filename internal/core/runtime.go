@@ -18,6 +18,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"gcplus/internal/bitset"
@@ -41,17 +43,27 @@ type Options struct {
 	// Cache configures the graph cache. Nil disables caching entirely,
 	// yielding the pure Method M baseline of the evaluation.
 	Cache *cache.Config
+	// VerifyParallelism bounds the worker pool that verifies the pruned
+	// candidate set within one query: candidates are split into chunks
+	// tested concurrently, each worker with its own compiled-matcher
+	// scratch, and the per-worker answer bitsets are merged. 0 (the
+	// default) means GOMAXPROCS; 1 keeps verification sequential.
+	VerifyParallelism int
 }
 
 // Runtime executes subgraph/supergraph queries against a dataset,
 // optionally through the GC+ cache. It is not safe for concurrent use;
 // callers own serialization (the evaluation harness is single-streamed,
-// like the paper's query workloads).
+// like the paper's query workloads). Internally, though, one query may
+// fan its verification loop out to VerifyParallelism workers — the
+// dataset snapshot and graph values are immutable, so the only shared
+// mutable state is the per-worker answer bitsets, merged after the join.
 type Runtime struct {
-	ds      *dataset.Dataset
-	algo    subiso.Algorithm
-	hitAlgo subiso.Algorithm
-	cache   *cache.Cache // nil when caching is disabled
+	ds        *dataset.Dataset
+	algo      subiso.Algorithm
+	hitAlgo   subiso.Algorithm
+	cache     *cache.Cache // nil when caching is disabled
+	verifyPar int          // resolved VerifyParallelism (>= 1)
 
 	// avgTestCost tracks the observed mean cost of one Method M sub-iso
 	// test; it seeds cost estimates for entries admitted with zero tests.
@@ -69,12 +81,16 @@ func NewRuntime(ds *dataset.Dataset, opts Options) (*Runtime, error) {
 		return nil, errors.New("core: Options.Algorithm is required")
 	}
 	r := &Runtime{
-		ds:      ds,
-		algo:    opts.Algorithm,
-		hitAlgo: opts.HitAlgorithm,
+		ds:        ds,
+		algo:      opts.Algorithm,
+		hitAlgo:   opts.HitAlgorithm,
+		verifyPar: opts.VerifyParallelism,
 	}
 	if r.hitAlgo == nil {
 		r.hitAlgo = subiso.VF2Plus{}
+	}
+	if r.verifyPar <= 0 {
+		r.verifyPar = runtime.GOMAXPROCS(0)
 	}
 	if opts.Cache != nil {
 		r.cache = cache.New(*opts.Cache)
@@ -137,8 +153,16 @@ type QueryStats struct {
 	EmptyShortcut bool
 	// QueryTime is the end-to-end processing time excluding Overhead.
 	QueryTime time.Duration
-	// VerifyTime is the Method M portion of QueryTime.
+	// VerifyTime is the Method M portion of QueryTime (wall clock: under
+	// parallel verification this is the fan-out/join span).
 	VerifyTime time.Duration
+	// VerifyCPUTime sums the verification workers' busy time; it equals
+	// VerifyTime when sequential, and VerifyCPUTime/VerifyTime is the
+	// realized intra-query parallel speedup.
+	VerifyCPUTime time.Duration
+	// VerifyWorkers is the number of workers the verification loop fanned
+	// out to (1 = sequential, 0 = nothing left to verify).
+	VerifyWorkers int
 	// HitTime is the hit-discovery portion of QueryTime.
 	HitTime time.Duration
 	// Overhead is cache-maintenance time: consistency (log analysis +
@@ -236,29 +260,12 @@ func (r *Runtime) process(g *graph.Graph, kind cache.Kind) (*Result, error) {
 		}
 	}
 
-	// Verification: Method M sub-iso tests over the pruned candidate set.
-	verified := bitset.New(st.CandidatesBefore)
-	vt0 := time.Now()
-	tests := 0
-	csm.ForEach(func(id int) bool {
-		target := r.ds.Graph(id)
-		var ok bool
-		if kind == cache.KindSub {
-			ok = r.algo.Contains(g, target)
-		} else {
-			ok = r.algo.Contains(target, g)
-		}
-		if ok {
-			verified.Set(id)
-		}
-		tests++
-		return true
-	})
-	st.VerifyTime = time.Since(vt0)
-	st.SubIsoTests = tests
-	st.TestsSaved = st.CandidatesBefore - tests
-	if tests > 0 {
-		r.avgTestCost.Add(st.VerifyTime.Seconds() / float64(tests))
+	// Verification: Method M sub-iso tests over the pruned candidate set,
+	// through the compiled matcher and (when configured) the intra-query
+	// worker pool.
+	verified := r.verify(g, kind, csm, &st)
+	if st.SubIsoTests > 0 {
+		r.avgTestCost.Add(st.VerifyCPUTime.Seconds() / float64(st.SubIsoTests))
 	}
 
 	// Formula (3): final answer = verified ∪ sure positives.
@@ -266,6 +273,85 @@ func (r *Runtime) process(g *graph.Graph, kind cache.Kind) (*Result, error) {
 		verified.Or(answerSure)
 	}
 	return r.finish(g, kind, verified, live, iso, start, &st)
+}
+
+// minVerifyChunk is the fewest candidates worth handing one verification
+// worker: below this, goroutine spawn and bitset merge outweigh the tests.
+const minVerifyChunk = 8
+
+// verify runs Method M over the pruned candidate set through a matcher
+// compiled once for the query, fanning contiguous candidate chunks out to
+// a bounded worker pool when r.verifyPar and the candidate count allow.
+// Each worker forks the compiled matcher (own scratch, shared compiled
+// artifacts) and fills a private bitset; the chunks partition the ids, so
+// the final union is exactly the sequential answer.
+func (r *Runtime) verify(g *graph.Graph, kind cache.Kind, csm *bitset.Set, st *QueryStats) *bitset.Set {
+	count := csm.Count()
+	st.SubIsoTests = count
+	st.TestsSaved = st.CandidatesBefore - count
+	verified := bitset.New(st.CandidatesBefore)
+	if count == 0 {
+		return verified
+	}
+	compile := func() *subiso.Matcher {
+		if kind == cache.KindSub {
+			// "which graphs contain g": g is the pattern, candidates the targets.
+			return subiso.CompileSub(g, r.algo)
+		}
+		// "which graphs are contained in g": g is the target, candidates
+		// the patterns.
+		return subiso.CompileSuper(g, r.algo)
+	}
+	workers := r.verifyPar
+	if most := (count + minVerifyChunk - 1) / minVerifyChunk; workers > most {
+		workers = most
+	}
+	vt0 := time.Now()
+	if workers <= 1 {
+		// Sequential: iterate the bitset directly — no materialized id
+		// slice, keeping the verify path allocation-lean.
+		m := compile()
+		csm.ForEach(func(id int) bool {
+			if m.Contains(r.ds.Graph(id)) {
+				verified.Set(id)
+			}
+			return true
+		})
+		st.VerifyTime = time.Since(vt0)
+		st.VerifyCPUTime = st.VerifyTime
+		st.VerifyWorkers = 1
+		return verified
+	}
+	ids := csm.Indices()
+	base := compile()
+	parts := make([]*bitset.Set, workers)
+	busy := make([]time.Duration, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*len(ids)/workers, (w+1)*len(ids)/workers
+		wg.Add(1)
+		go func(w int, chunk []int) {
+			defer wg.Done()
+			t0 := time.Now()
+			m := base.Fork()
+			out := bitset.New(st.CandidatesBefore)
+			for _, id := range chunk {
+				if m.Contains(r.ds.Graph(id)) {
+					out.Set(id)
+				}
+			}
+			parts[w] = out
+			busy[w] = time.Since(t0)
+		}(w, ids[lo:hi])
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		verified.Or(parts[w])
+		st.VerifyCPUTime += busy[w]
+	}
+	st.VerifyTime = time.Since(vt0)
+	st.VerifyWorkers = workers
+	return verified
 }
 
 // finish feeds the executed query back to the Cache Manager (overhead),
@@ -287,7 +373,9 @@ func (r *Runtime) finish(g *graph.Graph, kind cache.Kind, answer, live *bitset.S
 		} else {
 			costEst := r.avgTestCost.Mean()
 			if st.SubIsoTests > 0 {
-				costEst = st.VerifyTime.Seconds() / float64(st.SubIsoTests)
+				// CPU time, not wall: the per-test cost estimate must not
+				// shrink just because verification ran on more workers.
+				costEst = st.VerifyCPUTime.Seconds() / float64(st.SubIsoTests)
 			}
 			if costEst <= 0 {
 				costEst = 1e-6 // neutral placeholder before first measurement
@@ -367,6 +455,11 @@ func (r *Runtime) CacheStats() cache.Stats {
 // as §6's "supergraph queries follow the exact inverse logic".
 func (r *Runtime) findHits(g *graph.Graph, kind cache.Kind, st *QueryStats) (direct, restrict []*cache.Entry, iso *cache.Entry) {
 	qf := feature.Of(g)
+	// Compile g once in each direction: the same query is tested against
+	// every surviving cache entry, so the compiled scratch amortizes over
+	// the whole scan exactly as in the verification loop.
+	gAsPattern := subiso.CompileSub(g, r.hitAlgo)  // g ⊆ cached query?
+	gAsTarget := subiso.CompileSuper(g, r.hitAlgo) // cached query ⊆ g?
 	r.cache.ForEach(func(e *cache.Entry) bool {
 		if e.Kind != kind {
 			return true
@@ -375,9 +468,9 @@ func (r *Runtime) findHits(g *graph.Graph, kind cache.Kind, st *QueryStats) (dir
 		// query-to-query tests. An isomorphic entry is *both* a
 		// containing and a contained hit (and the second test is skipped:
 		// same size plus one-directional containment forces isomorphism).
-		isContaining := qf.SubsumedBy(e.Fp) && r.hitAlgo.Contains(g, e.Query)
+		isContaining := qf.SubsumedBy(e.Fp) && gAsPattern.Contains(e.Query)
 		isContained := e.Fp.SubsumedBy(qf) &&
-			((isContaining && e.Fp.SameSize(qf)) || r.hitAlgo.Contains(e.Query, g))
+			((isContaining && e.Fp.SameSize(qf)) || gAsTarget.Contains(e.Query))
 		if isContaining && isContained {
 			st.IsoHits++
 			if iso == nil {

@@ -96,6 +96,7 @@ func New(initial []*graph.Graph) *Dataset {
 		live:   bitset.New(len(initial)),
 	}
 	for _, g := range initial {
+		g.Summary() // warm the structural summary off the query path
 		d.graphs = append(d.graphs, g)
 		d.live.Set(len(d.graphs) - 1)
 	}
@@ -107,6 +108,7 @@ func (d *Dataset) Add(g *graph.Graph) (int, error) {
 	if g == nil {
 		return 0, fmt.Errorf("dataset: cannot add nil graph")
 	}
+	g.Summary() // warm the structural summary off the query path
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	id := len(d.graphs)
@@ -142,6 +144,7 @@ func (d *Dataset) UpdateAddEdge(id int, u, v int) error {
 	if err != nil {
 		return fmt.Errorf("dataset: UA on graph %d: %w", id, err)
 	}
+	g.Summary() // the updated version is a fresh graph; warm its summary
 	d.graphs[id] = g
 	d.seq++
 	d.log = append(d.log, Record{Seq: d.seq, Op: OpUpdateAddEdge, GraphID: id, U: int32(u), V: int32(v)})
@@ -159,6 +162,7 @@ func (d *Dataset) UpdateRemoveEdge(id int, u, v int) error {
 	if err != nil {
 		return fmt.Errorf("dataset: UR on graph %d: %w", id, err)
 	}
+	g.Summary() // the updated version is a fresh graph; warm its summary
 	d.graphs[id] = g
 	d.seq++
 	d.log = append(d.log, Record{Seq: d.seq, Op: OpUpdateRemoveEdge, GraphID: id, U: int32(u), V: int32(v)})

@@ -23,19 +23,13 @@ import (
 
 // Fingerprint is a containment-monotone summary of one graph.
 type Fingerprint struct {
-	vertices int
-	edges    int
-	// degrees is the degree sequence, sorted descending.
-	degrees []int32
-	// labels holds per-label vertex counts, sorted by label.
-	labels []labelCount
+	// sum is the graph's memoized structural Summary (vertex/edge counts,
+	// descending degree sequence, sorted per-label counts), shared with
+	// the verification engine; its SubsumedBy supplies every dominance
+	// check except the label-pair one.
+	sum *graph.Summary
 	// pairs holds per-label-pair edge counts, sorted by key.
 	pairs []pairCount
-}
-
-type labelCount struct {
-	label graph.Label
-	count int32
 }
 
 type pairCount struct {
@@ -43,80 +37,58 @@ type pairCount struct {
 	count int32
 }
 
-// Of computes the fingerprint of g.
+// Of computes the fingerprint of g. It runs on every query and every
+// cache admission, so it is kept allocation-lean: everything except the
+// label-pair counts is the graph's memoized Summary (computed once per
+// graph, shared with the verification engine), and the label-pair counts
+// iterate adjacency directly — no materialized edge list, no maps.
 func Of(g *graph.Graph) *Fingerprint {
-	f := &Fingerprint{
-		vertices: g.NumVertices(),
-		edges:    g.NumEdges(),
-		degrees:  make([]int32, g.NumVertices()),
-	}
-	lc := make(map[graph.Label]int32, 8)
-	for v := 0; v < g.NumVertices(); v++ {
-		f.degrees[v] = int32(g.Degree(v))
-		lc[g.Label(v)]++
-	}
-	sort.Slice(f.degrees, func(i, j int) bool { return f.degrees[i] > f.degrees[j] })
-	f.labels = make([]labelCount, 0, len(lc))
-	for l, c := range lc {
-		f.labels = append(f.labels, labelCount{l, c})
-	}
-	sort.Slice(f.labels, func(i, j int) bool { return f.labels[i].label < f.labels[j].label })
+	nv := g.NumVertices()
+	f := &Fingerprint{sum: g.Summary()}
 
-	pc := make(map[uint64]int32, 8)
-	for _, e := range g.EdgeList() {
-		la, lb := g.Label(int(e.U)), g.Label(int(e.V))
-		if la > lb {
-			la, lb = lb, la
+	keys := make([]uint64, 0, g.NumEdges())
+	for u := 0; u < nv; u++ {
+		lu := g.Label(u)
+		for _, v := range g.Neighbors(u) {
+			if int32(u) >= v {
+				continue // each undirected edge once
+			}
+			la, lb := lu, g.Label(int(v))
+			if la > lb {
+				la, lb = lb, la
+			}
+			keys = append(keys, uint64(la)<<32|uint64(lb))
 		}
-		pc[uint64(la)<<32|uint64(lb)]++
 	}
-	f.pairs = make([]pairCount, 0, len(pc))
-	for k, c := range pc {
-		f.pairs = append(f.pairs, pairCount{k, c})
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i := 0; i < len(keys); {
+		j := i
+		for j < len(keys) && keys[j] == keys[i] {
+			j++
+		}
+		f.pairs = append(f.pairs, pairCount{keys[i], int32(j - i)})
+		i = j
 	}
-	sort.Slice(f.pairs, func(i, j int) bool { return f.pairs[i].key < f.pairs[j].key })
 	return f
 }
 
 // Vertices returns |V|.
-func (f *Fingerprint) Vertices() int { return f.vertices }
+func (f *Fingerprint) Vertices() int { return f.sum.Vertices() }
 
 // Edges returns |E|.
-func (f *Fingerprint) Edges() int { return f.edges }
+func (f *Fingerprint) Edges() int { return f.sum.Edges() }
 
 // SubsumedBy reports whether every fingerprint component of f is
 // dominated by o's — a necessary condition for the underlying graph of f
-// being subgraph-isomorphic to that of o.
+// being subgraph-isomorphic to that of o. The size, degree-sequence and
+// per-label dominance checks are the Summary's own; the fingerprint adds
+// the per-label-pair edge counts (monotone like the rest: an embedding
+// maps each pattern edge onto a target edge with the same label pair).
 func (f *Fingerprint) SubsumedBy(o *Fingerprint) bool {
-	if f.vertices > o.vertices || f.edges > o.edges {
+	if !f.sum.SubsumedBy(o.sum) {
 		return false
 	}
-	// k-th largest degree must be dominated (valid because an embedding
-	// pairs every pattern vertex with a target vertex of ≥ degree, and
-	// sorted sequences preserve pairwise domination).
-	for k, d := range f.degrees {
-		if d > o.degrees[k] {
-			return false
-		}
-	}
-	// per-label vertex counts
 	i, j := 0, 0
-	for i < len(f.labels) {
-		if j == len(o.labels) || f.labels[i].label < o.labels[j].label {
-			return false // label missing in o
-		}
-		if f.labels[i].label > o.labels[j].label {
-			j++
-			continue
-		}
-		if f.labels[i].count > o.labels[j].count {
-			return false
-		}
-		i++
-		j++
-	}
-	// per-label-pair edge counts
-	i, j = 0, 0
 	for i < len(f.pairs) {
 		if j == len(o.pairs) || f.pairs[i].key < o.pairs[j].key {
 			return false
@@ -139,5 +111,5 @@ func (f *Fingerprint) SubsumedBy(o *Fingerprint) bool {
 // "same number of nodes and edges" test of the paper's exact-match optimal
 // case (§6.3).
 func (f *Fingerprint) SameSize(o *Fingerprint) bool {
-	return f.vertices == o.vertices && f.edges == o.edges
+	return f.sum.Vertices() == o.sum.Vertices() && f.sum.Edges() == o.sum.Edges()
 }

@@ -25,9 +25,10 @@
 package ftv
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"gcplus/internal/bitset"
 	"gcplus/internal/graph"
@@ -165,15 +166,29 @@ func postingLen(p *bitset.Set) int {
 // of 0..maxLen edges in g. A path's signature is the label sequence along
 // it, canonicalized to the lexicographically smaller of its two reading
 // directions, so the undirected path is counted once.
+//
+// This is the FTV index's hot loop (it runs for every indexed graph and
+// every query, and again on each per-graph re-index after an update), so
+// signature bytes are rendered with strconv.AppendUint into two shared
+// buffers; a string is allocated only when a signature is first seen —
+// map lookups use the non-allocating string(bytes) form.
 func PathSignatures(g *graph.Graph, maxLen int) []string {
 	seen := make(map[string]struct{}, 64)
 	labels := make([]graph.Label, 0, maxLen+1)
 	onPath := make([]bool, g.NumVertices())
+	var fwd, bwd []byte
 	var dfs func(v, depth int)
 	dfs = func(v, depth int) {
 		labels = append(labels, g.Label(v))
 		onPath[v] = true
-		seen[canonical(labels)] = struct{}{}
+		fwd, bwd = canonicalAppend(labels, fwd[:0], bwd[:0])
+		sig := fwd
+		if bytes.Compare(bwd, fwd) < 0 {
+			sig = bwd
+		}
+		if _, ok := seen[string(sig)]; !ok {
+			seen[string(sig)] = struct{}{}
+		}
 		if depth < maxLen {
 			for _, w := range g.Neighbors(v) {
 				if !onPath[w] {
@@ -195,20 +210,17 @@ func PathSignatures(g *graph.Graph, maxLen int) []string {
 	return out
 }
 
-// canonical renders the label sequence in its smaller direction.
-func canonical(labels []graph.Label) string {
-	var fwd, bwd strings.Builder
+// canonicalAppend renders the label sequence into fwd and its reversal
+// into bwd ("17-3-42" style, byte-identical to the historical
+// fmt-formatted signatures), returning the grown buffers.
+func canonicalAppend(labels []graph.Label, fwd, bwd []byte) ([]byte, []byte) {
 	for i, l := range labels {
 		if i > 0 {
-			fwd.WriteByte('-')
-			bwd.WriteByte('-')
+			fwd = append(fwd, '-')
+			bwd = append(bwd, '-')
 		}
-		fmt.Fprintf(&fwd, "%d", l)
-		fmt.Fprintf(&bwd, "%d", labels[len(labels)-1-i])
+		fwd = strconv.AppendUint(fwd, uint64(l), 10)
+		bwd = strconv.AppendUint(bwd, uint64(labels[len(labels)-1-i]), 10)
 	}
-	f, b := fwd.String(), bwd.String()
-	if b < f {
-		return b
-	}
-	return f
+	return fwd, bwd
 }

@@ -32,6 +32,12 @@ type Graph struct {
 	labels []Label
 	adj    [][]int32 // adj[v] sorted ascending; both directions stored
 	m      int       // number of undirected edges
+
+	// summary memoizes the structural Summary once the graph is published
+	// (graphs are immutable after construction; Clone and the copy-on-write
+	// edge updates build fresh Graph values, so a stale summary can never
+	// be observed).
+	summary summaryCell
 }
 
 // Name returns the graph's optional name (dataset id, query id, ...).

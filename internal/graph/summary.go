@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Summary is an immutable, precomputed digest of one graph: the pieces of
+// structure every sub-iso quick-reject and candidate-pruning step keeps
+// re-deriving — label multiset, degree sequence, per-vertex neighbourhood
+// label profiles — materialized once so the verification hot path touches
+// only sorted slices, never maps.
+//
+// Summaries are memoized on the Graph itself (graphs are immutable once
+// published) and the Dataset Manager warms them at insert/update time, so
+// query-time verification finds them already built.
+type Summary struct {
+	vertices  int
+	edges     int
+	maxDegree int
+	// degrees is the degree sequence sorted descending.
+	degrees []int32
+	// labels holds per-label vertex counts sorted ascending by label.
+	labels []LabelCount
+	// profOff/profLab hold, per vertex, the sorted multiset of its
+	// neighbours' labels: vertex v's profile is profLab[profOff[v]:profOff[v+1]].
+	profOff []int32
+	profLab []Label
+}
+
+// LabelCount is one (label, vertex count) pair of a Summary.
+type LabelCount struct {
+	Label Label
+	Count int32
+}
+
+// Summary returns the graph's structural summary, computing and memoizing
+// it on first use. Safe for concurrent use on published (immutable) graphs.
+func (g *Graph) Summary() *Summary {
+	if s := g.summary.Load(); s != nil {
+		return s
+	}
+	s := summarize(g)
+	g.summary.Store(s)
+	return s
+}
+
+func summarize(g *Graph) *Summary {
+	nv := g.NumVertices()
+	s := &Summary{
+		vertices: nv,
+		edges:    g.NumEdges(),
+		degrees:  make([]int32, nv),
+		profOff:  make([]int32, nv+1),
+		profLab:  make([]Label, 0, 2*g.NumEdges()),
+	}
+	for v := 0; v < nv; v++ {
+		d := g.Degree(v)
+		s.degrees[v] = int32(d)
+		if d > s.maxDegree {
+			s.maxDegree = d
+		}
+	}
+	sort.Slice(s.degrees, func(i, j int) bool { return s.degrees[i] > s.degrees[j] })
+
+	// Label counts via sort + run-length encoding: no map, and the result
+	// is born in the sorted order SubsumedBy's merge walk needs.
+	sorted := make([]Label, nv)
+	copy(sorted, g.Labels())
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 0; i < nv; {
+		j := i
+		for j < nv && sorted[j] == sorted[i] {
+			j++
+		}
+		s.labels = append(s.labels, LabelCount{Label: sorted[i], Count: int32(j - i)})
+		i = j
+	}
+
+	for v := 0; v < nv; v++ {
+		s.profOff[v] = int32(len(s.profLab))
+		start := len(s.profLab)
+		for _, w := range g.Neighbors(v) {
+			s.profLab = append(s.profLab, g.Label(int(w)))
+		}
+		seg := s.profLab[start:]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+	}
+	s.profOff[nv] = int32(len(s.profLab))
+	return s
+}
+
+// Vertices returns |V|.
+func (s *Summary) Vertices() int { return s.vertices }
+
+// Edges returns |E|.
+func (s *Summary) Edges() int { return s.edges }
+
+// MaxDegree returns the maximum vertex degree.
+func (s *Summary) MaxDegree() int { return s.maxDegree }
+
+// Degrees returns the degree sequence sorted descending. The caller must
+// not modify it.
+func (s *Summary) Degrees() []int32 { return s.degrees }
+
+// LabelCounts returns the per-label vertex counts sorted ascending by
+// label. The caller must not modify it.
+func (s *Summary) LabelCounts() []LabelCount { return s.labels }
+
+// Profile returns the sorted multiset of vertex v's neighbours' labels.
+// The caller must not modify it.
+func (s *Summary) Profile(v int) []Label {
+	return s.profLab[s.profOff[v]:s.profOff[v+1]]
+}
+
+// LabelFreq returns the number of vertices carrying label l.
+func (s *Summary) LabelFreq(l Label) int32 {
+	i := sort.Search(len(s.labels), func(i int) bool { return s.labels[i].Label >= l })
+	if i < len(s.labels) && s.labels[i].Label == l {
+		return s.labels[i].Count
+	}
+	return 0
+}
+
+// SubsumedBy reports whether every summary component of s is dominated by
+// o's: vertex/edge counts, the sorted degree sequence (the k-th largest
+// degree of s must not exceed o's — valid because an embedding pairs every
+// pattern vertex with a distinct target vertex of at least its degree),
+// and the per-label vertex counts. It is a necessary condition for the
+// graph of s being subgraph-isomorphic (as a monomorphism) to that of o,
+// and strictly subsumes the classic size/max-degree/label quick-reject.
+func (s *Summary) SubsumedBy(o *Summary) bool {
+	if s.vertices > o.vertices || s.edges > o.edges || s.maxDegree > o.maxDegree {
+		return false
+	}
+	for k, d := range s.degrees {
+		if d > o.degrees[k] {
+			return false
+		}
+	}
+	i, j := 0, 0
+	for i < len(s.labels) {
+		if j == len(o.labels) || s.labels[i].Label < o.labels[j].Label {
+			return false // label of s missing in o
+		}
+		if s.labels[i].Label > o.labels[j].Label {
+			j++
+			continue
+		}
+		if s.labels[i].Count > o.labels[j].Count {
+			return false
+		}
+		i++
+		j++
+	}
+	return true
+}
+
+// summaryCell wraps the memoized summary pointer. A dedicated type keeps
+// the atomic out of Graph's public face and documents that copying Graph
+// values (which no code does — graphs live behind pointers) would reset it.
+type summaryCell struct {
+	p atomic.Pointer[Summary]
+}
+
+func (c *summaryCell) Load() *Summary   { return c.p.Load() }
+func (c *summaryCell) Store(s *Summary) { c.p.Store(s) }

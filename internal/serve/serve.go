@@ -39,6 +39,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -72,6 +73,14 @@ type Options struct {
 	// cost from the query path to the update path — the serving-friendly
 	// trade — at the price of validating even if no query arrives.
 	EagerValidate bool
+	// VerifyParallelism bounds each shard runtime's intra-query
+	// verification worker pool (1 = sequential). 0 picks an
+	// oversubscription-free default: GOMAXPROCS divided by the shard
+	// count (min 1), so shard fan-out times intra-query fan-out stays
+	// near the core count. Raise it explicitly for few-shard,
+	// latency-sensitive deployments where single queries face large
+	// candidate sets.
+	VerifyParallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -84,7 +93,26 @@ func (o Options) withDefaults() Options {
 	if o.Cache == nil && !o.DisableCache {
 		o.Cache = &cache.Config{}
 	}
+	o.VerifyParallelism = ResolveVerifyParallelism(o.VerifyParallelism, o.Shards)
 	return o
+}
+
+// ResolveVerifyParallelism returns the per-shard verification worker
+// count a Server with the given settings runs with: non-positive values
+// resolve to GOMAXPROCS divided by the shard count (min 1). Exported so
+// harnesses recording benchmark configurations can log the effective
+// value instead of the machine-dependent zero.
+func ResolveVerifyParallelism(verifyPar, shards int) int {
+	if verifyPar > 0 {
+		return verifyPar
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if vp := runtime.GOMAXPROCS(0) / shards; vp > 1 {
+		return vp
+	}
+	return 1
 }
 
 // location addresses one global graph id inside the shard space.
@@ -144,7 +172,7 @@ func New(initial []*graph.Graph, opts Options) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		coreOpts := core.Options{Algorithm: algo}
+		coreOpts := core.Options{Algorithm: algo, VerifyParallelism: opts.VerifyParallelism}
 		if !opts.DisableCache {
 			cfg := *opts.Cache
 			coreOpts.Cache = &cfg

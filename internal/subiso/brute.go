@@ -12,8 +12,14 @@ type Brute struct{}
 // Name implements Algorithm.
 func (Brute) Name() string { return "BRUTE" }
 
-// Contains implements Algorithm.
+// Contains implements Algorithm via a one-shot compile.
 func (Brute) Contains(pattern, target *graph.Graph) bool {
+	return CompileSub(pattern, Brute{}).Contains(target)
+}
+
+// legacyBruteContains is the original per-call implementation, kept as an
+// independent oracle for the compiled engine's property tests.
+func legacyBruteContains(pattern, target *graph.Graph) bool {
 	np, nt := pattern.NumVertices(), target.NumVertices()
 	if np == 0 {
 		return true

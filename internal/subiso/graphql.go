@@ -30,8 +30,17 @@ const DefaultRefineLevels = 2
 // Name implements Algorithm.
 func (GraphQL) Name() string { return "GQL" }
 
-// Contains implements Algorithm.
+// Contains implements Algorithm via a one-shot compile of the pattern;
+// callers testing one pattern against many targets should CompileSub once
+// and reuse the Matcher instead.
 func (a GraphQL) Contains(pattern, target *graph.Graph) bool {
+	return CompileSub(pattern, a).Contains(target)
+}
+
+// legacyGQLContains is the original per-call implementation, kept as an
+// independent reference for the compiled engine's property tests and as
+// the BenchmarkVerifyLegacy baseline.
+func legacyGQLContains(a GraphQL, pattern, target *graph.Graph) bool {
 	if pattern.NumVertices() == 0 {
 		return true
 	}
@@ -213,6 +222,20 @@ func newBipartiteMatcher(targetVertices int) *bipartiteMatcher {
 		m.matchR[i] = -1
 	}
 	return m
+}
+
+// grow extends the matcher's buffers to cover targetVertices vertices,
+// retaining state; semiPerfect resets the entries it touches, so the new
+// tail needs no initialization. Used by the pooled compiled-matcher
+// scratch, where one bipartiteMatcher serves targets of many sizes.
+func (m *bipartiteMatcher) grow(targetVertices int) {
+	if len(m.matchR) >= targetVertices {
+		return
+	}
+	n := targetVertices - len(m.matchR)
+	m.matchR = append(m.matchR, make([]int, n)...)
+	m.matchU = append(m.matchU, make([]int, n)...)
+	m.visited = append(m.visited, make([]int, n)...)
 }
 
 // semiPerfect reports whether every pattern neighbour pn[i] can be matched

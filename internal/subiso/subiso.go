@@ -10,6 +10,11 @@
 // pattern p ⊆ target t iff there is an injection φ from V(p) to V(t) with
 // matching labels that maps every edge of p onto an edge of t. Non-edges
 // of p impose no constraint, per §3 of the paper.
+//
+// Repeated tests against a fixed pattern (or fixed target) should go
+// through the compiled Matcher (CompileSub/CompileSuper), which hoists
+// the per-pattern work out of the loop and runs each test on pooled
+// scratch; Algorithm.Contains delegates to a one-shot compile.
 package subiso
 
 import (
@@ -45,6 +50,24 @@ func New(name string) (Algorithm, error) {
 
 // Names lists the production algorithm names in the paper's order.
 func Names() []string { return []string{"VF2", "VF2+", "GQL"} }
+
+// legacyContains dispatches to the pre-compilation per-call
+// implementations — the baseline the compiled Matcher engine is
+// property-tested and benchmarked against. Unknown algorithms fall back
+// to their own Contains.
+func legacyContains(algo Algorithm, pattern, target *graph.Graph) bool {
+	switch a := algo.(type) {
+	case VF2:
+		return legacyVF2Contains(pattern, target)
+	case VF2Plus:
+		return legacyVF2PlusContains(pattern, target)
+	case GraphQL:
+		return legacyGQLContains(a, pattern, target)
+	case Brute:
+		return legacyBruteContains(pattern, target)
+	}
+	return algo.Contains(pattern, target)
+}
 
 // quickReject applies the O(|V|+|E|) necessary conditions every algorithm
 // shares: size bounds and label-multiset containment.

@@ -15,8 +15,17 @@ type VF2 struct{}
 // Name implements Algorithm.
 func (VF2) Name() string { return "VF2" }
 
-// Contains implements Algorithm.
+// Contains implements Algorithm via a one-shot compile of the pattern;
+// callers testing one pattern against many targets should CompileSub once
+// and reuse the Matcher instead.
 func (VF2) Contains(pattern, target *graph.Graph) bool {
+	return CompileSub(pattern, VF2{}).Contains(target)
+}
+
+// legacyVF2Contains is the original per-call implementation, kept as an
+// independent reference for the compiled engine's property tests and as
+// the BenchmarkVerifyLegacy baseline.
+func legacyVF2Contains(pattern, target *graph.Graph) bool {
 	if pattern.NumVertices() == 0 {
 		return true
 	}

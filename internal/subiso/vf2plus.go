@@ -20,8 +20,17 @@ type VF2Plus struct{}
 // Name implements Algorithm.
 func (VF2Plus) Name() string { return "VF2+" }
 
-// Contains implements Algorithm.
+// Contains implements Algorithm via a one-shot compile of the pattern;
+// callers testing one pattern against many targets should CompileSub once
+// and reuse the Matcher instead.
 func (VF2Plus) Contains(pattern, target *graph.Graph) bool {
+	return CompileSub(pattern, VF2Plus{}).Contains(target)
+}
+
+// legacyVF2PlusContains is the original per-call implementation, kept as
+// an independent reference for the compiled engine's property tests and
+// as the BenchmarkVerifyLegacy baseline.
+func legacyVF2PlusContains(pattern, target *graph.Graph) bool {
 	if pattern.NumVertices() == 0 {
 		return true
 	}

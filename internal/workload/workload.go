@@ -264,8 +264,9 @@ func TypeB(dataset []*graph.Graph, cfg TypeBConfig) (*Workload, error) {
 	}
 	hasAnswer := func(q *graph.Graph) bool {
 		qf := feature.Of(q)
+		m := subiso.CompileSub(q, cfg.Verifier) // one compile, many targets
 		for i, g := range dataset {
-			if qf.SubsumedBy(fps[i]) && cfg.Verifier.Contains(q, g) {
+			if qf.SubsumedBy(fps[i]) && m.Contains(g) {
 				return true
 			}
 		}
