@@ -10,11 +10,18 @@
 //	gcbench -ablation all               # policies, cache sizes, validity, churn
 //	gcbench -figure all -scale paper    # full 40k × 10k run (hours)
 //	gcbench -throughput -shards 8 -clients 16   # concurrent serving summary
+//	gcbench -throughput -update-kind churn -update-every 10 -eager         # repair on
+//	gcbench -throughput -update-kind churn -update-every 10 -eager -norepair  # baseline
 //
 // The -throughput mode drives the sharded serving front-end (the system
 // behind cmd/gcserve) with concurrent clients and a live update stream,
 // and emits a JSON summary (queries/sec, p50/p95/p99 latency) so serving
-// performance has a trajectory to compare across changes.
+// performance has a trajectory to compare across changes. With
+// -update-kind churn the writer toggles edges of existing graphs (UA/UR)
+// instead of adding new ones — the update-heavy scenario in which the
+// background cache-repair pipeline recovers the validity ratio and hit
+// rate that invalidation would otherwise bleed away; compare against a
+// -norepair run on the same seed.
 //
 // Absolute times depend on the host; the speedup shapes are what
 // reproduce the paper (see EXPERIMENTS.md).
@@ -48,6 +55,9 @@ func main() {
 		eager       = flag.Bool("eager", false, "throughput: validate shard caches at update time")
 		nocache     = flag.Bool("nocache", false, "throughput: serve through raw Method M")
 		verifyPar   = flag.Int("verify-parallelism", 0, "throughput: per-shard intra-query verification workers (0 = auto: GOMAXPROCS/shards, 1 = sequential)")
+		updateKind  = flag.String("update-kind", "add", "throughput: update stream shape: add (live ingest) or churn (UA/UR edge toggles on existing graphs)")
+		repairPar   = flag.Int("repair-parallelism", 0, "throughput: per-shard background cache-repair workers (0 = default of 1)")
+		norepair    = flag.Bool("norepair", false, "throughput: disable background cache repair (baseline for the churn scenario)")
 	)
 	flag.Parse()
 	if *figure == "" && !*insights && *ablation == "" && !*throughput {
@@ -87,9 +97,12 @@ func main() {
 			Clients:           *clients,
 			Queries:           *tpQueries,
 			UpdateEvery:       *updateEvery,
+			UpdateKind:        *updateKind,
 			EagerValidate:     *eager,
 			DisableCache:      *nocache,
 			VerifyParallelism: *verifyPar,
+			RepairParallelism: *repairPar,
+			DisableRepair:     *norepair,
 			Seed:              *seed,
 		}, progress)
 		if err != nil {

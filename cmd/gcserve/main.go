@@ -50,6 +50,8 @@ func main() {
 		nocache   = flag.Bool("nocache", false, "disable GC+ caching (raw Method M baseline)")
 		eager     = flag.Bool("eager", false, "validate caches at update time instead of lazily at query time")
 		verifyPar = flag.Int("verify-parallelism", 0, "per-shard intra-query verification workers (0 = auto: GOMAXPROCS/shards, 1 = sequential)")
+		repairPar = flag.Int("repair-parallelism", 0, "per-shard background cache-repair workers (0 = default of 1)")
+		norepair  = flag.Bool("norepair", false, "disable background cache repair (invalidated bits stay dead until a query re-verifies them)")
 	)
 	flag.Parse()
 
@@ -64,6 +66,8 @@ func main() {
 	opts.WindowSize = *window
 	opts.DisableCache = *nocache
 	opts.VerifyParallelism = *verifyPar
+	opts.RepairParallelism = *repairPar
+	opts.DisableRepair = *norepair
 	if opts.Model, err = cache.ParseModel(*modelName); err != nil {
 		log.Fatal("gcserve: ", err)
 	}
@@ -77,8 +81,10 @@ func main() {
 	}
 	defer srv.Close()
 
-	log.Printf("gcserve: %d graphs across %d shards (method=%s model=%s policy=%s cache=%d eager=%v) on %s",
-		len(initial), srv.Shards(), *method, *modelName, *policy, *cacheCap, *eager, *addr)
+	// Repair only actually runs for CON caches; report the resolved state.
+	repairOn := !*norepair && !*nocache && opts.Model == cache.ModelCON
+	log.Printf("gcserve: %d graphs across %d shards (method=%s model=%s policy=%s cache=%d eager=%v repair=%v) on %s",
+		len(initial), srv.Shards(), *method, *modelName, *policy, *cacheCap, *eager, repairOn, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 

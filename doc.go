@@ -76,4 +76,23 @@
 // cmd/gcserve wraps the Server in a standalone HTTP daemon (POST /query,
 // POST /update, GET /stats), and cmd/gcbench's -throughput mode measures
 // its queries/sec and latency percentiles under concurrent load.
+//
+// # Background cache repair
+//
+// CON validation only ever clears validity bits, so update-heavy
+// traffic steadily erodes the cache's pruning power. Each Server shard
+// runs a background repair worker: validity bits cleared by validation
+// are queued (via an inverted invalidation index that also makes
+// validation touch only affected entries), re-verified off the query
+// path with forked compiled matchers, and atomically restored when the
+// relation still holds against the current graph version. Repair is
+// coordinated with the single-writer update sequence — the capture and
+// commit steps run on the shard's worker goroutine, and a commit is
+// dropped if the graph changed mid-verification — so it never races an
+// in-flight batch and answers remain bit-identical to the cache-
+// disabled ground truth (enforced by the differential consistency
+// oracle test in internal/core). ServeOptions.RepairParallelism bounds
+// the per-shard verification fan-out; DisableRepair restores the
+// pre-repair behavior. Stats report validity_ratio, repaired_bits and
+// pending_repairs per shard.
 package gcplus

@@ -248,6 +248,16 @@ type ServeOptions struct {
 	// at update time instead of lazily before the next query, trading
 	// update latency for query latency.
 	EagerValidate bool
+	// RepairParallelism bounds each shard's background repair worker:
+	// validity bits cleared by CON validation are re-verified off the
+	// query path and restored when the relation still holds, so
+	// update-heavy traffic stops bleeding hit rate. 0 means 1 worker per
+	// shard; see DisableRepair to turn the pipeline off.
+	RepairParallelism int
+	// DisableRepair disables background cache repair, leaving cleared
+	// validity bits dead until a future query re-verifies them on the
+	// hot path.
+	DisableRepair bool
 }
 
 // UpdateOp describes one dataset change operation for Server.Update; use
@@ -296,6 +306,8 @@ func NewServer(initial []*Graph, opts ServeOptions) (*Server, error) {
 		DisableCache:      opts.DisableCache,
 		EagerValidate:     opts.EagerValidate,
 		VerifyParallelism: opts.VerifyParallelism,
+		RepairParallelism: opts.RepairParallelism,
+		DisableRepair:     opts.DisableRepair,
 	}
 	if !opts.DisableCache {
 		srvOpts.Cache = &cache.Config{

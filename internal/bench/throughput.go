@@ -2,12 +2,15 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"math/rand"
 	"sync"
 	"time"
 
 	"gcplus/internal/cache"
 	"gcplus/internal/changeplan"
+	"gcplus/internal/graph"
 	"gcplus/internal/randx"
 	"gcplus/internal/serve"
 	"gcplus/internal/stats"
@@ -37,6 +40,12 @@ type ThroughputConfig struct {
 	UpdateEvery int
 	// OpsPerBatch is the batch size (default 5).
 	OpsPerBatch int
+	// UpdateKind selects the update stream: "add" (default) grows the
+	// dataset with clones of initial graphs, like live ingest; "churn"
+	// toggles edges of existing graphs (UA/UR), the update-heavy
+	// scenario that invalidates cached validity bits and exercises the
+	// background repair pipeline.
+	UpdateKind string
 	// EagerValidate reconciles shard caches at update time.
 	EagerValidate bool
 	// DisableCache serves through raw Method M (baseline).
@@ -44,6 +53,12 @@ type ThroughputConfig struct {
 	// VerifyParallelism bounds each shard's intra-query verification
 	// worker pool (0 = auto: GOMAXPROCS/shards min 1, 1 = sequential).
 	VerifyParallelism int
+	// RepairParallelism bounds each shard's background repair worker
+	// (0 = default of 1).
+	RepairParallelism int
+	// DisableRepair turns background cache repair off — the baseline the
+	// churn scenario compares hit-rate recovery against.
+	DisableRepair bool
 	// Seed drives dataset, workload and update generation.
 	Seed int64
 }
@@ -67,8 +82,20 @@ func (c ThroughputConfig) withDefaults() ThroughputConfig {
 	if c.OpsPerBatch <= 0 {
 		c.OpsPerBatch = 5
 	}
+	if c.UpdateKind == "" {
+		c.UpdateKind = UpdateKindAdd
+	}
 	return c
 }
+
+// Update-stream kinds for ThroughputConfig.UpdateKind.
+const (
+	// UpdateKindAdd grows the dataset with ADDs (live-ingest shape).
+	UpdateKindAdd = "add"
+	// UpdateKindChurn toggles edges of existing graphs with UA/UR — the
+	// update-heavy shape that decays cache validity.
+	UpdateKindChurn = "churn"
+)
 
 // ThroughputResult is the JSON summary the -throughput mode emits.
 type ThroughputResult struct {
@@ -77,9 +104,11 @@ type ThroughputResult struct {
 	Method        string  `json:"method"`
 	Shards        int     `json:"shards"`
 	Clients       int     `json:"clients"`
+	UpdateKind    string  `json:"update_kind"`
 	EagerValidate bool    `json:"eager_validate"`
 	DisableCache  bool    `json:"disable_cache"`
 	VerifyPar     int     `json:"verify_parallelism"`
+	RepairPar     int     `json:"repair_parallelism"`
 	Seed          int64   `json:"seed"`
 	Queries       int     `json:"queries"`
 	UpdateBatches int     `json:"update_batches"`
@@ -94,6 +123,13 @@ type ThroughputResult struct {
 	SubIsoTests   float64 `json:"subiso_tests_per_query"`
 	HitRate       float64 `json:"hit_rate"`
 	LiveGraphs    int     `json:"live_graphs"`
+	// ValidityRatio is the final mean per-shard cache validity ratio —
+	// the health metric background repair recovers under churn.
+	ValidityRatio float64 `json:"validity_ratio"`
+	// RepairedBits and PendingRepairs summarize the repair pipeline at
+	// the end of the run.
+	RepairedBits   int64 `json:"repaired_bits"`
+	PendingRepairs int   `json:"pending_repairs"`
 }
 
 // RunThroughput drives a sharded server with concurrent clients and a
@@ -109,12 +145,19 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		return nil, err
 	}
 
+	if cfg.UpdateKind != UpdateKindAdd && cfg.UpdateKind != UpdateKindChurn {
+		return nil, fmt.Errorf("bench: unknown update kind %q (want %q or %q)",
+			cfg.UpdateKind, UpdateKindAdd, UpdateKindChurn)
+	}
+
 	srvOpts := serve.Options{
 		Shards:            cfg.Shards,
 		Method:            cfg.Method,
 		DisableCache:      cfg.DisableCache,
 		EagerValidate:     cfg.EagerValidate,
 		VerifyParallelism: cfg.VerifyParallelism,
+		RepairParallelism: cfg.RepairParallelism,
+		DisableRepair:     cfg.DisableRepair,
 	}
 	if !cfg.DisableCache {
 		srvOpts.Cache = &cache.Config{
@@ -168,18 +211,30 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		go func() {
 			defer writerWG.Done()
 			rng := randx.New(cfg.Seed + 7)
+			churn := newChurnState(initial)
 			for range updates {
-				ops := make([]changeplan.Op, 0, cfg.OpsPerBatch)
-				for len(ops) < cfg.OpsPerBatch {
-					// ADD-only update stream: target resolution against
-					// the sharded server is the front-end's job, and ADD
-					// keeps the dataset growing like live ingest.
-					ops = append(ops, changeplan.AddOp(initial[rng.Intn(len(initial))].Clone()))
+				var ops []changeplan.Op
+				var toggled []*toggleEdge
+				if cfg.UpdateKind == UpdateKindChurn {
+					ops, toggled = churn.batch(rng, cfg.OpsPerBatch)
+				} else {
+					ops = make([]changeplan.Op, 0, cfg.OpsPerBatch)
+					for len(ops) < cfg.OpsPerBatch {
+						// ADD stream: target resolution against the
+						// sharded server is the front-end's job, and ADD
+						// keeps the dataset growing like live ingest.
+						ops = append(ops, changeplan.AddOp(initial[rng.Intn(len(initial))].Clone()))
+					}
 				}
 				res, err := srv.Update(ops)
 				if err != nil {
 					fail(err)
 					return
+				}
+				for i, t := range toggled {
+					if res.Ops[i].Err == nil {
+						t.present = !t.present
+					}
 				}
 				updateBatches++
 				opsApplied += res.Applied
@@ -241,24 +296,29 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		Method:        cfg.Method,
 		Shards:        cfg.Shards,
 		Clients:       cfg.Clients,
+		UpdateKind:    cfg.UpdateKind,
 		EagerValidate: cfg.EagerValidate,
 		DisableCache:  cfg.DisableCache,
-		// Record the resolved worker count, not the raw config: the auto
-		// default (0) is machine-dependent, and trajectory entries must
+		// Record the resolved worker counts, not the raw config: the auto
+		// defaults (0) are machine-dependent, and trajectory entries must
 		// say what actually ran.
-		VerifyPar:     serve.ResolveVerifyParallelism(cfg.VerifyParallelism, cfg.Shards),
-		Seed:          cfg.Seed,
-		Queries:       len(latencies),
-		UpdateBatches: updateBatches,
-		OpsApplied:    opsApplied,
-		Epoch:         st.Epoch,
-		WallSeconds:   wall.Seconds(),
-		P50Millis:     stats.Percentile(latencies, 50) * 1000,
-		P95Millis:     stats.Percentile(latencies, 95) * 1000,
-		P99Millis:     stats.Percentile(latencies, 99) * 1000,
-		MeanMillis:    stats.Mean(latencies) * 1000,
-		HitRate:       st.HitRate,
-		LiveGraphs:    st.LiveGraphs,
+		VerifyPar:      serve.ResolveVerifyParallelism(cfg.VerifyParallelism, cfg.Shards),
+		RepairPar:      serve.ResolveRepairParallelism(cfg.RepairParallelism, !cfg.DisableRepair && !cfg.DisableCache),
+		Seed:           cfg.Seed,
+		Queries:        len(latencies),
+		UpdateBatches:  updateBatches,
+		OpsApplied:     opsApplied,
+		Epoch:          st.Epoch,
+		WallSeconds:    wall.Seconds(),
+		P50Millis:      stats.Percentile(latencies, 50) * 1000,
+		P95Millis:      stats.Percentile(latencies, 95) * 1000,
+		P99Millis:      stats.Percentile(latencies, 99) * 1000,
+		MeanMillis:     stats.Mean(latencies) * 1000,
+		HitRate:        st.HitRate,
+		LiveGraphs:     st.LiveGraphs,
+		ValidityRatio:  st.ValidityRatio,
+		RepairedBits:   st.RepairedBits,
+		PendingRepairs: st.PendingRepairs,
 	}
 	if wall > 0 {
 		res.QPS = float64(len(latencies)) / wall.Seconds()
@@ -267,6 +327,82 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		res.SubIsoTests = totalTests / float64(len(latencies))
 	}
 	return res, nil
+}
+
+// toggleEdge is the writer's belief about one tracked edge of an
+// initial graph. The benchmark's writer is the only mutator of the
+// served dataset, so flipping the belief on each acknowledged op keeps
+// it exact and every generated UA/UR applicable.
+type toggleEdge struct {
+	u, v    int
+	present bool
+}
+
+// churnState picks, per dataset graph, one edge to toggle with
+// alternating UA/UR ops — a sustained update-heavy stream over existing
+// graphs that clears cached validity bits without ever failing an op.
+type churnState struct {
+	initial []*graph.Graph
+	edges   map[int]*toggleEdge
+}
+
+func newChurnState(initial []*graph.Graph) *churnState {
+	return &churnState{initial: initial, edges: make(map[int]*toggleEdge)}
+}
+
+// batch draws up to n ops on distinct graphs (distinct so each touched
+// graph sees a UA- or UR-exclusive batch, exercising Algorithm 2's
+// survival rules rather than only the mixed-ops clear). It returns the
+// ops plus the toggle each op came from, index-aligned, so the caller
+// can flip beliefs for acknowledged ops.
+func (cs *churnState) batch(rng *rand.Rand, n int) ([]changeplan.Op, []*toggleEdge) {
+	ops := make([]changeplan.Op, 0, n)
+	toggled := make([]*toggleEdge, 0, n)
+	used := make(map[int]bool, n)
+	for tries := 0; len(ops) < n && tries < 8*n; tries++ {
+		id := rng.Intn(len(cs.initial))
+		if used[id] {
+			continue
+		}
+		t := cs.toggleFor(rng, id)
+		if t == nil {
+			continue
+		}
+		used[id] = true
+		if t.present {
+			ops = append(ops, changeplan.RemoveEdgeOp(id, t.u, t.v))
+		} else {
+			ops = append(ops, changeplan.AddEdgeOp(id, t.u, t.v))
+		}
+		toggled = append(toggled, t)
+	}
+	return ops, toggled
+}
+
+// toggleFor returns graph id's tracked edge, choosing one on first use:
+// preferably an absent vertex pair (so the first op is a UA), falling
+// back to an existing edge, or nil for graphs too small to toggle.
+func (cs *churnState) toggleFor(rng *rand.Rand, id int) *toggleEdge {
+	if t, ok := cs.edges[id]; ok {
+		return t
+	}
+	g := cs.initial[id]
+	n := g.NumVertices()
+	var t *toggleEdge
+	for tries := 0; t == nil && n >= 2 && tries < 32; tries++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			t = &toggleEdge{u: u, v: v}
+		}
+	}
+	if t == nil && g.NumEdges() > 0 {
+		e := g.EdgeList()[rng.Intn(g.NumEdges())]
+		t = &toggleEdge{u: int(e.U), v: int(e.V), present: true}
+	}
+	if t != nil {
+		cs.edges[id] = t
+	}
+	return t
 }
 
 // WriteThroughputJSON emits the summary as indented JSON.

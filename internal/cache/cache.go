@@ -51,6 +51,11 @@ type Config struct {
 	// entry. Used by the validity-optimization ablation; always sound,
 	// strictly less effective.
 	StrictInvalidation bool
+	// RepairQueue bounds the queue of invalidated (entry, graph) pairs
+	// collected by Validate for background repair. 0 (the default)
+	// disables collection entirely; when the queue is full further pairs
+	// are dropped (and counted) rather than blocking the validator.
+	RepairQueue int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,16 +82,28 @@ type Cache struct {
 	clock      int64
 	appliedSeq uint64
 
+	// idx is the inverted invalidation index: graph id -> slots of
+	// entries whose Valid bit covers it (see index.go).
+	idx *invIndex
+	// slots holds the live entries by slot; freeSlots recycles slots of
+	// evicted entries so index bitsets stay small.
+	slots     []*Entry
+	freeSlots []int
+	// repairQ is the bounded FIFO of invalidated pairs awaiting repair.
+	repairQ []RepairTask
+
 	// lifetime counters for reports
-	admitted  int64
-	evicted   int64
-	purges    int64
-	validates int64
+	admitted      int64
+	evicted       int64
+	purges        int64
+	validates     int64
+	repairedBits  int64
+	repairDropped int64
 }
 
 // New builds an empty cache.
 func New(cfg Config) *Cache {
-	c := &Cache{cfg: cfg.withDefaults()}
+	c := &Cache{cfg: cfg.withDefaults(), idx: newInvIndex()}
 	return c
 }
 
@@ -145,6 +162,8 @@ func (c *Cache) Add(e *Entry) {
 	if e.LastUsed == 0 {
 		e.LastUsed = c.Tick()
 	}
+	c.assignSlot(e)
+	c.idx.addEntry(e)
 	c.window = append(c.window, e)
 	if len(c.window) >= c.cfg.WindowSize {
 		c.flushWindow()
@@ -187,6 +206,8 @@ func (c *Cache) evictToCapacity() {
 	for i, e := range c.entries {
 		if !drop[i] {
 			kept = append(kept, e)
+		} else {
+			c.releaseEntry(e)
 		}
 	}
 	// Zero the tail so evicted entries can be collected.
@@ -201,8 +222,15 @@ func (c *Cache) evictToCapacity() {
 // any dataset change (§5.1: "Cache Validator then clears cached contents
 // indiscriminately").
 func (c *Cache) Purge() {
+	for _, e := range c.entries {
+		c.releaseEntry(e)
+	}
+	for _, e := range c.window {
+		c.releaseEntry(e)
+	}
 	c.entries = nil
 	c.window = nil
+	c.repairQ = nil // queued pairs refer to dead entries only
 	c.purges++
 }
 
@@ -234,6 +262,12 @@ type Stats struct {
 	Evicted     int64 `json:"evicted"`
 	Purges      int64 `json:"purges"`
 	Validations int64 `json:"validations"`
+	// PendingRepairs is the current length of the repair queue.
+	PendingRepairs int `json:"pending_repairs"`
+	// RepairedBits counts validity bits restored by the repair pipeline.
+	RepairedBits int64 `json:"repaired_bits"`
+	// RepairDropped counts invalidated pairs dropped on a full queue.
+	RepairDropped int64 `json:"repair_dropped"`
 	// AppliedSeq is the dataset log sequence number the contents reflect.
 	AppliedSeq uint64 `json:"applied_seq"`
 }
@@ -241,16 +275,19 @@ type Stats struct {
 // Stats snapshots the cache state and lifetime counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Entries:     len(c.entries),
-		Window:      len(c.window),
-		Capacity:    c.cfg.Capacity,
-		Model:       c.cfg.Model.String(),
-		Policy:      string(c.cfg.Policy),
-		Admitted:    c.admitted,
-		Evicted:     c.evicted,
-		Purges:      c.purges,
-		Validations: c.validates,
-		AppliedSeq:  c.appliedSeq,
+		Entries:        len(c.entries),
+		Window:         len(c.window),
+		Capacity:       c.cfg.Capacity,
+		Model:          c.cfg.Model.String(),
+		Policy:         string(c.cfg.Policy),
+		Admitted:       c.admitted,
+		Evicted:        c.evicted,
+		Purges:         c.purges,
+		Validations:    c.validates,
+		PendingRepairs: len(c.repairQ),
+		RepairedBits:   c.repairedBits,
+		RepairDropped:  c.repairDropped,
+		AppliedSeq:     c.appliedSeq,
 	}
 }
 

@@ -74,6 +74,14 @@ type Entry struct {
 	// LastUsed is the cache's logical clock at the entry's last
 	// contribution (LRU).
 	LastUsed int64
+
+	// slot is the entry's index in the cache's slot table; the inverted
+	// invalidation index addresses entries by slot so its bitsets stay
+	// dense under eviction churn. Managed by Cache.assignSlot/releaseEntry.
+	slot int
+	// dead marks an evicted or purged entry so queued repair tasks that
+	// still reference it are skipped instead of resurrecting its bits.
+	dead bool
 }
 
 // NewEntry builds a cache entry for a query executed against the dataset

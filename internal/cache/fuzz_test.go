@@ -1,0 +1,51 @@
+package cache
+
+import "testing"
+
+// FuzzParseModel checks that ParseModel accepts exactly CON and EVI and
+// that accepted values round-trip through Model.String.
+func FuzzParseModel(f *testing.F) {
+	for _, s := range []string{"CON", "EVI", "", "con", "EVI ", "CONN", "E"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseModel(s)
+		canonical := s == "CON" || s == "EVI"
+		if err != nil {
+			if canonical {
+				t.Fatalf("ParseModel rejected canonical %q: %v", s, err)
+			}
+			return
+		}
+		if !canonical {
+			t.Fatalf("ParseModel accepted %q as %v", s, m)
+		}
+		if m.String() != s {
+			t.Fatalf("round trip %q → %v → %q", s, m, m.String())
+		}
+	})
+}
+
+// FuzzParsePolicy checks that ParsePolicy accepts exactly the five
+// replacement policies, as themselves.
+func FuzzParsePolicy(f *testing.F) {
+	for _, s := range []string{"PIN", "PINC", "HD", "LRU", "LFU", "", "pin", "PINCC", "H D"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePolicy(s)
+		canonical := s == "PIN" || s == "PINC" || s == "HD" || s == "LRU" || s == "LFU"
+		if err != nil {
+			if canonical {
+				t.Fatalf("ParsePolicy rejected canonical %q: %v", s, err)
+			}
+			return
+		}
+		if !canonical {
+			t.Fatalf("ParsePolicy accepted %q as %v", s, p)
+		}
+		if string(p) != s {
+			t.Fatalf("ParsePolicy changed %q to %q", s, p)
+		}
+	})
+}

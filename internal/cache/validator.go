@@ -1,6 +1,10 @@
 package cache
 
-import "gcplus/internal/dataset"
+import (
+	"sort"
+
+	"gcplus/internal/dataset"
+)
 
 // This file implements the Cache Validator component — Algorithm 2 of the
 // paper ("Refreshing a cached graph's validity indicator") — generalized
@@ -73,16 +77,45 @@ func (e *Entry) refresh(c *dataset.Counters, seq uint64, strict bool) {
 // queries in both cache and window"). Counters must describe exactly the
 // log records in (AppliedSeq, seq]. When the cache was configured with
 // StrictInvalidation, the ablated rule is used.
+//
+// Unlike the per-entry Refresh sweep (kept above as the reference
+// semantics), Validate consults the inverted invalidation index: for
+// each touched graph id it visits only the entries whose Valid bit
+// actually covers that id — entries with a dead bit need no work, since
+// Algorithm 2 can only ever *clear* bits. Each bit it clears is queued
+// for background repair (when configured). The result is bit-identical
+// to running Refresh/RefreshStrict on every entry.
 func (c *Cache) Validate(ctrs *dataset.Counters, seq uint64) {
-	refresh := (*Entry).Refresh
-	if c.cfg.StrictInvalidation {
-		refresh = (*Entry).RefreshStrict
+	strict := c.cfg.StrictInvalidation
+	touched := ctrs.TouchedIDs()
+	sort.Ints(touched) // counters are a map; fix the order so the repair queue is deterministic
+	for _, id := range touched {
+		slots := c.idx.byGraph[id]
+		if slots == nil {
+			continue // no entry holds a live bit for this graph
+		}
+		keepPositive := ctrs.UAExclusive(id)
+		keepNegative := ctrs.URExclusive(id)
+		// Materialize in deterministic order before clearing: clearing
+		// mutates the very slot set being iterated, and the repair queue
+		// must not depend on map or mutation order.
+		for _, e := range c.slotsAscending(slots) {
+			kp, kn := keepPositive, keepNegative
+			if e.Kind == KindSuper {
+				kp, kn = kn, kp
+			}
+			positive := e.Answer.Get(id)
+			if !strict && ((kp && positive) || (kn && !positive)) {
+				continue // validity survives (Algorithm 2 lines 12–15)
+			}
+			c.invalidate(e, id) // Algorithm 2 line 17, repair-queued
+		}
 	}
 	for _, e := range c.entries {
-		refresh(e, ctrs, seq)
+		e.Seq = seq
 	}
 	for _, e := range c.window {
-		refresh(e, ctrs, seq)
+		e.Seq = seq
 	}
 	c.appliedSeq = seq
 }

@@ -52,6 +52,20 @@ type Metrics struct {
 	ContainedHits int64
 	// ZeroTestQueries counts queries answered without any sub-iso test.
 	ZeroTestQueries int64
+
+	// Repair-pipeline counters (updated by the repair phases, which run
+	// on the owner goroutine like query processing).
+
+	// RepairPlanned counts invalidated pairs handed to verification.
+	RepairPlanned int64
+	// RepairedBits counts validity bits restored by CommitRepairs.
+	RepairedBits int64
+	// RepairStale counts verified results dropped at commit because the
+	// graph version changed mid-flight or the entry was evicted.
+	RepairStale int64
+	// RepairCPU sums the repair workers' verification time — CPU spent
+	// off the query path buying back cache validity.
+	RepairCPU time.Duration
 }
 
 func (m *Metrics) fold(st *QueryStats) {
@@ -147,6 +161,11 @@ type MetricsSnapshot struct {
 	ContainingHits  int64 `json:"containing_hits"`
 	ContainedHits   int64 `json:"contained_hits"`
 	ZeroTestQueries int64 `json:"zero_test_queries"`
+
+	RepairPlanned int64   `json:"repair_planned"`
+	RepairedBits  int64   `json:"repaired_bits"`
+	RepairStale   int64   `json:"repair_stale"`
+	RepairCPUSec  float64 `json:"repair_cpu_sec"`
 }
 
 // Snapshot converts the metrics to their JSON-serializable form.
@@ -168,6 +187,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ContainingHits:     m.ContainingHits,
 		ContainedHits:      m.ContainedHits,
 		ZeroTestQueries:    m.ZeroTestQueries,
+		RepairPlanned:      m.RepairPlanned,
+		RepairedBits:       m.RepairedBits,
+		RepairStale:        m.RepairStale,
+		RepairCPUSec:       m.RepairCPU.Seconds(),
 	}
 }
 

@@ -366,10 +366,9 @@ func (r *Runtime) finish(g *graph.Graph, kind cache.Kind, answer, live *bitset.S
 	if r.cache != nil {
 		at0 := time.Now()
 		if iso != nil {
-			iso.Answer.CopyFrom(answer)
-			iso.Valid.CopyFrom(live)
-			iso.Seq = r.cache.AppliedSeq()
-			iso.LastUsed = r.cache.Tick()
+			// Through the cache so the invalidation index follows the
+			// rewritten Answer/Valid bitsets.
+			r.cache.RefreshEntry(iso, answer, live)
 		} else {
 			costEst := r.avgTestCost.Mean()
 			if st.SubIsoTests > 0 {

@@ -1,0 +1,31 @@
+package dataset
+
+import "testing"
+
+// FuzzParseOpType checks that ParseOpType accepts exactly the paper's
+// four abbreviations and that accepted values round-trip through
+// OpType.String.
+func FuzzParseOpType(f *testing.F) {
+	for _, s := range []string{"ADD", "DEL", "UA", "UR", "", "add", "ADD ", "DELETE", "U", "URR"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		op, err := ParseOpType(s)
+		canonical := s == "ADD" || s == "DEL" || s == "UA" || s == "UR"
+		if err != nil {
+			if canonical {
+				t.Fatalf("ParseOpType rejected canonical %q: %v", s, err)
+			}
+			return
+		}
+		if !canonical {
+			t.Fatalf("ParseOpType accepted %q as %v", s, op)
+		}
+		if op.String() != s {
+			t.Fatalf("round trip %q → %v → %q", s, op, op.String())
+		}
+		if again, err := ParseOpType(op.String()); err != nil || again != op {
+			t.Fatalf("re-parse of %q: %v, %v", op.String(), again, err)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package ftv
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"gcplus/internal/graph"
+)
+
+// fuzzGraph decodes arbitrary bytes into a small labelled graph:
+// byte 0 picks the vertex count, the next n bytes pick labels, and the
+// remaining byte pairs propose edges (self loops and duplicates are
+// skipped so Build always succeeds).
+func fuzzGraph(data []byte) *graph.Graph {
+	if len(data) == 0 {
+		return graph.NewBuilder().MustBuild()
+	}
+	n := int(data[0])%7 + 1
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		lbl := graph.Label(0)
+		if 1+i < len(data) {
+			lbl = graph.Label(data[1+i] % 5)
+		}
+		b.AddVertex(lbl)
+	}
+	seen := map[[2]int]bool{}
+	for i := 1 + n; i+1 < len(data); i += 2 {
+		u, v := int(data[i])%n, int(data[i+1])%n
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// FuzzPathSignatures checks the FTV index's canonical path signatures
+// on arbitrary graphs: the enumeration must be deterministic, sorted
+// and duplicate-free; every signature must be the lexicographically
+// smaller reading direction of its path; every vertex label must appear
+// as a length-0 path; and raising maxLen must only ever add signatures.
+func FuzzPathSignatures(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 2, 3, 0, 1, 1, 2, 0, 2})
+	f.Add([]byte{6, 0, 0, 0, 0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 0})
+	f.Add([]byte{1, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := fuzzGraph(data)
+		var prev []string
+		for maxLen := 0; maxLen <= 3; maxLen++ {
+			sigs := PathSignatures(g, maxLen)
+			if again := PathSignatures(g, maxLen); !equalStrings(sigs, again) {
+				t.Fatalf("maxLen=%d: non-deterministic signatures", maxLen)
+			}
+			set := make(map[string]bool, len(sigs))
+			for i, s := range sigs {
+				if i > 0 && sigs[i-1] >= s {
+					t.Fatalf("maxLen=%d: signatures not strictly sorted at %d: %q ≥ %q",
+						maxLen, i, sigs[i-1], s)
+				}
+				set[s] = true
+				if rev := reverseSignature(t, s); rev < s {
+					t.Fatalf("maxLen=%d: %q is not canonical (reversal %q is smaller)", maxLen, s, rev)
+				}
+			}
+			for v := 0; v < g.NumVertices(); v++ {
+				if l := strconv.FormatUint(uint64(g.Label(v)), 10); !set[l] {
+					t.Fatalf("maxLen=%d: vertex label signature %q missing", maxLen, l)
+				}
+			}
+			for _, s := range prev {
+				if !set[s] {
+					t.Fatalf("maxLen=%d dropped signature %q present at maxLen=%d", maxLen, s, maxLen-1)
+				}
+			}
+			prev = sigs
+		}
+	})
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func reverseSignature(t *testing.T, sig string) string {
+	t.Helper()
+	parts := strings.Split(sig, "-")
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, "-")
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzGraphCodecRoundTrip feeds arbitrary bytes to the text-codec
+// parser; whatever parses successfully must survive a Write → Parse
+// round trip structurally unchanged. The first parse normalizes the
+// input (whitespace, name joining), so the round-tripped graphs are
+// compared against the *first* parse, which is the codec's fixed point.
+func FuzzGraphCodecRoundTrip(f *testing.F) {
+	f.Add("t g\nv 0 1\nv 1 2\ne 0 1\n")
+	f.Add("t a b\nv 0 0\n# comment\n\nt second\nv 0 4294967295\n")
+	f.Add("t cycle\nv 0 1\nv 1 1\nv 2 1\ne 0 1\ne 1 2\ne 0 2\n")
+	f.Add("v 0 1\n")     // vertex before header: must error
+	f.Add("t g\ne 0 1")  // edge with no vertices: must error
+	f.Add("t g\nv 1 1")  // non-dense ids: must error
+	f.Add("t g\nv 0 -1") // negative label: must error
+	f.Fuzz(func(t *testing.T, input string) {
+		first, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // invalid input is fine; it just must not crash
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, first); err != nil {
+			t.Fatalf("Write failed on parsed graphs: %v", err)
+		}
+		second, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of written output failed: %v\noutput:\n%s", err, buf.String())
+		}
+		if len(second) != len(first) {
+			t.Fatalf("round trip changed graph count: %d → %d", len(first), len(second))
+		}
+		for i := range first {
+			requireSameGraph(t, first[i], second[i])
+		}
+	})
+}
+
+func requireSameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.Name() != b.Name() {
+		t.Fatalf("name %q → %q", a.Name(), b.Name())
+	}
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape %d/%d → %d/%d vertices/edges",
+			a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if a.Label(v) != b.Label(v) {
+			t.Fatalf("vertex %d label %d → %d", v, a.Label(v), b.Label(v))
+		}
+	}
+	ae, be := a.EdgeList(), b.EdgeList()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d: %v → %v", i, ae[i], be[i])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -9,6 +10,16 @@ import (
 	"gcplus/internal/changeplan"
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
+)
+
+// Request-body limits. Handlers wrap bodies in http.MaxBytesReader so an
+// oversized (or unbounded) upload is cut off at the limit and answered
+// with 413 instead of being buffered into memory. Queries are single
+// pattern graphs — small by nature; update batches carry whole graphs
+// and get more headroom.
+const (
+	maxQueryBodyBytes  = 1 << 20  // 1 MiB
+	maxUpdateBodyBytes = 16 << 20 // 16 MiB
 )
 
 // The HTTP API of cmd/gcserve:
@@ -51,9 +62,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "kind must be sub or super, got %q", kind)
 		return
 	}
-	graphs, err := graph.Parse(r.Body)
+	graphs, err := graph.Parse(http.MaxBytesReader(w, r.Body, maxQueryBodyBytes))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad query graph: %v", err)
+		httpError(w, bodyErrorStatus(err), "bad query graph: %v", err)
 		return
 	}
 	if len(graphs) != 1 {
@@ -149,10 +160,10 @@ type wireOpResult struct {
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req updateRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUpdateBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad update request: %v", err)
+		httpError(w, bodyErrorStatus(err), "bad update request: %v", err)
 		return
 	}
 	if len(req.Ops) == 0 {
@@ -197,6 +208,16 @@ func statusOf(err error) int {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
+}
+
+// bodyErrorStatus maps a request-body read/decode failure to a status:
+// 413 when the MaxBytesReader limit was hit, 400 otherwise.
+func bodyErrorStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -215,6 +215,38 @@ func TestHTTPErrors(t *testing.T) {
 		}
 	}
 
+	// Oversized request bodies are cut off at the MaxBytesReader limit
+	// and answered with 413, for both the text-codec query body and the
+	// JSON update body.
+	bigQuery := strings.Repeat("# padding line to exceed the query body limit\n", maxQueryBodyBytes/46+2)
+	resp413, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader(bigQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp413.Body.Close()
+	if resp413.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized query body: status %d, want 413", resp413.StatusCode)
+	}
+	bigUpdate := `{"ops":[{"op":"ADD","graph":"` + strings.Repeat("x", maxUpdateBodyBytes) + `"}]}`
+	resp413, err = http.Post(ts.URL+"/update", "application/json", strings.NewReader(bigUpdate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp413.Body.Close()
+	if resp413.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized update body: status %d, want 413", resp413.StatusCode)
+	}
+	// A body under the limit still parses (regression guard for the
+	// wrapping itself).
+	resp413, err = http.Post(ts.URL+"/query", "text/plain", strings.NewReader("t q\nv 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp413.Body.Close()
+	if resp413.StatusCode != http.StatusOK {
+		t.Fatalf("small query body: status %d, want 200", resp413.StatusCode)
+	}
+
 	// A closed server answers 503.
 	srv.Close()
 	resp, err := http.Post(ts.URL+"/query", "text/plain", strings.NewReader("t q\nv 0 1\n"))

@@ -81,6 +81,17 @@ type Options struct {
 	// latency-sensitive deployments where single queries face large
 	// candidate sets.
 	VerifyParallelism int
+	// RepairParallelism bounds each shard's background repair worker:
+	// validity bits cleared by CON validation are re-verified off the
+	// query path by up to this many goroutines and restored when the
+	// verified relation still holds. 0 picks the default of 1 worker per
+	// shard. Repair applies only to CON caches; see DisableRepair.
+	RepairParallelism int
+	// DisableRepair turns the background repair pipeline off, leaving
+	// cleared validity bits dead until a future query re-verifies them
+	// on the hot path (the pre-repair behavior, and the baseline the
+	// gcbench update-heavy scenario compares against).
+	DisableRepair bool
 }
 
 func (o Options) withDefaults() Options {
@@ -94,7 +105,44 @@ func (o Options) withDefaults() Options {
 		o.Cache = &cache.Config{}
 	}
 	o.VerifyParallelism = ResolveVerifyParallelism(o.VerifyParallelism, o.Shards)
+	o.RepairParallelism = ResolveRepairParallelism(o.RepairParallelism, o.repairEnabled())
+	if o.RepairParallelism > 0 && o.Cache.RepairQueue == 0 {
+		// Copy before defaulting: the Config pointer belongs to the
+		// caller and must not be mutated as a side effect.
+		cfg := *o.Cache
+		cfg.RepairQueue = DefaultRepairQueue
+		o.Cache = &cfg
+	}
 	return o
+}
+
+// repairEnabled reports whether the configuration supports background
+// repair: a CON cache (EVI purges wholesale — there is nothing to
+// repair) with repair not explicitly disabled.
+func (o Options) repairEnabled() bool {
+	return !o.DisableRepair && !o.DisableCache &&
+		o.Cache != nil && o.Cache.Model == cache.ModelCON
+}
+
+// DefaultRepairQueue is the per-shard bound on queued invalidated
+// (entry, graph) pairs awaiting repair. Beyond it the validator drops
+// pairs (they simply stay invalid), keeping repair memory bounded under
+// pathological churn.
+const DefaultRepairQueue = 4096
+
+// ResolveRepairParallelism returns the per-shard repair worker count a
+// Server with the given settings runs with: 0 when repair is disabled,
+// otherwise the configured value with a floor of 1. Exported so
+// harnesses recording benchmark configurations can log the effective
+// value.
+func ResolveRepairParallelism(repairPar int, enabled bool) int {
+	if !enabled {
+		return 0
+	}
+	if repairPar < 1 {
+		return 1
+	}
+	return repairPar
 }
 
 // ResolveVerifyParallelism returns the per-shard verification worker
@@ -177,7 +225,7 @@ func New(initial []*graph.Graph, opts Options) (*Server, error) {
 			cfg := *opts.Cache
 			coreOpts.Cache = &cfg
 		}
-		sh, err := newShard(i, parts[i], gids[i], coreOpts)
+		sh, err := newShard(i, parts[i], gids[i], coreOpts, opts.RepairParallelism)
 		if err != nil {
 			s.stopShards()
 			return nil, err
@@ -483,6 +531,10 @@ type ShardStats struct {
 	// HitRate is the fraction of shard queries answered with zero
 	// Method M sub-iso tests.
 	HitRate float64 `json:"hit_rate"`
+	// ValidityRatio is the fraction of (entry, live graph) validity bits
+	// currently set in the shard cache — the metric the background
+	// repair pipeline recovers after update churn (1 when disabled).
+	ValidityRatio float64 `json:"validity_ratio"`
 	// Metrics is the shard runtime's aggregate query statistics.
 	Metrics core.MetricsSnapshot `json:"metrics"`
 	// Cache is the shard cache's state snapshot (zero when disabled).
@@ -503,6 +555,13 @@ type Stats struct {
 	Queries int64 `json:"queries"`
 	// HitRate is the mean per-shard zero-test rate.
 	HitRate float64 `json:"hit_rate"`
+	// ValidityRatio is the mean per-shard cache validity ratio.
+	ValidityRatio float64 `json:"validity_ratio"`
+	// RepairedBits sums the validity bits restored by the repair
+	// pipeline across shards.
+	RepairedBits int64 `json:"repaired_bits"`
+	// PendingRepairs sums the queued invalidated pairs across shards.
+	PendingRepairs int `json:"pending_repairs"`
 	// PerShard holds the shard breakdown.
 	PerShard []ShardStats `json:"per_shard"`
 }
@@ -525,12 +584,13 @@ func (s *Server) Stats() (*Stats, error) {
 			defer wg.Done()
 			m := sh.rt.Metrics()
 			per[i] = ShardStats{
-				Shard:      sh.id,
-				LiveGraphs: sh.ds.LiveCount(),
-				LogSeq:     sh.ds.Seq(),
-				HitRate:    m.HitRate(),
-				Metrics:    m.Snapshot(),
-				Cache:      sh.rt.CacheStats(),
+				Shard:         sh.id,
+				LiveGraphs:    sh.ds.LiveCount(),
+				LogSeq:        sh.ds.Seq(),
+				HitRate:       m.HitRate(),
+				ValidityRatio: sh.rt.ValidityRatio(),
+				Metrics:       m.Snapshot(),
+				Cache:         sh.rt.CacheStats(),
 			}
 		}
 	}
@@ -541,12 +601,16 @@ func (s *Server) Stats() (*Stats, error) {
 	for _, ss := range per {
 		out.LiveGraphs += ss.LiveGraphs
 		out.HitRate += ss.HitRate
+		out.ValidityRatio += ss.ValidityRatio
+		out.RepairedBits += ss.Cache.RepairedBits
+		out.PendingRepairs += ss.Cache.PendingRepairs
 		if ss.Metrics.Queries > out.Queries {
 			out.Queries = ss.Metrics.Queries
 		}
 	}
 	if len(per) > 0 {
 		out.HitRate /= float64(len(per))
+		out.ValidityRatio /= float64(len(per))
 	}
 	return out, nil
 }

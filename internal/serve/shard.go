@@ -24,6 +24,14 @@ type shard struct {
 	jobs chan func()
 	done chan struct{}
 
+	// Background repair pipeline (nil channels when repair is off). The
+	// repair goroutine never touches shard state directly: it enqueues a
+	// plan job and a commit job on the worker (owner context) and runs
+	// only the verification phase — which reads immutable data — itself.
+	repairKick chan struct{} // worker → repair loop: queue non-empty
+	repairQuit chan struct{} // closed by stop, before jobs is closed
+	repairDone chan struct{} // closed when the repair loop has exited
+
 	// localToGlobal translates shard-local graph ids to global ids. It
 	// is appended to by ADD jobs and read by query jobs — both run on
 	// the worker goroutine, so no locking is needed.
@@ -37,8 +45,9 @@ type shard struct {
 }
 
 // newShard builds a shard over its partition. gids lists the global ids
-// of the partition graphs in local-id order.
-func newShard(id int, part []*graph.Graph, gids []int, opts core.Options) (*shard, error) {
+// of the partition graphs in local-id order. repairPar > 0 starts the
+// shard's background repair worker with that verification parallelism.
+func newShard(id int, part []*graph.Graph, gids []int, opts core.Options, repairPar int) (*shard, error) {
 	ds := dataset.New(part)
 	rt, err := core.NewRuntime(ds, opts)
 	if err != nil {
@@ -53,20 +62,83 @@ func newShard(id int, part []*graph.Graph, gids []int, opts core.Options) (*shar
 		localToGlobal: gids,
 		nextLocal:     len(part),
 	}
+	if repairPar > 0 && rt.CacheEnabled() {
+		sh.repairKick = make(chan struct{}, 1)
+		sh.repairQuit = make(chan struct{})
+		sh.repairDone = make(chan struct{})
+		go sh.repairLoop(repairPar)
+	}
 	go sh.loop()
 	return sh, nil
 }
 
 // loop is the worker goroutine: drain jobs in FIFO order until stopped.
+// After every job it kicks the repair loop if validation left
+// invalidated pairs behind (PendingRepairs is an owner-context read).
 func (sh *shard) loop() {
 	defer close(sh.done)
 	for job := range sh.jobs {
 		job()
+		if sh.repairKick != nil && sh.rt.PendingRepairs() > 0 {
+			select {
+			case sh.repairKick <- struct{}{}:
+			default: // a kick is already pending
+			}
+		}
 	}
 }
 
-// stop closes the job queue and waits for the worker to drain it.
+// repairLoop is the shard's background repair worker. Each round drains
+// one batch of invalidated (entry, graph) pairs via an owner-context
+// plan job, re-verifies them on this goroutine (fanning out to
+// parallelism workers over immutable data), and restores the surviving
+// bits via an owner-context commit job. Because plan and commit run on
+// the worker goroutine, repair interleaves with queries and update
+// batches without locks and can never race an in-flight batch; the
+// graph-version pointer check in CommitRepairs drops any result an
+// interleaved update made stale.
+func (sh *shard) repairLoop(parallelism int) {
+	defer close(sh.repairDone)
+	for {
+		select {
+		case <-sh.repairQuit:
+			return
+		case <-sh.repairKick:
+		}
+		for {
+			select {
+			case <-sh.repairQuit:
+				return
+			default:
+			}
+			var jobs []core.RepairJob
+			planned := make(chan struct{})
+			sh.jobs <- func() {
+				jobs = sh.rt.PlanRepairs(core.DefaultRepairBatch)
+				close(planned)
+			}
+			<-planned
+			if len(jobs) == 0 {
+				break
+			}
+			results := sh.rt.VerifyRepairs(jobs, parallelism)
+			committed := make(chan struct{})
+			sh.jobs <- func() {
+				sh.rt.CommitRepairs(results)
+				close(committed)
+			}
+			<-committed
+		}
+	}
+}
+
+// stop shuts the shard down: first the repair loop (it enqueues jobs,
+// so it must exit before the queue closes), then the worker.
 func (sh *shard) stop() {
+	if sh.repairQuit != nil {
+		close(sh.repairQuit)
+		<-sh.repairDone
+	}
 	close(sh.jobs)
 	<-sh.done
 }

@@ -6,12 +6,30 @@ package testutil
 
 import (
 	"math/rand"
+	"testing"
 
 	"gcplus/internal/bitset"
+	"gcplus/internal/cache"
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
 	"gcplus/internal/subiso"
 )
+
+// RequireCacheIndex fails the test when the cache's inverted
+// invalidation index violates its invariant (index pairs must be exactly
+// the live entries' set validity bits; see cache.CheckIndex). Test
+// suites call it after every mutation sequence — admit, evict, purge,
+// validate, repair — so index maintenance bugs surface at the mutation
+// that introduced them.
+func RequireCacheIndex(t testing.TB, c *cache.Cache) {
+	t.Helper()
+	if c == nil {
+		return
+	}
+	if err := c.CheckIndex(); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // RandomGraph generates a random labelled graph with 1..maxN vertices,
 // labels drawn from [0, labels) and independent edge probability p.
