@@ -12,6 +12,8 @@
 //	gcbench -throughput -shards 8 -clients 16   # concurrent serving summary
 //	gcbench -throughput -update-kind churn -update-every 10 -eager         # repair on
 //	gcbench -throughput -update-kind churn -update-every 10 -eager -norepair  # baseline
+//	gcbench -throughput -cache 2000 -queries 5000 -update-every 0             # large cache, query index on
+//	gcbench -throughput -cache 2000 -queries 5000 -update-every 0 -hit-index=false  # linear-scan baseline
 //
 // The -throughput mode drives the sharded serving front-end (the system
 // behind cmd/gcserve) with concurrent clients and a live update stream,
@@ -58,6 +60,8 @@ func main() {
 		updateKind  = flag.String("update-kind", "add", "throughput: update stream shape: add (live ingest) or churn (UA/UR edge toggles on existing graphs)")
 		repairPar   = flag.Int("repair-parallelism", 0, "throughput: per-shard background cache-repair workers (0 = default of 1)")
 		norepair    = flag.Bool("norepair", false, "throughput: disable background cache repair (baseline for the churn scenario)")
+		cacheCap    = flag.Int("cache", 0, "throughput: per-shard cache capacity (0 = scale default; the query index targets 2000-10000)")
+		hitIndex    = flag.Bool("hit-index", true, "throughput: maintain the cache query index for sub-linear hit discovery (false = linear scan baseline)")
 	)
 	flag.Parse()
 	if *figure == "" && !*insights && *ablation == "" && !*throughput {
@@ -103,6 +107,8 @@ func main() {
 			VerifyParallelism: *verifyPar,
 			RepairParallelism: *repairPar,
 			DisableRepair:     *norepair,
+			CacheCapacity:     *cacheCap,
+			DisableHitIndex:   !*hitIndex,
 			Seed:              *seed,
 		}, progress)
 		if err != nil {

@@ -50,6 +50,7 @@ func main() {
 		nocache   = flag.Bool("nocache", false, "disable GC+ caching (raw Method M baseline)")
 		eager     = flag.Bool("eager", false, "validate caches at update time instead of lazily at query time")
 		verifyPar = flag.Int("verify-parallelism", 0, "per-shard intra-query verification workers (0 = auto: GOMAXPROCS/shards, 1 = sequential)")
+		hitIndex  = flag.Bool("hit-index", true, "maintain the cache query index for sub-linear hit discovery (false = linear scan reference)")
 		repairPar = flag.Int("repair-parallelism", 0, "per-shard background cache-repair workers (0 = default of 1)")
 		norepair  = flag.Bool("norepair", false, "disable background cache repair (invalidated bits stay dead until a query re-verifies them)")
 	)
@@ -68,6 +69,7 @@ func main() {
 	opts.VerifyParallelism = *verifyPar
 	opts.RepairParallelism = *repairPar
 	opts.DisableRepair = *norepair
+	opts.DisableHitIndex = !*hitIndex
 	if opts.Model, err = cache.ParseModel(*modelName); err != nil {
 		log.Fatal("gcserve: ", err)
 	}
@@ -81,10 +83,12 @@ func main() {
 	}
 	defer srv.Close()
 
-	// Repair only actually runs for CON caches; report the resolved state.
+	// Repair only runs for CON caches and the query index only exists
+	// when a cache does; report the resolved states, not the raw flags.
 	repairOn := !*norepair && !*nocache && opts.Model == cache.ModelCON
-	log.Printf("gcserve: %d graphs across %d shards (method=%s model=%s policy=%s cache=%d eager=%v repair=%v) on %s",
-		len(initial), srv.Shards(), *method, *modelName, *policy, *cacheCap, *eager, repairOn, *addr)
+	hitIndexOn := *hitIndex && !*nocache
+	log.Printf("gcserve: %d graphs across %d shards (method=%s model=%s policy=%s cache=%d eager=%v repair=%v hit-index=%v) on %s",
+		len(initial), srv.Shards(), *method, *modelName, *policy, *cacheCap, *eager, repairOn, hitIndexOn, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 

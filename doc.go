@@ -95,4 +95,22 @@
 // the per-shard verification fan-out; DisableRepair restores the
 // pre-repair behavior. Stats report validity_ratio, repaired_bits and
 // pending_repairs per shard.
+//
+// # Query index
+//
+// Hit discovery — finding the cached queries that contain a new query
+// and those it contains — used to scan every cache entry, which caps
+// usable cache capacity. Each cache maintains a query index instead:
+// per-label count postings, size and degree buckets and short-path
+// signature postings over entry slots select the few candidates a
+// query could relate to, and a memoized query-to-query relation graph
+// lets a repeated (isomorphic) query replay a cached entry's hit
+// classification with zero pairwise sub-iso tests. The index is on by
+// default and answers are bit-identical with it on or off
+// (Options.DisableHitIndex keeps the linear scan available as the
+// reference; a differential property test pins the two paths to each
+// other). QueryStats.HitCandidates and HitScanned — and the
+// hit_candidates metric on serving stats — report the realized
+// selectivity. The index is what makes per-shard cache capacities in
+// the thousands serve without hit discovery becoming the bottleneck.
 package gcplus

@@ -101,6 +101,14 @@ type Options struct {
 	// this many workers, each with its own compiled-matcher scratch.
 	// 0 means GOMAXPROCS; 1 keeps verification sequential.
 	VerifyParallelism int
+	// DisableHitIndex turns the cache's query index off, so hit
+	// discovery scans every cached entry linearly instead of asking the
+	// index for candidates. The index is on by default; disabling it is
+	// the reference/baseline mode for differential tests and benchmarks
+	// (at the paper's capacity of 100 the difference is modest, at
+	// capacities in the thousands the index is what keeps hit discovery
+	// off the critical path).
+	DisableHitIndex bool
 }
 
 // System is a GC+ instance: an evolving dataset plus the semantic cache
@@ -125,10 +133,11 @@ func Open(initial []*Graph, opts Options) (*System, error) {
 	coreOpts := core.Options{Algorithm: algo, VerifyParallelism: opts.VerifyParallelism}
 	if !opts.DisableCache {
 		coreOpts.Cache = &cache.Config{
-			Capacity:   opts.CacheSize,
-			WindowSize: opts.WindowSize,
-			Model:      opts.Model,
-			Policy:     opts.Policy,
+			Capacity:        opts.CacheSize,
+			WindowSize:      opts.WindowSize,
+			Model:           opts.Model,
+			Policy:          opts.Policy,
+			DisableHitIndex: opts.DisableHitIndex,
 		}
 	}
 	rt, err := core.NewRuntime(ds, coreOpts)
@@ -311,10 +320,11 @@ func NewServer(initial []*Graph, opts ServeOptions) (*Server, error) {
 	}
 	if !opts.DisableCache {
 		srvOpts.Cache = &cache.Config{
-			Capacity:   opts.CacheSize,
-			WindowSize: opts.WindowSize,
-			Model:      opts.Model,
-			Policy:     opts.Policy,
+			Capacity:        opts.CacheSize,
+			WindowSize:      opts.WindowSize,
+			Model:           opts.Model,
+			Policy:          opts.Policy,
+			DisableHitIndex: opts.DisableHitIndex,
 		}
 	}
 	srv, err := serve.New(initial, srvOpts)

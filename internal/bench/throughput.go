@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 	"sync"
@@ -33,8 +35,20 @@ type ThroughputConfig struct {
 	// Clients is the number of concurrent query goroutines (default 8).
 	Clients int
 	// Queries is the total number of queries issued across clients;
-	// defaults to Scale.Queries.
+	// defaults to Scale.Queries. When it exceeds Scale.Queries the
+	// workload is generated at the larger size, so every issued query
+	// is distinct — the shape a large per-shard cache needs to actually
+	// fill (repeating a short query list would collapse into isomorphic
+	// refreshes after the first lap).
 	Queries int
+	// CacheCapacity overrides the per-shard cache capacity when
+	// positive (Scale.CacheCapacity otherwise) — the large-capacity
+	// scenarios the query index exists for run at 2000–10000.
+	CacheCapacity int
+	// DisableHitIndex turns the cache query index off, so hit discovery
+	// linearly scans every cached entry: the baseline the index's
+	// hit-discovery speedup is measured against.
+	DisableHitIndex bool
 	// UpdateEvery applies one update batch of OpsPerBatch operations
 	// after every UpdateEvery queries (0 disables updates).
 	UpdateEvery int
@@ -109,6 +123,8 @@ type ThroughputResult struct {
 	DisableCache  bool    `json:"disable_cache"`
 	VerifyPar     int     `json:"verify_parallelism"`
 	RepairPar     int     `json:"repair_parallelism"`
+	CacheCapacity int     `json:"cache_capacity"`
+	HitIndex      bool    `json:"hit_index"`
 	Seed          int64   `json:"seed"`
 	Queries       int     `json:"queries"`
 	UpdateBatches int     `json:"update_batches"`
@@ -123,6 +139,21 @@ type ThroughputResult struct {
 	SubIsoTests   float64 `json:"subiso_tests_per_query"`
 	HitRate       float64 `json:"hit_rate"`
 	LiveGraphs    int     `json:"live_graphs"`
+	// HitMsMean is the mean hit-discovery time per front-end query,
+	// summed across shards (milliseconds) — the series the query index
+	// drives down as capacity grows.
+	HitMsMean float64 `json:"hit_ms_mean"`
+	// HitCandidates and HitScanned are the per-front-end-query mean
+	// number of entries hit discovery examined vs the cache+window size
+	// it faced; their ratio is the index's realized selectivity (1.0
+	// when the index is off, up to kind filtering).
+	HitCandidates float64 `json:"hit_candidates_per_query"`
+	HitScanned    float64 `json:"hit_scanned_per_query"`
+	// AnswersFNV is an order-independent FNV-1a digest over every
+	// (query index, answer ids) pair. Two runs on the same seed and
+	// workload with updates disabled must report the same digest —
+	// the bit-identical-answers check for index-on vs index-off runs.
+	AnswersFNV string `json:"answers_fnv"`
 	// ValidityRatio is the final mean per-shard cache validity ratio —
 	// the health metric background repair recovers under churn.
 	ValidityRatio float64 `json:"validity_ratio"`
@@ -140,7 +171,13 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 	if err != nil {
 		return nil, err
 	}
-	wl, err := memoizedWorkload(cfg.Workload, initial, cfg.Scale, cfg.Seed+1)
+	// Size the workload to the issued query count so large-capacity runs
+	// see distinct queries throughout (see ThroughputConfig.Queries).
+	wlScale := cfg.Scale
+	if cfg.Queries > wlScale.Queries {
+		wlScale.Queries = cfg.Queries
+	}
+	wl, err := memoizedWorkload(cfg.Workload, initial, wlScale, cfg.Seed+1)
 	if err != nil {
 		return nil, err
 	}
@@ -159,10 +196,15 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		RepairParallelism: cfg.RepairParallelism,
 		DisableRepair:     cfg.DisableRepair,
 	}
+	capacity := cfg.Scale.CacheCapacity
+	if cfg.CacheCapacity > 0 {
+		capacity = cfg.CacheCapacity
+	}
 	if !cfg.DisableCache {
 		srvOpts.Cache = &cache.Config{
-			Capacity:   cfg.Scale.CacheCapacity,
-			WindowSize: cfg.Scale.WindowSize,
+			Capacity:        capacity,
+			WindowSize:      cfg.Scale.WindowSize,
+			DisableHitIndex: cfg.DisableHitIndex,
 		}
 	}
 	srv, err := serve.New(initial, srvOpts)
@@ -179,6 +221,7 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		wg        sync.WaitGroup
 		mu        sync.Mutex
 		latencies = make([]float64, 0, cfg.Queries)
+		ansDigest uint64 // XOR of per-query answer hashes; guarded by mu
 		firstErr  error
 		next      int // next query index to claim; guarded by mu
 	)
@@ -248,6 +291,7 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		go func() {
 			defer wg.Done()
 			local := make([]float64, 0, cfg.Queries/cfg.Clients+1)
+			var digest uint64
 			for {
 				i := claim()
 				if i < 0 {
@@ -255,11 +299,13 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 				}
 				q := wl.Queries[i%len(wl.Queries)]
 				t0 := time.Now()
-				if _, err := srv.SubgraphQuery(q); err != nil {
+				res, err := srv.SubgraphQuery(q)
+				if err != nil {
 					fail(err)
 					break
 				}
 				local = append(local, time.Since(t0).Seconds())
+				digest ^= answerHash(i, res.IDs)
 				if cfg.UpdateEvery > 0 && (i+1)%cfg.UpdateEvery == 0 {
 					select {
 					case updates <- struct{}{}:
@@ -269,6 +315,7 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 			}
 			mu.Lock()
 			latencies = append(latencies, local...)
+			ansDigest ^= digest
 			mu.Unlock()
 		}()
 	}
@@ -285,10 +332,14 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 	if err != nil {
 		return nil, err
 	}
-	// Total Method M tests across shards, per front-end query.
-	totalTests := 0.0
+	// Total Method M tests, hit-discovery time and hit-discovery work
+	// across shards, per front-end query.
+	var totalTests, totalHitSec, totalHitCands, totalHitScanned float64
 	for _, ss := range st.PerShard {
 		totalTests += ss.Metrics.SubIsoTests.Mean * float64(ss.Metrics.SubIsoTests.N)
+		totalHitSec += ss.Metrics.HitTimeSec.Mean * float64(ss.Metrics.HitTimeSec.N)
+		totalHitCands += ss.Metrics.HitCandidates.Mean * float64(ss.Metrics.HitCandidates.N)
+		totalHitScanned += ss.Metrics.HitScanned.Mean * float64(ss.Metrics.HitScanned.N)
 	}
 	res := &ThroughputResult{
 		Scale:         cfg.Scale.Name,
@@ -304,6 +355,8 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		// say what actually ran.
 		VerifyPar:      serve.ResolveVerifyParallelism(cfg.VerifyParallelism, cfg.Shards),
 		RepairPar:      serve.ResolveRepairParallelism(cfg.RepairParallelism, !cfg.DisableRepair && !cfg.DisableCache),
+		CacheCapacity:  capacity,
+		HitIndex:       !cfg.DisableHitIndex && !cfg.DisableCache,
 		Seed:           cfg.Seed,
 		Queries:        len(latencies),
 		UpdateBatches:  updateBatches,
@@ -324,9 +377,32 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		res.QPS = float64(len(latencies)) / wall.Seconds()
 	}
 	if len(latencies) > 0 {
-		res.SubIsoTests = totalTests / float64(len(latencies))
+		n := float64(len(latencies))
+		res.SubIsoTests = totalTests / n
+		res.HitMsMean = totalHitSec / n * 1000
+		res.HitCandidates = totalHitCands / n
+		res.HitScanned = totalHitScanned / n
 	}
+	res.AnswersFNV = fmt.Sprintf("%016x", ansDigest)
 	return res, nil
+}
+
+// answerHash digests one query's answer: FNV-1a over the query's index
+// in the stream and its (already sorted) global answer ids. Per-query
+// hashes are XORed together so the digest is independent of client
+// interleaving.
+func answerHash(queryIdx int, ids []int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(queryIdx))
+	for _, id := range ids {
+		put(uint64(id))
+	}
+	return h.Sum64()
 }
 
 // toggleEdge is the writer's belief about one tracked edge of an

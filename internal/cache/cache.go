@@ -56,6 +56,16 @@ type Config struct {
 	// disables collection entirely; when the queue is full further pairs
 	// are dropped (and counted) rather than blocking the validator.
 	RepairQueue int
+	// DisableHitIndex turns the query index off: hit discovery falls
+	// back to the linear scan over every entry (the differential-test
+	// reference). The index is on by default — it is what keeps hit
+	// discovery sub-linear as Capacity grows past the paper's 100.
+	DisableHitIndex bool
+	// HitIndexPathLen bounds the path length (in edges) of the query
+	// index's path-signature postings: 0 means DefaultHitIndexPathLen,
+	// negative disables path postings (label and size-bucket postings
+	// remain). Ignored when DisableHitIndex is set.
+	HitIndexPathLen int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,7 +78,28 @@ func (c Config) withDefaults() Config {
 	if c.Policy == "" {
 		c.Policy = PolicyHD
 	}
+	if c.HitIndexPathLen == 0 {
+		c.HitIndexPathLen = DefaultHitIndexPathLen
+	}
 	return c
+}
+
+// Validate rejects configurations that name an unknown replacement
+// policy or consistency model. Zero values are fine (withDefaults fills
+// them); the point is that a mistyped Policy fails loudly here instead
+// of silently scoring like PIN at the first eviction. core.NewRuntime
+// calls it and returns the error; New panics on it, so no invalid
+// configuration can reach scoreAll either way.
+func (c Config) Validate() error {
+	switch c.Policy {
+	case "", PolicyPIN, PolicyPINC, PolicyHD, PolicyLRU, PolicyLFU:
+	default:
+		return fmt.Errorf("cache: unknown policy %q (want PIN, PINC, HD, LRU or LFU)", c.Policy)
+	}
+	if c.Model != ModelCON && c.Model != ModelEVI {
+		return fmt.Errorf("cache: unknown model %d (want ModelCON or ModelEVI)", c.Model)
+	}
+	return nil
 }
 
 // Cache holds admitted entries plus the admission window. It is not
@@ -85,6 +116,9 @@ type Cache struct {
 	// idx is the inverted invalidation index: graph id -> slots of
 	// entries whose Valid bit covers it (see index.go).
 	idx *invIndex
+	// qidx is the query index backing sub-linear hit discovery (see
+	// qindex.go); nil when Config.DisableHitIndex is set.
+	qidx *queryIndex
 	// slots holds the live entries by slot; freeSlots recycles slots of
 	// evicted entries so index bitsets stay small.
 	slots     []*Entry
@@ -101,9 +135,18 @@ type Cache struct {
 	repairDropped int64
 }
 
-// New builds an empty cache.
+// New builds an empty cache. It panics on an invalid configuration
+// (unknown policy or model); callers that want an error instead should
+// run Config.Validate first, as core.NewRuntime does.
 func New(cfg Config) *Cache {
-	c := &Cache{cfg: cfg.withDefaults(), idx: newInvIndex()}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg, idx: newInvIndex()}
+	if !cfg.DisableHitIndex {
+		c.qidx = newQueryIndex(cfg.HitIndexPathLen)
+	}
 	return c
 }
 
@@ -156,7 +199,22 @@ func (c *Cache) ForEach(fn func(*Entry) bool) {
 // When the window fills up it is flushed into the cache, triggering
 // replacement if capacity is exceeded. Entries must already carry answer,
 // validity and seq per NewEntry.
-func (c *Cache) Add(e *Entry) {
+//
+// Add records no query-to-query relations, which permanently disables
+// the query index's repeated-query fast path for this cache — it exists
+// for cache-level tests. The runtime admits via AddWithRelations.
+func (c *Cache) Add(e *Entry) { c.AddWithRelations(e, nil, nil) }
+
+// AddWithRelations is Add plus the hit classification of e.Query
+// against the current cache contents: containing holds the live
+// same-kind entries whose queries contain e.Query, contained those it
+// contains (an isomorphic entry would belong to both, but the runtime
+// never admits alongside one — it refreshes instead). The query index
+// memoizes the relations so a later query isomorphic to e.Query reads
+// its hits instead of re-deriving them (ForEachRelated). Passing nil
+// slices means the relations are unknown; pass empty non-nil slices for
+// a query with no hits.
+func (c *Cache) AddWithRelations(e *Entry, containing, contained []*Entry) {
 	e.ID = c.nextID
 	c.nextID++
 	if e.LastUsed == 0 {
@@ -164,6 +222,9 @@ func (c *Cache) Add(e *Entry) {
 	}
 	c.assignSlot(e)
 	c.idx.addEntry(e)
+	if c.qidx != nil {
+		c.qidx.addEntry(e, containing, contained)
+	}
 	c.window = append(c.window, e)
 	if len(c.window) >= c.cfg.WindowSize {
 		c.flushWindow()
@@ -171,7 +232,8 @@ func (c *Cache) Add(e *Entry) {
 }
 
 // flushWindow moves the window into the cache and evicts down to capacity
-// using the configured policy.
+// using the configured policy. Entries keep their slots across the move,
+// so neither index changes.
 func (c *Cache) flushWindow() {
 	c.entries = append(c.entries, c.window...)
 	c.admitted += int64(len(c.window))
@@ -184,7 +246,7 @@ func (c *Cache) evictToCapacity() {
 	if over <= 0 {
 		return
 	}
-	scores := c.cfg.Policy.scoreAll(c.entries)
+	scores := c.cfg.Policy.scoreAll(c.entries, c.RValues())
 	// Evict the `over` lowest-scored entries; ties break towards older
 	// IDs so runs are reproducible.
 	idx := make([]int, len(c.entries))

@@ -292,6 +292,16 @@ func TestEvictionTieBreaksByID(t *testing.T) {
 	})
 }
 
+// rValuesOf mirrors Cache.RValues for a bare entry slice: the R
+// distribution HD's CoV² decision reads.
+func rValuesOf(entries []*Entry) []float64 {
+	out := make([]float64, len(entries))
+	for i, e := range entries {
+		out[i] = e.R
+	}
+	return out
+}
+
 func TestPolicyScores(t *testing.T) {
 	e1 := testEntry(KindSub, nil, nil, 0)
 	e1.R, e1.CostEst, e1.Hits, e1.LastUsed = 10, 0.5, 3, 100
@@ -299,16 +309,17 @@ func TestPolicyScores(t *testing.T) {
 	e2.R, e2.CostEst, e2.Hits, e2.LastUsed = 4, 2.0, 9, 50
 	entries := []*Entry{e1, e2}
 
-	if s := PolicyPIN.scoreAll(entries); s[0] != 10 || s[1] != 4 {
+	rvals := rValuesOf(entries)
+	if s := PolicyPIN.scoreAll(entries, rvals); s[0] != 10 || s[1] != 4 {
 		t.Errorf("PIN scores %v", s)
 	}
-	if s := PolicyPINC.scoreAll(entries); s[0] != 5 || s[1] != 8 {
+	if s := PolicyPINC.scoreAll(entries, rvals); s[0] != 5 || s[1] != 8 {
 		t.Errorf("PINC scores %v", s)
 	}
-	if s := PolicyLRU.scoreAll(entries); s[0] != 100 || s[1] != 50 {
+	if s := PolicyLRU.scoreAll(entries, rvals); s[0] != 100 || s[1] != 50 {
 		t.Errorf("LRU scores %v", s)
 	}
-	if s := PolicyLFU.scoreAll(entries); s[0] != 3 || s[1] != 9 {
+	if s := PolicyLFU.scoreAll(entries, rvals); s[0] != 3 || s[1] != 9 {
 		t.Errorf("LFU scores %v", s)
 	}
 }
@@ -319,7 +330,7 @@ func TestHDSwitchesOnCoV(t *testing.T) {
 	low1.R, low1.CostEst = 10, 3
 	low2 := testEntry(KindSub, nil, nil, 0)
 	low2.R, low2.CostEst = 11, 1
-	s := PolicyHD.scoreAll([]*Entry{low1, low2})
+	s := PolicyHD.scoreAll([]*Entry{low1, low2}, rValuesOf([]*Entry{low1, low2}))
 	if s[0] != 30 || s[1] != 11 {
 		t.Errorf("HD low-CoV scores %v, want PINC scores", s)
 	}
@@ -332,7 +343,7 @@ func TestHDSwitchesOnCoV(t *testing.T) {
 	hi3.R, hi3.CostEst = 1, 1
 	hi4 := testEntry(KindSub, nil, nil, 0)
 	hi4.R, hi4.CostEst = 1, 1
-	s = PolicyHD.scoreAll([]*Entry{hi1, hi2, hi3, hi4})
+	s = PolicyHD.scoreAll([]*Entry{hi1, hi2, hi3, hi4}, rValuesOf([]*Entry{hi1, hi2, hi3, hi4}))
 	if s[0] != 1000 || s[1] != 1 {
 		t.Errorf("HD high-CoV scores %v, want PIN scores", s)
 	}

@@ -10,6 +10,13 @@
 //     changed (§5.1);
 //   - ModelCON refreshes each cached query's CGvalid bitset from the Log
 //     Analyzer's counters, preserving still-valid results (§5.2).
+//
+// Beyond the paper, the cache maintains two slot-addressed indexes over
+// its entries: the inverted invalidation index (index.go), which lets
+// the Validator and the background repair pipeline touch only affected
+// (entry, graph) pairs, and the query index (qindex.go), which makes
+// hit discovery sub-linear in the cache size and memoizes
+// query-to-query containment relations for repeated queries.
 package cache
 
 import (
@@ -76,8 +83,9 @@ type Entry struct {
 	LastUsed int64
 
 	// slot is the entry's index in the cache's slot table; the inverted
-	// invalidation index addresses entries by slot so its bitsets stay
-	// dense under eviction churn. Managed by Cache.assignSlot/releaseEntry.
+	// invalidation index and the query index both address entries by
+	// slot so their bitsets stay dense under eviction churn. Managed by
+	// Cache.assignSlot/releaseEntry.
 	slot int
 	// dead marks an evicted or purged entry so queued repair tasks that
 	// still reference it are skipped instead of resurrecting its bits.

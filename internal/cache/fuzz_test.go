@@ -1,6 +1,12 @@
 package cache
 
-import "testing"
+import (
+	"testing"
+
+	"gcplus/internal/bitset"
+	"gcplus/internal/graph"
+	"gcplus/internal/subiso"
+)
 
 // FuzzParseModel checks that ParseModel accepts exactly CON and EVI and
 // that accepted values round-trip through Model.String.
@@ -22,6 +28,94 @@ func FuzzParseModel(f *testing.F) {
 		}
 		if m.String() != s {
 			t.Fatalf("round trip %q → %v → %q", s, m, m.String())
+		}
+	})
+}
+
+// FuzzQueryIndex drives a random operation stream — admissions (with
+// brute-force-derived relations, as the runtime would supply), window
+// flushes, evictions, refreshes and purges — against the query index
+// and checks both cache index invariants after every operation.
+func FuzzQueryIndex(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{200, 63, 17, 99, 250, 1, 42, 42, 42, 13, 13, 13, 7, 7})
+	f.Add([]byte{255, 254, 253, 3, 9, 27, 81, 243, 12, 34, 56, 78, 90})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := New(Config{Capacity: 6, WindowSize: 2})
+		oracle := subiso.Brute{}
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		check := func(op string) {
+			if err := c.CheckIndex(); err != nil {
+				t.Fatalf("after %s: %v", op, err)
+			}
+			if err := c.CheckQueryIndex(); err != nil {
+				t.Fatalf("after %s: %v", op, err)
+			}
+		}
+		var live []*Entry
+		refreshLive := func() {
+			live = live[:0]
+			c.ForEach(func(e *Entry) bool {
+				live = append(live, e)
+				return true
+			})
+		}
+		for pos < len(data) {
+			switch op := next() % 8; op {
+			case 7: // purge (rare-ish)
+				c.Purge()
+				check("purge")
+			case 6: // refresh a live entry in place
+				refreshLive()
+				if len(live) > 0 {
+					e := live[int(next())%len(live)]
+					c.RefreshEntry(e, bitset.FromIndices(int(next())%8), bitset.FromIndices(0, 1, 2))
+					check("refresh")
+				}
+			default: // admit a small graph with exact relations
+				b := graph.NewBuilder()
+				n := 1 + int(next())%4
+				for i := 0; i < n; i++ {
+					b.AddVertex(graph.Label(next() % 3))
+				}
+				mask := next()
+				edge := 0
+				for u := 0; u < n; u++ {
+					for v := u + 1; v < n; v++ {
+						if mask&(1<<uint(edge%8)) != 0 {
+							b.AddEdge(u, v)
+						}
+						edge++
+					}
+				}
+				g := b.MustBuild()
+				kind := Kind(op % 2)
+				e := NewEntry(g, kind, bitset.FromIndices(int(next())%8), bitset.FromIndices(0, 1, 2, 3), 0, 1)
+				containing, contained := []*Entry{}, []*Entry{}
+				refreshLive()
+				for _, o := range live {
+					if o.Kind != kind {
+						continue
+					}
+					if oracle.Contains(g, o.Query) {
+						containing = append(containing, o)
+					}
+					if oracle.Contains(o.Query, g) {
+						contained = append(contained, o)
+					}
+				}
+				c.AddWithRelations(e, containing, contained)
+				check("add")
+			}
 		}
 	})
 }

@@ -38,13 +38,20 @@ func ParsePolicy(s string) (Policy, error) {
 
 // scoreAll computes the eviction score of every entry under the policy.
 // HD decides between PIN and PINC once per invocation, from the CoV² of
-// the R distribution (the paper's Statistics Manager + [20] CoV test).
-func (p Policy) scoreAll(entries []*Entry) []float64 {
+// rvalues — the cache's full R distribution as documented by
+// Cache.RValues (admitted entries plus window). Eviction only ever runs
+// right after a window flush, when the window is empty, so the sample
+// and the scored entries coincide there; passing the distribution
+// explicitly pins that semantics instead of leaving it an accident of
+// call order. Config validation guarantees the policy is known, so an
+// unrecognized value is a programming error and panics rather than
+// silently scoring like PIN.
+func (p Policy) scoreAll(entries []*Entry, rvalues []float64) []float64 {
 	eff := p
 	if p == PolicyHD {
 		var r stats.Running
-		for _, e := range entries {
-			r.Add(e.R)
+		for _, v := range rvalues {
+			r.Add(v)
 		}
 		if r.CoV2() > 1 {
 			eff = PolicyPIN
@@ -64,7 +71,7 @@ func (p Policy) scoreAll(entries []*Entry) []float64 {
 		case PolicyLFU:
 			scores[i] = float64(e.Hits)
 		default:
-			scores[i] = e.R
+			panic(fmt.Sprintf("cache: scoreAll on unvalidated policy %q", p))
 		}
 	}
 	return scores

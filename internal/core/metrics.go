@@ -35,6 +35,13 @@ type Metrics struct {
 	SubIsoTests stats.Running
 	// TestsSaved aggregates per-query spared tests.
 	TestsSaved stats.Running
+	// HitCandidates aggregates the per-query number of entries hit
+	// discovery examined (index candidates, or every same-kind entry
+	// when the query index is off).
+	HitCandidates stats.Running
+	// HitScanned aggregates the per-query cache+window size at hit
+	// discovery; HitCandidates/HitScanned is the index's selectivity.
+	HitScanned stats.Running
 
 	// Hit-type counters (§7.2 insight metrics).
 
@@ -79,6 +86,8 @@ func (m *Metrics) fold(st *QueryStats) {
 	m.ConsistencyTime.AddDuration(st.ConsistencyTime)
 	m.SubIsoTests.Add(float64(st.SubIsoTests))
 	m.TestsSaved.Add(float64(st.TestsSaved))
+	m.HitCandidates.Add(float64(st.HitCandidates))
+	m.HitScanned.Add(float64(st.HitScanned))
 	if st.IsoHits > 0 {
 		m.IsoHitQueries++
 	}
@@ -154,6 +163,8 @@ type MetricsSnapshot struct {
 	ConsistencyTimeSec RunningSnapshot `json:"consistency_time_sec"`
 	SubIsoTests        RunningSnapshot `json:"subiso_tests"`
 	TestsSaved         RunningSnapshot `json:"tests_saved"`
+	HitCandidates      RunningSnapshot `json:"hit_candidates"`
+	HitScanned         RunningSnapshot `json:"hit_scanned"`
 
 	IsoHitQueries   int64 `json:"iso_hit_queries"`
 	ExactHits       int64 `json:"exact_hits"`
@@ -181,6 +192,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ConsistencyTimeSec: snap(m.ConsistencyTime),
 		SubIsoTests:        snap(m.SubIsoTests),
 		TestsSaved:         snap(m.TestsSaved),
+		HitCandidates:      snap(m.HitCandidates),
+		HitScanned:         snap(m.HitScanned),
 		IsoHitQueries:      m.IsoHitQueries,
 		ExactHits:          m.ExactHits,
 		EmptyShortcuts:     m.EmptyShortcuts,

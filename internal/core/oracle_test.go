@@ -66,7 +66,13 @@ func newOracleSystems(t *testing.T, initial []*graph.Graph) (gt *oracleSystem, s
 	}
 	gt = build("ground-truth", nil, false)
 	systems = []*oracleSystem{
+		// The query index is on by default, so plain "CON" doubles as
+		// the hit-index-on variant; "CON+noindex" pins the linear-scan
+		// discovery path and "CON+nopaths" the index without its
+		// path-signature postings.
 		build("CON", small(nil), false),
+		build("CON+noindex", small(func(c *cache.Config) { c.DisableHitIndex = true }), false),
+		build("CON+nopaths", small(func(c *cache.Config) { c.HitIndexPathLen = -1 }), false),
 		build("CON+repair", small(func(c *cache.Config) { c.RepairQueue = 4096 }), true),
 		build("EVI", small(func(c *cache.Config) { c.Model = cache.ModelEVI }), false),
 		build("strict", small(func(c *cache.Config) { c.StrictInvalidation = true }), false),

@@ -93,6 +93,11 @@ func NewRuntime(ds *dataset.Dataset, opts Options) (*Runtime, error) {
 		r.verifyPar = runtime.GOMAXPROCS(0)
 	}
 	if opts.Cache != nil {
+		// Fail loudly and gracefully on a mistyped policy or model
+		// instead of letting the first eviction silently score like PIN.
+		if err := opts.Cache.Validate(); err != nil {
+			return nil, err
+		}
 		r.cache = cache.New(*opts.Cache)
 	}
 	return r, nil
@@ -165,6 +170,15 @@ type QueryStats struct {
 	VerifyWorkers int
 	// HitTime is the hit-discovery portion of QueryTime.
 	HitTime time.Duration
+	// HitScanned is the number of cache+window entries present at hit
+	// discovery — the work a linear scan would do.
+	HitScanned int
+	// HitCandidates is the number of entries hit discovery actually
+	// examined with fingerprint (and possibly sub-iso) checks: the
+	// query index's candidate set when the index is on, every same-kind
+	// entry when it is off. HitCandidates/HitScanned is the index's
+	// realized selectivity.
+	HitCandidates int
 	// Overhead is cache-maintenance time: consistency (log analysis +
 	// validation or purge) plus window/cache updates. Figure 6's
 	// "Overhead" series.
@@ -221,7 +235,7 @@ func (r *Runtime) process(g *graph.Graph, kind cache.Kind) (*Result, error) {
 			ans := iso.Answer.Clone()
 			ans.And(live)
 			st.TestsSaved = st.CandidatesBefore
-			return r.finish(g, kind, ans, live, iso, start, &st)
+			return r.finish(g, kind, ans, live, iso, direct, restrict, start, &st)
 		}
 
 		// §6.3 optimal case 2: certain-empty answer. A restrict-side hit
@@ -232,31 +246,39 @@ func (r *Runtime) process(g *graph.Graph, kind cache.Kind) (*Result, error) {
 				st.EmptyShortcut = true
 				e.Credit(st.CandidatesBefore, r.cache.Tick())
 				st.TestsSaved = st.CandidatesBefore
-				return r.finish(g, kind, bitset.New(0), live, iso, start, &st)
+				return r.finish(g, kind, bitset.New(0), live, iso, direct, restrict, start, &st)
 			}
 		}
 
-		// Formula (1): sure positives from direct hits — only dataset
-		// graphs that are both answered and still valid transfer.
+		// Formulas (1)+(2): sure positives from direct hits — only
+		// dataset graphs that are both answered and still valid
+		// transfer, and the sure positives need no test. Pruning runs
+		// incrementally so each entry is credited with its *marginal*
+		// contribution: the tests it spared beyond what earlier hits
+		// already spared. (Crediting every entry against the unpruned
+		// set double-counts overlapping hits, inflating R and skewing
+		// the PIN/PINC/HD eviction signal; with marginal credits the
+		// per-query credit sum never exceeds CandidatesBefore.)
 		answerSure = bitset.New(st.CandidatesBefore)
 		for _, e := range direct {
 			va := e.ValidAnswer()
+			va.And(live)
 			e.Credit(va.IntersectionCount(csm), r.cache.Tick())
 			answerSure.Or(va)
+			csm.AndNot(va)
 		}
-		answerSure.And(live)
-
-		// Formula (2): the sure positives need no test.
-		csm.AndNot(answerSure)
 
 		// Formulas (4)+(5): every restrict hit bounds the candidate set
 		// by complement(CGvalid) ∪ Answer — graphs validly *not* related
-		// to the cached query cannot relate to g either.
+		// to the cached query cannot relate to g either. Marginal
+		// crediting again: each entry is credited with the candidates it
+		// removed from the already-pruned set, not with its pruning
+		// power against the whole dataset.
 		for _, e := range restrict {
 			pa := e.PossibleAnswer(live)
-			saved := st.CandidatesBefore - live.IntersectionCount(pa)
-			e.Credit(saved, r.cache.Tick())
+			before := csm.Count()
 			csm.And(pa)
+			e.Credit(before-csm.Count(), r.cache.Tick())
 		}
 	}
 
@@ -272,7 +294,7 @@ func (r *Runtime) process(g *graph.Graph, kind cache.Kind) (*Result, error) {
 	if answerSure != nil {
 		verified.Or(answerSure)
 	}
-	return r.finish(g, kind, verified, live, iso, start, &st)
+	return r.finish(g, kind, verified, live, iso, direct, restrict, start, &st)
 }
 
 // minVerifyChunk is the fewest candidates worth handing one verification
@@ -362,7 +384,7 @@ func (r *Runtime) verify(g *graph.Graph, kind cache.Kind, csm *bitset.Set, st *Q
 // indicator are refreshed in place (it now reflects the just-executed,
 // fully valid fact) instead of admitting a duplicate — duplicates would
 // crowd the fixed-capacity cache without adding pruning power.
-func (r *Runtime) finish(g *graph.Graph, kind cache.Kind, answer, live *bitset.Set, iso *cache.Entry, start time.Time, st *QueryStats) (*Result, error) {
+func (r *Runtime) finish(g *graph.Graph, kind cache.Kind, answer, live *bitset.Set, iso *cache.Entry, direct, restrict []*cache.Entry, start time.Time, st *QueryStats) (*Result, error) {
 	if r.cache != nil {
 		at0 := time.Now()
 		if iso != nil {
@@ -380,7 +402,23 @@ func (r *Runtime) finish(g *graph.Graph, kind cache.Kind, answer, live *bitset.S
 				costEst = 1e-6 // neutral placeholder before first measurement
 			}
 			e := cache.NewEntry(g, kind, answer, live, r.cache.AppliedSeq(), costEst)
-			r.cache.Add(e)
+			// Hand the hit classification over for the query index's
+			// relation graph: which cached queries contain g, and which
+			// g contains. For a subgraph query those are the direct and
+			// restrict hits respectively; for a supergraph query the
+			// roles are inverted. Non-nil empty slices mean "known, no
+			// hits" — only a nil marks relations unknown.
+			containing, contained := direct, restrict
+			if kind == cache.KindSuper {
+				containing, contained = restrict, direct
+			}
+			if containing == nil {
+				containing = []*cache.Entry{}
+			}
+			if contained == nil {
+				contained = []*cache.Entry{}
+			}
+			r.cache.AddWithRelations(e, containing, contained)
 		}
 		st.Overhead += time.Since(at0)
 	}
@@ -441,60 +479,161 @@ func (r *Runtime) CacheStats() cache.Stats {
 	return r.cache.Stats()
 }
 
-// findHits runs the GC+sub and GC+super processors: it scans window and
-// cache for same-kind entries and classifies each as a direct hit (its
-// valid positives transfer to g) or a restrict hit (it bounds g's
-// possible answers), using the fingerprint prefilter before the decisive
-// query-to-query sub-iso test.
+// findHits runs the GC+sub and GC+super processors: it discovers the
+// same-kind cached entries related to g and classifies each as a direct
+// hit (its valid positives transfer to g) or a restrict hit (it bounds
+// g's possible answers), using the fingerprint prefilter before the
+// decisive query-to-query sub-iso test.
 //
 // For a subgraph query, direct hits are cached queries *containing* g
 // (g ⊆ g′ ⇒ g′'s positives are g's positives) and restrict hits are
 // cached queries *contained in* g (g″ ⊆ g ⇒ g cannot match where g″
 // validly failed). For a supergraph query the roles are exactly inverted,
 // as §6's "supergraph queries follow the exact inverse logic".
+//
+// Discovery is index-backed when the cache maintains a query index
+// (the default): the index hands over the two candidate sets — entries
+// whose fingerprints could subsume g and entries g could subsume — and
+// only those are examined, making hit discovery sub-linear in the cache
+// size. With the index disabled, findHits falls back to the linear scan
+// over every entry; the scan is retained as the differential-test
+// reference and the two paths are pinned to classify identically.
 func (r *Runtime) findHits(g *graph.Graph, kind cache.Kind, st *QueryStats) (direct, restrict []*cache.Entry, iso *cache.Entry) {
-	qf := feature.Of(g)
-	// Compile g once in each direction: the same query is tested against
-	// every surviving cache entry, so the compiled scratch amortizes over
-	// the whole scan exactly as in the verification loop.
-	gAsPattern := subiso.CompileSub(g, r.hitAlgo)  // g ⊆ cached query?
-	gAsTarget := subiso.CompileSuper(g, r.hitAlgo) // cached query ⊆ g?
+	if r.cache.QueryIndexEnabled() {
+		return r.findHitsIndexed(g, kind, st)
+	}
+	return r.findHitsScan(g, kind, st)
+}
+
+// hitClassifier applies the per-entry hit classification shared by the
+// indexed and linear discovery paths. mayContain/mayBeContained are
+// sound prefilter verdicts: false means the corresponding fingerprint
+// subsumption is guaranteed to fail, so the check is skipped entirely.
+type hitClassifier struct {
+	kind cache.Kind
+	qf   *feature.Fingerprint
+	// g is compiled once in each direction: the same query is tested
+	// against every candidate, so the compiled scratch amortizes over
+	// the whole pass exactly as in the verification loop.
+	gAsPattern *subiso.Matcher // g ⊆ cached query?
+	gAsTarget  *subiso.Matcher // cached query ⊆ g?
+	st         *QueryStats
+
+	direct, restrict []*cache.Entry
+	iso              *cache.Entry
+}
+
+func (r *Runtime) newHitClassifier(g *graph.Graph, kind cache.Kind, st *QueryStats) *hitClassifier {
+	return &hitClassifier{
+		kind:       kind,
+		qf:         feature.Of(g),
+		gAsPattern: subiso.CompileSub(g, r.hitAlgo),
+		gAsTarget:  subiso.CompileSuper(g, r.hitAlgo),
+		st:         st,
+	}
+}
+
+func (h *hitClassifier) visit(e *cache.Entry, mayContain, mayBeContained bool) {
+	// Fingerprint prefilters in both directions, then the decisive
+	// query-to-query tests. An isomorphic entry is *both* a containing
+	// and a contained hit (and the second test is skipped: same size
+	// plus one-directional containment forces isomorphism).
+	isContaining := mayContain && h.qf.SubsumedBy(e.Fp) && h.gAsPattern.Contains(e.Query)
+	isContained := mayBeContained && e.Fp.SubsumedBy(h.qf) &&
+		((isContaining && e.Fp.SameSize(h.qf)) || h.gAsTarget.Contains(e.Query))
+	h.record(e, isContaining, isContained)
+}
+
+// record books one classified entry; the relation fast path calls it
+// directly with memoized verdicts, skipping the tests in visit.
+func (h *hitClassifier) record(e *cache.Entry, isContaining, isContained bool) {
+	if isContaining && isContained {
+		h.st.IsoHits++
+		if h.iso == nil {
+			h.iso = e
+		}
+	}
+	if isContaining {
+		h.st.ContainingHits++
+		if h.kind == cache.KindSub {
+			h.direct = append(h.direct, e)
+		} else {
+			h.restrict = append(h.restrict, e)
+		}
+	}
+	if isContained {
+		h.st.ContainedHits++
+		if h.kind == cache.KindSub {
+			h.restrict = append(h.restrict, e)
+		} else {
+			h.direct = append(h.direct, e)
+		}
+	}
+}
+
+// findHitsScan is the linear-scan reference: every window and cache
+// entry is visited, every same-kind one examined.
+func (r *Runtime) findHitsScan(g *graph.Graph, kind cache.Kind, st *QueryStats) (direct, restrict []*cache.Entry, iso *cache.Entry) {
+	h := r.newHitClassifier(g, kind, st)
+	st.HitScanned = r.cache.Size() + r.cache.WindowLen()
 	r.cache.ForEach(func(e *cache.Entry) bool {
 		if e.Kind != kind {
 			return true
 		}
-		// Fingerprint prefilters in both directions, then the decisive
-		// query-to-query tests. An isomorphic entry is *both* a
-		// containing and a contained hit (and the second test is skipped:
-		// same size plus one-directional containment forces isomorphism).
-		isContaining := qf.SubsumedBy(e.Fp) && gAsPattern.Contains(e.Query)
-		isContained := e.Fp.SubsumedBy(qf) &&
-			((isContaining && e.Fp.SameSize(qf)) || gAsTarget.Contains(e.Query))
-		if isContaining && isContained {
-			st.IsoHits++
-			if iso == nil {
-				iso = e
-			}
-		}
-		if isContaining {
-			st.ContainingHits++
-			if kind == cache.KindSub {
-				direct = append(direct, e)
-			} else {
-				restrict = append(restrict, e)
-			}
-		}
-		if isContained {
-			st.ContainedHits++
-			if kind == cache.KindSub {
-				restrict = append(restrict, e)
-			} else {
-				direct = append(direct, e)
-			}
+		st.HitCandidates++
+		h.visit(e, true, true)
+		return true
+	})
+	return h.direct, h.restrict, h.iso
+}
+
+// findHitsIndexed asks the cache's query index for the candidate
+// entries and examines only those, in the same order the scan would
+// have reached them — classification, credit order and iso selection
+// are bit-identical to findHitsScan by construction (the differential
+// property test pins this).
+//
+// Repeated queries take a second shortcut: the index's isomorphism
+// probe narrows the cache to entries whose features exactly match g's;
+// if one proves isomorphic, its memoized relation sets — recorded at
+// admission, when the query behind it was classified against every
+// entry — replay the full hit classification with zero query-to-query
+// sub-iso tests. Under the Zipf workloads of the paper most queries are
+// repeats, so most hit discovery collapses to this path.
+func (r *Runtime) findHitsIndexed(g *graph.Graph, kind cache.Kind, st *QueryStats) (direct, restrict []*cache.Entry, iso *cache.Entry) {
+	h := r.newHitClassifier(g, kind, st)
+	st.HitScanned = r.cache.Size() + r.cache.WindowLen()
+	probed := 0
+	var isoBase *cache.Entry
+	r.cache.ForEachIsoCandidate(kind, g, func(e *cache.Entry) bool {
+		probed++
+		if h.qf.SubsumedBy(e.Fp) && e.Fp.SubsumedBy(h.qf) && h.gAsPattern.Contains(e.Query) {
+			isoBase = e
+			return false
 		}
 		return true
 	})
-	return direct, restrict, iso
+	if isoBase != nil {
+		if n, ok := r.cache.ForEachRelated(isoBase, func(e *cache.Entry, contains, containedIn bool) bool {
+			h.record(e, contains, containedIn)
+			return true
+		}); ok {
+			// isoBase was examined by the probe and revisited by
+			// ForEachRelated; count it once.
+			st.HitCandidates = probed + n - 1
+			return h.direct, h.restrict, h.iso
+		}
+	}
+	// The probe's candidates are a subset of the classification
+	// candidates (exact-feature equality is stricter than could-contain),
+	// so counting only the latter keeps HitCandidates a distinct-entry
+	// count on this path.
+	st.HitCandidates = r.cache.ForEachHitCandidate(kind, g,
+		func(e *cache.Entry, mayContain, mayBeContained bool) bool {
+			h.visit(e, mayContain, mayBeContained)
+			return true
+		})
+	return h.direct, h.restrict, h.iso
 }
 
 // ForEachCacheEntry exposes a read-only view of the cache contents

@@ -3,8 +3,7 @@
 // GC+'s query processors must discover, for a new query g, the cached
 // queries g′ with g ⊆ g′ and the cached g″ with g″ ⊆ g (Result_sub and
 // Result_super of §6). Testing sub-isomorphism against every cached query
-// would be wasteful, so — standing in for the query index of the original
-// GraphCache — each cached query carries a fingerprint for which
+// would be wasteful, so each cached query carries a fingerprint for which
 //
 //	g1 ⊆ g2  ⇒  Fingerprint(g1).SubsumedBy(Fingerprint(g2))
 //
@@ -13,6 +12,12 @@
 // per-label-pair edge counts; each component is monotone under subgraph
 // embedding, so SubsumedBy is a sound necessary condition usable as a
 // prefilter in both directions.
+//
+// The fingerprint decides the *pairwise* prefilter; the cache-side query
+// index (internal/cache/qindex.go — the reproduction's analogue of the
+// original GraphCache's query index) answers the *set* question "which
+// fingerprints could pass" without touching every entry, using postings
+// over the same monotone features.
 package feature
 
 import (

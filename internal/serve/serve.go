@@ -62,8 +62,13 @@ type Options struct {
 	// Method names Method M's sub-iso verifier: "VF2" (default), "VF2+",
 	// "GQL". Each shard gets its own verifier instance.
 	Method string
-	// Cache configures each shard's GC+ cache. Nil means the default CON
-	// cache; use DisableCache for the raw Method M baseline.
+	// Cache configures each shard's GC+ cache — capacity, window,
+	// model, policy, repair queue, and the query index backing
+	// sub-linear hit discovery (cache.Config.DisableHitIndex /
+	// HitIndexPathLen; the index is on by default and is what makes
+	// per-shard capacities in the thousands serve without hit discovery
+	// becoming the bottleneck). Nil means the default CON cache; use
+	// DisableCache for the raw Method M baseline.
 	Cache *cache.Config
 	// DisableCache turns GC+ caching off on every shard.
 	DisableCache bool

@@ -9,24 +9,38 @@ import (
 	"testing"
 
 	"gcplus/internal/bitset"
-	"gcplus/internal/cache"
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
 	"gcplus/internal/subiso"
 )
 
-// RequireCacheIndex fails the test when the cache's inverted
-// invalidation index violates its invariant (index pairs must be exactly
-// the live entries' set validity bits; see cache.CheckIndex). Test
-// suites call it after every mutation sequence — admit, evict, purge,
-// validate, repair — so index maintenance bugs surface at the mutation
-// that introduced them.
-func RequireCacheIndex(t testing.TB, c *cache.Cache) {
+// CacheIndexes is the slice of *cache.Cache these helpers exercise: its
+// two index invariants. Declaring the interface here (instead of
+// importing the cache package) keeps testutil importable from the test
+// suites of cache's own dependencies, e.g. internal/ftv.
+type CacheIndexes interface {
+	// CheckIndex verifies the inverted invalidation index invariant.
+	CheckIndex() error
+	// CheckQueryIndex verifies the query-index invariant.
+	CheckQueryIndex() error
+}
+
+// RequireCacheIndex fails the test when either of the cache's indexes
+// violates its invariant: the inverted invalidation index (index pairs
+// must be exactly the live entries' set validity bits; cache.CheckIndex)
+// or the query index (postings must hold exactly the live entries'
+// query features; cache.CheckQueryIndex). Test suites call it after
+// every mutation sequence — admit, evict, purge, validate, repair — so
+// index maintenance bugs surface at the mutation that introduced them.
+func RequireCacheIndex(t testing.TB, c CacheIndexes) {
 	t.Helper()
 	if c == nil {
 		return
 	}
 	if err := c.CheckIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckQueryIndex(); err != nil {
 		t.Fatal(err)
 	}
 }
