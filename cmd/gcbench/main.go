@@ -14,6 +14,15 @@
 //	gcbench -throughput -update-kind churn -update-every 10 -eager -norepair  # baseline
 //	gcbench -throughput -cache 2000 -queries 5000 -update-every 0             # large cache, query index on
 //	gcbench -throughput -cache 2000 -queries 5000 -update-every 0 -hit-index=false  # linear-scan baseline
+//	gcbench -warm-restart -scale smoke           # durability: recovery vs cold start
+//
+// The -warm-restart mode exercises the durability subsystem end to end:
+// it warms a persistent server under churn, forces a snapshot, lands
+// more churn in the WAL tail, kills the server without flushing, then
+// measures recovery time, time-to-full-validity (background repair
+// re-verifying replay-touched bits), and the recovered instance's hit
+// rate over a repeat of the stream against both the pre-restart
+// instance and a cold start — asserting the answers are bit-identical.
 //
 // The -throughput mode drives the sharded serving front-end (the system
 // behind cmd/gcserve) with concurrent clients and a live update stream,
@@ -62,9 +71,13 @@ func main() {
 		norepair    = flag.Bool("norepair", false, "throughput: disable background cache repair (baseline for the churn scenario)")
 		cacheCap    = flag.Int("cache", 0, "throughput: per-shard cache capacity (0 = scale default; the query index targets 2000-10000)")
 		hitIndex    = flag.Bool("hit-index", true, "throughput: maintain the cache query index for sub-linear hit discovery (false = linear scan baseline)")
+
+		warmRestart = flag.Bool("warm-restart", false, "run the durability warm-restart benchmark: time-to-full-validity and hit-rate-at-t after crash recovery vs a cold start (JSON output)")
+		dataDir     = flag.String("data-dir", "", "warm-restart: durability directory (default: a fresh temp dir, removed after)")
+		tailBatches = flag.Int("tail-batches", 0, "warm-restart: churn batches applied after the snapshot, i.e. the WAL tail replayed on recovery (0 = default)")
 	)
 	flag.Parse()
-	if *figure == "" && !*insights && *ablation == "" && !*throughput {
+	if *figure == "" && !*insights && *ablation == "" && !*throughput && !*warmRestart {
 		*figure = "all"
 	}
 
@@ -115,6 +128,30 @@ func main() {
 			fatal(err)
 		}
 		if err := bench.WriteThroughputJSON(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+	}
+	if *warmRestart {
+		var spec bench.WorkloadSpec
+		if len(specs) > 0 {
+			spec = specs[0]
+		}
+		res, err := bench.RunWarmRestart(bench.WarmRestartConfig{
+			Scale:         sc,
+			Workload:      spec,
+			Method:        methodList[0],
+			Shards:        *shards,
+			Queries:       *tpQueries,
+			CacheCapacity: *cacheCap,
+			UpdateEvery:   *updateEvery,
+			TailBatches:   *tailBatches,
+			DataDir:       *dataDir,
+			Seed:          *seed,
+		}, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteWarmRestartJSON(os.Stdout, res); err != nil {
 			fatal(err)
 		}
 	}

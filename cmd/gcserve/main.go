@@ -5,10 +5,20 @@
 // epoch-sequenced single-writer path, so every answer reflects one
 // consistent dataset version.
 //
+// With -data-dir the daemon is durable: update batches are written to a
+// per-shard WAL and dataset + cache state is snapshotted periodically,
+// so a restart warm-starts from the persisted state (the dataset flags
+// are only used when the directory holds no state yet) with every
+// warmed cache entry intact. SIGINT/SIGTERM trigger a graceful
+// shutdown: in-flight requests drain, shard queues flush, and a final
+// snapshot is written before the process exits 0.
+//
 // Usage:
 //
 //	gcserve -synthetic 2000 -shards 8            # serve a generated dataset
 //	gcserve -dataset graphs.txt -model EVI       # serve graphs from a file
+//	gcserve -synthetic 2000 -data-dir /var/lib/gcplus   # durable serving
+//	gcserve -data-dir /var/lib/gcplus            # warm restart from state
 //
 // API:
 //
@@ -25,14 +35,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"gcplus"
 	"gcplus/internal/cache"
+	"gcplus/internal/persist"
 )
 
 func main() {
@@ -53,12 +69,24 @@ func main() {
 		hitIndex  = flag.Bool("hit-index", true, "maintain the cache query index for sub-linear hit discovery (false = linear scan reference)")
 		repairPar = flag.Int("repair-parallelism", 0, "per-shard background cache-repair workers (0 = default of 1)")
 		norepair  = flag.Bool("norepair", false, "disable background cache repair (invalidated bits stay dead until a query re-verifies them)")
+		dataDir   = flag.String("data-dir", "", "durability directory: WAL + snapshots for crash-safe warm restarts (empty = no persistence)")
+		snapEvery = flag.Int("snapshot-every", 0, "update batches between automatic snapshots (0 = default; needs -data-dir)")
+		nowal     = flag.Bool("nowal", false, "disable the write-ahead log, keeping snapshots only (a crash loses batches since the last snapshot)")
 	)
 	flag.Parse()
 
-	initial, err := loadDataset(*datafile, *synthN, *seed)
+	haveState := *dataDir != "" && persist.HasState(*dataDir)
+	initial, err := loadDataset(*datafile, *synthN, *seed, haveState)
 	if err != nil {
 		log.Fatal("gcserve: ", err)
+	}
+	if haveState {
+		// The shard partition is baked into the persisted state; adopt
+		// its count so a bare `gcserve -data-dir DIR` restart just works.
+		if n, ok := persist.StateShards(*dataDir); ok && n != *shards {
+			log.Printf("gcserve: data dir %s was written with %d shards; overriding -shards=%d", *dataDir, n, *shards)
+			*shards = n
+		}
 	}
 
 	opts := gcplus.ServeOptions{Shards: *shards, EagerValidate: *eager}
@@ -70,6 +98,9 @@ func main() {
 	opts.RepairParallelism = *repairPar
 	opts.DisableRepair = *norepair
 	opts.DisableHitIndex = !*hitIndex
+	opts.DataDir = *dataDir
+	opts.SnapshotEvery = *snapEvery
+	opts.DisableWAL = *nowal
 	if opts.Model, err = cache.ParseModel(*modelName); err != nil {
 		log.Fatal("gcserve: ", err)
 	}
@@ -81,21 +112,59 @@ func main() {
 	if err != nil {
 		log.Fatal("gcserve: ", err)
 	}
-	defer srv.Close()
 
 	// Repair only runs for CON caches and the query index only exists
 	// when a cache does; report the resolved states, not the raw flags.
 	repairOn := !*norepair && !*nocache && opts.Model == cache.ModelCON
 	hitIndexOn := *hitIndex && !*nocache
-	log.Printf("gcserve: %d graphs across %d shards (method=%s model=%s policy=%s cache=%d eager=%v repair=%v hit-index=%v) on %s",
-		len(initial), srv.Shards(), *method, *modelName, *policy, *cacheCap, *eager, repairOn, hitIndexOn, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	if entries, epoch, ok := srv.Recovered(); ok {
+		log.Printf("gcserve: warm restart from %s: %d cache entries recovered, epoch %d", *dataDir, entries, epoch)
+	}
+	st, err := srv.Stats()
+	if err != nil {
+		log.Fatal("gcserve: ", err)
+	}
+	log.Printf("gcserve: %d graphs across %d shards (method=%s model=%s policy=%s cache=%d eager=%v repair=%v hit-index=%v durable=%v) on %s",
+		st.LiveGraphs, srv.Shards(), *method, *modelName, *policy, *cacheCap, *eager, repairOn, hitIndexOn, *dataDir != "", *addr)
+
+	// Graceful shutdown: SIGINT/SIGTERM stop the listener, drain
+	// in-flight requests, then Close flushes shard queues, the WAL and
+	// a final snapshot before the process exits 0.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		srv.Close()
+		log.Fatal("gcserve: ", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("gcserve: shutting down (signal received)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Print("gcserve: http shutdown: ", err)
+	}
+	if err := srv.Close(); err != nil {
+		// The daemon is down either way, but the final snapshot did not
+		// land; exit non-zero so supervisors notice the degraded flush.
+		log.Fatal("gcserve: final flush failed (previous snapshot + WAL remain): ", err)
+	}
+	log.Print("gcserve: state flushed, bye")
 }
 
-func loadDataset(file string, synthN int, seed int64) ([]*gcplus.Graph, error) {
+func loadDataset(file string, synthN int, seed int64, haveState bool) ([]*gcplus.Graph, error) {
 	switch {
 	case file != "" && synthN > 0:
 		return nil, fmt.Errorf("-dataset and -synthetic are mutually exclusive")
+	case haveState:
+		// Recovery replaces the initial dataset entirely; don't spend
+		// boot time parsing or synthesizing graphs recovery will drop
+		// (restart units routinely keep the first boot's dataset flags).
+		return nil, nil
 	case file != "":
 		f, err := os.Open(file)
 		if err != nil {
@@ -106,5 +175,5 @@ func loadDataset(file string, synthN int, seed int64) ([]*gcplus.Graph, error) {
 	case synthN > 0:
 		return gcplus.GenerateAIDSLike(synthN, seed)
 	}
-	return nil, fmt.Errorf("provide -dataset FILE or -synthetic N")
+	return nil, errors.New("provide -dataset FILE or -synthetic N (or -data-dir with existing state)")
 }

@@ -113,4 +113,23 @@
 // hit_candidates metric on serving stats — report the realized
 // selectivity. The index is what makes per-shard cache capacities in
 // the thousands serve without hit discovery becoming the bottleneck.
+//
+// # Durability and warm restart
+//
+// With ServeOptions.DataDir set, the Server persists its state: every
+// update batch is appended to a per-shard write-ahead log (epoch-
+// stamped, CRC-checked frames, fsynced before the batch is
+// acknowledged) and dataset + cache state — entry queries, Answer and
+// CGvalid bitsets, replacement-policy bookkeeping, the relation graph
+// and the pending repair queue — is snapshotted periodically and at
+// graceful Close. A reboot on the same directory warm-restarts: the
+// newest complete snapshot generation loads, the WAL tail replays
+// through the ordinary executor up to the newest batch durable on
+// every shard (torn tails and half-acknowledged batches are truncated
+// away), and instead of trusting validity bits the replay may have
+// invalidated, recovery queues every replay-touched (entry, graph)
+// pair for the background repair pipeline. Answers are bit-identical
+// to a cold rebuild from the first post-restart query, and the cache
+// arrives warm — the kill-point differential tests and the gcbench
+// -warm-restart mode pin both properties.
 package gcplus

@@ -267,6 +267,23 @@ type ServeOptions struct {
 	// validity bits dead until a future query re-verifies them on the
 	// hot path.
 	DisableRepair bool
+	// DataDir enables the durability subsystem: update batches are
+	// written to a per-shard WAL and dataset + cache state is
+	// snapshotted periodically under this directory, so a restarted
+	// server warm-restarts — same dataset, same warmed cache entries —
+	// instead of rebuilding from zero. A boot that finds recoverable
+	// state in DataDir ignores the initial graphs. Empty disables
+	// persistence.
+	DataDir string
+	// SnapshotEvery is the number of update batches between automatic
+	// snapshots (0 = the serving layer's default).
+	SnapshotEvery int
+	// DisableWAL keeps periodic snapshots but skips the write-ahead
+	// log: a crash loses the batches applied since the last snapshot.
+	DisableWAL bool
+	// NoSync skips the per-append WAL fsync (snapshots still fsync):
+	// batches survive a process crash but not a machine crash.
+	NoSync bool
 }
 
 // UpdateOp describes one dataset change operation for Server.Update; use
@@ -317,6 +334,10 @@ func NewServer(initial []*Graph, opts ServeOptions) (*Server, error) {
 		VerifyParallelism: opts.VerifyParallelism,
 		RepairParallelism: opts.RepairParallelism,
 		DisableRepair:     opts.DisableRepair,
+		DataDir:           opts.DataDir,
+		SnapshotEvery:     opts.SnapshotEvery,
+		DisableWAL:        opts.DisableWAL,
+		NoSync:            opts.NoSync,
 	}
 	if !opts.DisableCache {
 		srvOpts.Cache = &cache.Config{
@@ -345,21 +366,28 @@ func (s *Server) SupergraphQuery(q *Graph) (*ServerAnswer, error) {
 }
 
 // Update applies a batch of dataset change operations atomically with
-// respect to concurrent queries and advances the epoch once.
+// respect to concurrent queries and advances the epoch once. With
+// durability enabled, a non-nil error alongside a non-nil result means
+// the batch WAS applied in memory but a WAL append failed (it may not
+// survive a crash) — do not re-submit such a batch, the ops are already
+// in effect.
 func (s *Server) Update(ops []UpdateOp) (*ServerUpdateResult, error) {
 	return s.srv.Update(ops)
 }
 
-// AddGraph inserts one dataset graph, returning its global id.
+// AddGraph inserts one dataset graph, returning its global id. Like
+// Update, a durability failure returns the (valid, applied) id together
+// with a non-nil error — retrying would insert the graph a second time
+// under a new id.
 func (s *Server) AddGraph(g *Graph) (int, error) {
 	res, err := s.srv.Update([]UpdateOp{NewAddOp(g)})
-	if err != nil {
+	if res == nil {
 		return 0, err
 	}
 	if res.Ops[0].Err != nil {
 		return 0, res.Ops[0].Err
 	}
-	return res.Ops[0].ID, nil
+	return res.Ops[0].ID, err
 }
 
 // Epoch returns the current dataset version (update batches applied).
@@ -375,8 +403,20 @@ func (s *Server) Handler() http.Handler { return s.srv.Handler() }
 // Shards returns the number of runtime shards.
 func (s *Server) Shards() int { return s.srv.Shards() }
 
-// Close shuts the shard workers down; subsequent calls fail.
-func (s *Server) Close() { s.srv.Close() }
+// Snapshot forces a durable snapshot of dataset and cache state (only
+// meaningful with ServeOptions.DataDir; errors otherwise).
+func (s *Server) Snapshot() error { return s.srv.Snapshot() }
+
+// Recovered reports whether this server warm-restarted from persisted
+// state, with the number of cache entries restored and the epoch
+// recovery reached.
+func (s *Server) Recovered() (entries int, epoch uint64, ok bool) { return s.srv.Recovered() }
+
+// Close shuts the server down gracefully — with persistence enabled, a
+// final snapshot is flushed first; subsequent calls fail. The returned
+// error reports a failed final flush (the previous snapshot generation
+// and the WAL remain recoverable).
+func (s *Server) Close() error { return s.srv.Close() }
 
 // GenerateAIDSLike synthesizes an AIDS-calibrated dataset of n labelled
 // graphs (see DESIGN.md §3 for the substitution rationale). Deterministic

@@ -1,0 +1,99 @@
+package changeplan
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gcplus/internal/dataset"
+	"gcplus/internal/graph"
+)
+
+// Binary codec for resolved operations — the currency of the durability
+// subsystem's write-ahead log (internal/persist). An op encodes as:
+//
+//	byte    operation type (dataset.OpType)
+//	ADD:    uvarint payload length, then the graph in the text codec
+//	DEL:    uvarint graph id
+//	UA/UR:  uvarint graph id, uvarint u, uvarint v
+//
+// The encoding is self-delimiting, so ops concatenate into a frame
+// payload without separators; DecodeOp returns the remaining bytes.
+
+// AppendBinary appends the op's binary encoding to buf and returns the
+// extended slice. ADD ops must carry a graph.
+func (op Op) AppendBinary(buf []byte) ([]byte, error) {
+	buf = append(buf, byte(op.Type))
+	switch op.Type {
+	case dataset.OpAdd:
+		if op.Graph == nil {
+			return nil, fmt.Errorf("changeplan: cannot encode ADD with nil graph")
+		}
+		blob := graph.Marshal(op.Graph)
+		buf = binary.AppendUvarint(buf, uint64(len(blob)))
+		return append(buf, blob...), nil
+	case dataset.OpDelete:
+		return binary.AppendUvarint(buf, uint64(op.GraphID)), nil
+	case dataset.OpUpdateAddEdge, dataset.OpUpdateRemoveEdge:
+		buf = binary.AppendUvarint(buf, uint64(op.GraphID))
+		buf = binary.AppendUvarint(buf, uint64(op.U))
+		return binary.AppendUvarint(buf, uint64(op.V)), nil
+	}
+	return nil, fmt.Errorf("changeplan: cannot encode unknown op type %v", op.Type)
+}
+
+// DecodeOp decodes one op from the front of data, returning the op and
+// the remaining bytes.
+func DecodeOp(data []byte) (Op, []byte, error) {
+	if len(data) == 0 {
+		return Op{}, nil, fmt.Errorf("changeplan: empty op encoding")
+	}
+	op := Op{Type: dataset.OpType(data[0])}
+	data = data[1:]
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("changeplan: truncated op varint")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	switch op.Type {
+	case dataset.OpAdd:
+		blobLen, err := readUvarint()
+		if err != nil {
+			return Op{}, nil, err
+		}
+		if blobLen > uint64(len(data)) {
+			return Op{}, nil, fmt.Errorf("changeplan: ADD graph payload truncated (%d > %d bytes)", blobLen, len(data))
+		}
+		g, err := graph.Unmarshal(data[:blobLen])
+		if err != nil {
+			return Op{}, nil, fmt.Errorf("changeplan: ADD graph: %w", err)
+		}
+		op.Graph = g
+		return op, data[blobLen:], nil
+	case dataset.OpDelete:
+		id, err := readUvarint()
+		if err != nil {
+			return Op{}, nil, err
+		}
+		op.GraphID = int(id)
+		return op, data, nil
+	case dataset.OpUpdateAddEdge, dataset.OpUpdateRemoveEdge:
+		id, err := readUvarint()
+		if err != nil {
+			return Op{}, nil, err
+		}
+		u, err := readUvarint()
+		if err != nil {
+			return Op{}, nil, err
+		}
+		v, err := readUvarint()
+		if err != nil {
+			return Op{}, nil, err
+		}
+		op.GraphID, op.U, op.V = int(id), int(u), int(v)
+		return op, data, nil
+	}
+	return Op{}, nil, fmt.Errorf("changeplan: unknown encoded op type %d", uint8(op.Type))
+}

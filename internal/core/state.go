@@ -1,0 +1,59 @@
+package core
+
+import (
+	"errors"
+
+	"gcplus/internal/cache"
+)
+
+// RuntimeState is the exportable warm state of a Runtime: the full cache
+// snapshot plus the learned per-test cost model. The durability
+// subsystem (internal/persist) serializes it next to the dataset
+// snapshot so a restarted shard resumes with the same pruning power and
+// eviction signal it shut down with. Query metrics are deliberately not
+// part of the state — a restart starts a fresh measurement window (the
+// /stats uptime field tells the two apart).
+type RuntimeState struct {
+	// Cache is the cache snapshot; nil when caching is disabled.
+	Cache *cache.Snapshot
+	// AvgTestCost is the running mean model of one Method M sub-iso
+	// test's cost, exported as Welford moments.
+	AvgTestCostN    int64
+	AvgTestCostMean float64
+	AvgTestCostM2   float64
+}
+
+// ExportState snapshots the runtime's warm state. Like every Runtime
+// method it must run on the owner goroutine; the returned state is
+// immutable with respect to later runtime activity.
+func (r *Runtime) ExportState() *RuntimeState {
+	st := &RuntimeState{}
+	st.AvgTestCostN, st.AvgTestCostMean, st.AvgTestCostM2 = r.avgTestCost.State()
+	if r.cache != nil {
+		st.Cache = r.cache.Export()
+	}
+	return st
+}
+
+// RestoreState rebuilds the runtime's warm state from an export. The
+// runtime must be freshly constructed (NewRuntime over the restored
+// dataset, no queries processed). A cache snapshot is required exactly
+// when the runtime has a cache; the restored cache's AppliedSeq must not
+// exceed the dataset's sequence number, since validation can only roll
+// the cache forward.
+func (r *Runtime) RestoreState(st *RuntimeState) error {
+	if st == nil {
+		return errors.New("core: nil runtime state")
+	}
+	r.avgTestCost.RestoreState(st.AvgTestCostN, st.AvgTestCostMean, st.AvgTestCostM2)
+	if r.cache == nil {
+		return nil
+	}
+	if st.Cache == nil {
+		return errors.New("core: runtime has a cache but the state snapshot has none")
+	}
+	if st.Cache.AppliedSeq > r.ds.Seq() {
+		return errors.New("core: cache snapshot is ahead of the dataset log")
+	}
+	return r.cache.Restore(st.Cache)
+}

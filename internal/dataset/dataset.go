@@ -85,6 +85,11 @@ type Dataset struct {
 	live   *bitset.Set
 	log    []Record
 	seq    uint64
+	// logBase is the sequence number the (possibly empty) log starts
+	// after: record with Seq s sits at index s-1-logBase. It is 0 for a
+	// fresh dataset and the snapshot's sequence number for a dataset
+	// rebuilt by Restore, whose pre-snapshot history is not retained.
+	logBase uint64
 }
 
 // New builds a dataset from the initial graphs, assigning ids 0..n-1.
@@ -230,17 +235,70 @@ func (d *Dataset) Seq() uint64 {
 
 // RecordsSince returns a copy of all log records with Seq > after, i.e.
 // the "incremental records R extracted from L" of Algorithm 1 line 5.
+// after must not precede the log's base (the snapshot sequence number
+// for a Restored dataset): records before the base are gone, so such a
+// call could not be answered soundly and panics instead of silently
+// dropping history.
 func (d *Dataset) RecordsSince(after uint64) []Record {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if after >= d.seq {
 		return nil
 	}
-	// Seq is 1-based and dense: record with Seq s sits at index s-1.
-	recs := d.log[after:]
+	if after < d.logBase {
+		panic(fmt.Sprintf("dataset: RecordsSince(%d) precedes the retained log (base %d)", after, d.logBase))
+	}
+	// Seq is 1-based and dense above the base: record with Seq s sits at
+	// index s-1-logBase.
+	recs := d.log[after-d.logBase:]
 	out := make([]Record, len(recs))
 	copy(out, recs)
 	return out
+}
+
+// Snapshot is an exported point-in-time dataset state: the full id →
+// graph table (nil marking deleted ids, so id stability survives a
+// restart) and the log sequence number it reflects. Graphs are shared,
+// not copied — graph values are immutable once published.
+type Snapshot struct {
+	// Graphs is indexed by graph id; nil entries are deleted ids.
+	Graphs []*graph.Graph
+	// Seq is the log sequence number the table reflects.
+	Seq uint64
+}
+
+// Export snapshots the dataset state. The update log itself is not
+// exported: callers snapshot at a reconciliation point (cache
+// AppliedSeq == Seq), after which the log's only consumers are future
+// records.
+func (d *Dataset) Export() *Snapshot {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s := &Snapshot{Graphs: make([]*graph.Graph, len(d.graphs)), Seq: d.seq}
+	copy(s.Graphs, d.graphs)
+	return s
+}
+
+// Restore rebuilds a dataset from an exported snapshot. The restored
+// dataset continues sequence numbering at s.Seq with an empty log
+// (RecordsSince can answer any cursor ≥ s.Seq, which is where a
+// restored cache's AppliedSeq starts), and ids beyond the snapshot are
+// assigned exactly as the original would have.
+func Restore(s *Snapshot) *Dataset {
+	d := &Dataset{
+		graphs:  make([]*graph.Graph, len(s.Graphs)),
+		live:    bitset.New(len(s.Graphs)),
+		seq:     s.Seq,
+		logBase: s.Seq,
+	}
+	copy(d.graphs, s.Graphs)
+	for id, g := range d.graphs {
+		if g != nil {
+			g.Summary() // warm the structural summary off the query path
+			d.live.Set(id)
+		}
+	}
+	return d
 }
 
 // Stats summarizes the live part of the dataset; the benchmark reports use

@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"testing"
+
+	"gcplus/internal/graph"
+)
+
+func TestExportRestore(t *testing.T) {
+	initial := []*graph.Graph{graph.Path(1, 2), graph.Path(2, 3), graph.Star(1, 2, 3)}
+	d := New(initial)
+	if _, err := d.Add(graph.Path(4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.UpdateAddEdge(0, 0, 1); err == nil {
+		t.Fatal("duplicate edge accepted") // sanity: Path(1,2) already has {0,1}
+	}
+	if err := d.UpdateAddEdge(2, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := d.Export()
+	r := Restore(snap)
+
+	if r.Seq() != d.Seq() {
+		t.Fatalf("seq %d != %d", r.Seq(), d.Seq())
+	}
+	if r.LiveCount() != d.LiveCount() || r.MaxID() != d.MaxID() {
+		t.Fatalf("live=%d/%d max=%d/%d", r.LiveCount(), d.LiveCount(), r.MaxID(), d.MaxID())
+	}
+	for id := 0; id <= d.MaxID(); id++ {
+		if (r.Graph(id) == nil) != (d.Graph(id) == nil) {
+			t.Fatalf("graph %d liveness differs", id)
+		}
+		if r.Graph(id) != d.Graph(id) {
+			t.Fatalf("graph %d not shared", id) // immutable values are shared, not copied
+		}
+	}
+
+	// The restored log starts empty at the snapshot cursor...
+	if recs := r.RecordsSince(snap.Seq); recs != nil {
+		t.Fatalf("restored dataset has %d records past the snapshot", len(recs))
+	}
+	// ...continues numbering seamlessly...
+	if err := r.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	recs := r.RecordsSince(snap.Seq)
+	if len(recs) != 1 || recs[0].Seq != snap.Seq+1 || recs[0].Op != OpDelete || recs[0].GraphID != 0 {
+		t.Fatalf("post-restore records: %+v", recs)
+	}
+	// ...assigns the next id exactly like the original would...
+	origID, err := d.Add(graph.Path(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restID, err := r.Add(graph.Path(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origID != restID {
+		t.Fatalf("post-restore ADD id %d, original %d", restID, origID)
+	}
+	// ...and refuses cursors below the retained base.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RecordsSince below the log base did not panic")
+		}
+	}()
+	r.RecordsSince(snap.Seq - 1)
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
@@ -38,6 +39,29 @@ func Write(w io.Writer, graphs []*Graph) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// Marshal serializes a single graph to the text format — the payload
+// form the durability subsystem embeds in snapshots and WAL frames
+// (length-prefixed by the frame codec, so the text form needs no
+// escaping of its own).
+func Marshal(g *Graph) []byte {
+	var buf bytes.Buffer
+	// Write on a bytes.Buffer cannot fail.
+	_ = Write(&buf, []*Graph{g})
+	return buf.Bytes()
+}
+
+// Unmarshal parses exactly one graph in the text format.
+func Unmarshal(data []byte) (*Graph, error) {
+	gs, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(gs) != 1 {
+		return nil, fmt.Errorf("graph: want exactly one graph, got %d", len(gs))
+	}
+	return gs[0], nil
 }
 
 // Parse reads every graph in the text format from r.

@@ -137,3 +137,21 @@ func TestQuickCodecRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMarshalUnmarshal(t *testing.T) {
+	g := Path(1, 2, 3)
+	back, err := Unmarshal(Marshal(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != 3 || back.NumEdges() != 2 || back.Label(2) != 3 {
+		t.Fatalf("round trip mangled the graph: %v", back)
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("empty input should not parse as one graph")
+	}
+	two := append(Marshal(Path(1)), Marshal(Path(2))...)
+	if _, err := Unmarshal(two); err == nil {
+		t.Fatal("two graphs should be rejected")
+	}
+}

@@ -1,0 +1,398 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gcplus/internal/bitset"
+	"gcplus/internal/cache"
+	"gcplus/internal/changeplan"
+	"gcplus/internal/core"
+	"gcplus/internal/dataset"
+	"gcplus/internal/graph"
+)
+
+// Payload codecs for the two frame kinds: WAL batches and shard
+// snapshots. Everything is uvarints, float64 bit patterns and
+// length-prefixed graph blobs in the text codec (internal/graph) — no
+// reflection, no allocation surprises, and decoders that fail loudly on
+// any inconsistency so the fuzz target (FuzzWALDecode) can assert they
+// never panic on corrupt input.
+
+// dec is a bounds-checked little decoder over a payload; the first
+// failure latches and every later read returns zero values.
+type dec struct {
+	data []byte
+	err  error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("persist: "+format, args...)
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+// count reads a uvarint meant as an element count and bounds it by the
+// remaining payload assuming at least minBytes bytes per element, so a
+// corrupt count cannot drive a giant allocation.
+func (d *dec) count(minBytes int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if v > uint64(len(d.data)/minBytes) {
+		d.fail("count %d exceeds remaining payload", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data) == 0 {
+		d.fail("truncated byte")
+		return 0
+	}
+	b := d.data[0]
+	d.data = d.data[1:]
+	return b
+}
+
+func (d *dec) float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data) < 8 {
+		d.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data))
+	d.data = d.data[8:]
+	return v
+}
+
+func (d *dec) bytes() []byte {
+	n := d.count(1)
+	if d.err != nil {
+		return nil
+	}
+	b := d.data[:n]
+	d.data = d.data[n:]
+	return b
+}
+
+func (d *dec) graph() *graph.Graph {
+	blob := d.bytes()
+	if d.err != nil {
+		return nil
+	}
+	g, err := graph.Unmarshal(blob)
+	if err != nil {
+		d.fail("graph blob: %v", err)
+		return nil
+	}
+	return g
+}
+
+func (d *dec) bitset() *bitset.Set {
+	n := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		if len(d.data) < 8 {
+			d.fail("truncated bitset word")
+			return nil
+		}
+		words[i] = binary.LittleEndian.Uint64(d.data)
+		d.data = d.data[8:]
+	}
+	return bitset.FromWords(words)
+}
+
+func appendFloat64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func appendBitset(buf []byte, s *bitset.Set) []byte {
+	words := s.Words()
+	buf = binary.AppendUvarint(buf, uint64(len(words)))
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// WALOp is one logged operation: the resolved op in shard-local id space
+// plus the global id the serving layer assigned (ADD) or targeted
+// (DEL/UA/UR), so replay can rebuild the global id map.
+type WALOp struct {
+	Op       changeplan.Op
+	GlobalID int
+}
+
+// WALBatch is one WAL frame's payload: the shard's share of one update
+// batch. Ops is empty for batches that did not touch the shard — the
+// frame still exists, keeping per-shard epochs dense (see the package
+// comment's crash-safety argument).
+type WALBatch struct {
+	Epoch uint64
+	Ops   []WALOp
+}
+
+// EncodeWALBatch serializes a batch into a frame payload.
+func EncodeWALBatch(b *WALBatch) ([]byte, error) {
+	buf := binary.AppendUvarint(nil, b.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(b.Ops)))
+	for _, op := range b.Ops {
+		if op.GlobalID < 0 {
+			return nil, fmt.Errorf("persist: negative global id %d in WAL batch", op.GlobalID)
+		}
+		buf = binary.AppendUvarint(buf, uint64(op.GlobalID))
+		var err error
+		if buf, err = op.Op.AppendBinary(buf); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeWALBatch parses a frame payload produced by EncodeWALBatch.
+func DecodeWALBatch(payload []byte) (*WALBatch, error) {
+	d := &dec{data: payload}
+	b := &WALBatch{Epoch: d.uvarint()}
+	n := d.count(2)
+	for i := 0; i < n && d.err == nil; i++ {
+		gid := d.uvarint()
+		if d.err != nil {
+			break
+		}
+		op, rest, err := changeplan.DecodeOp(d.data)
+		if err != nil {
+			d.fail("op %d: %v", i, err)
+			break
+		}
+		d.data = rest
+		b.Ops = append(b.Ops, WALOp{Op: op, GlobalID: int(gid)})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.data) != 0 {
+		return nil, fmt.Errorf("persist: %d trailing bytes after WAL batch", len(d.data))
+	}
+	return b, nil
+}
+
+// ShardSnapshot is one shard's full durable state at an epoch.
+type ShardSnapshot struct {
+	// Epoch is the server dataset version the snapshot reflects.
+	Epoch uint64
+	// Dataset is the shard's dataset table and log position.
+	Dataset *dataset.Snapshot
+	// LocalToGlobal maps every shard-local graph id (live or deleted)
+	// to its global id.
+	LocalToGlobal []int
+	// State is the shard runtime's warm state (cache + cost model).
+	State *core.RuntimeState
+}
+
+// EncodeShardSnapshot serializes a shard snapshot into a frame payload.
+func EncodeShardSnapshot(s *ShardSnapshot) ([]byte, error) {
+	buf := binary.AppendUvarint(nil, s.Epoch)
+	buf = binary.AppendUvarint(buf, s.Dataset.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Dataset.Graphs)))
+	for _, g := range s.Dataset.Graphs {
+		if g == nil {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1)
+		buf = appendBytes(buf, graph.Marshal(g))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.LocalToGlobal)))
+	for _, gid := range s.LocalToGlobal {
+		if gid < 0 {
+			return nil, fmt.Errorf("persist: negative global id %d in localToGlobal", gid)
+		}
+		buf = binary.AppendUvarint(buf, uint64(gid))
+	}
+	st := s.State
+	buf = binary.AppendUvarint(buf, uint64(st.AvgTestCostN))
+	buf = appendFloat64(buf, st.AvgTestCostMean)
+	buf = appendFloat64(buf, st.AvgTestCostM2)
+	if st.Cache == nil {
+		return append(buf, 0), nil
+	}
+	buf = append(buf, 1)
+	return appendCacheSnapshot(buf, st.Cache)
+}
+
+func appendCacheSnapshot(buf []byte, c *cache.Snapshot) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(c.NextID))
+	buf = binary.AppendUvarint(buf, uint64(c.Clock))
+	buf = binary.AppendUvarint(buf, c.AppliedSeq)
+	for _, ctr := range []int64{c.Admitted, c.Evicted, c.Purges, c.Validates, c.RepairedBits, c.RepairDropped} {
+		if ctr < 0 {
+			return nil, fmt.Errorf("persist: negative cache counter %d", ctr)
+		}
+		buf = binary.AppendUvarint(buf, uint64(ctr))
+	}
+	buf = append(buf, boolByte(c.RelIncomplete))
+	buf = binary.AppendUvarint(buf, uint64(len(c.Entries)))
+	buf = binary.AppendUvarint(buf, uint64(c.WindowStart))
+	for i := range c.Entries {
+		e := &c.Entries[i]
+		if e.ID < 0 || e.Hits < 0 || e.LastUsed < 0 {
+			return nil, fmt.Errorf("persist: negative entry field on entry %d", i)
+		}
+		buf = binary.AppendUvarint(buf, uint64(e.ID))
+		buf = append(buf, byte(e.Kind))
+		buf = appendBytes(buf, graph.Marshal(e.Query))
+		buf = binary.AppendUvarint(buf, e.Seq)
+		buf = appendFloat64(buf, e.R)
+		buf = appendFloat64(buf, e.CostEst)
+		buf = binary.AppendUvarint(buf, uint64(e.Hits))
+		buf = binary.AppendUvarint(buf, uint64(e.LastUsed))
+		buf = appendBitset(buf, e.Answer)
+		buf = appendBitset(buf, e.Valid)
+		buf = append(buf, boolByte(e.RelKnown))
+		buf = binary.AppendUvarint(buf, uint64(len(e.Sup)))
+		for _, j := range e.Sup {
+			buf = binary.AppendUvarint(buf, uint64(j))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(e.Sub)))
+		for _, j := range e.Sub {
+			buf = binary.AppendUvarint(buf, uint64(j))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(c.RepairQueue)))
+	for _, r := range c.RepairQueue {
+		buf = binary.AppendUvarint(buf, uint64(r.EntryIdx))
+		buf = binary.AppendUvarint(buf, uint64(r.GraphID))
+	}
+	return buf, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// DecodeShardSnapshot parses a frame payload produced by
+// EncodeShardSnapshot.
+func DecodeShardSnapshot(payload []byte) (*ShardSnapshot, error) {
+	d := &dec{data: payload}
+	s := &ShardSnapshot{Epoch: d.uvarint(), Dataset: &dataset.Snapshot{Seq: d.uvarint()}}
+	ngraphs := d.count(1)
+	if d.err == nil {
+		s.Dataset.Graphs = make([]*graph.Graph, ngraphs)
+		for i := 0; i < ngraphs && d.err == nil; i++ {
+			if d.byte() != 0 {
+				s.Dataset.Graphs[i] = d.graph()
+			}
+		}
+	}
+	nloc := d.count(1)
+	if d.err == nil {
+		s.LocalToGlobal = make([]int, nloc)
+		for i := range s.LocalToGlobal {
+			s.LocalToGlobal[i] = int(d.uvarint())
+		}
+	}
+	s.State = &core.RuntimeState{
+		AvgTestCostN:    int64(d.uvarint()),
+		AvgTestCostMean: d.float64(),
+		AvgTestCostM2:   d.float64(),
+	}
+	if d.byte() != 0 {
+		s.State.Cache = decodeCacheSnapshot(d)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.data) != 0 {
+		return nil, fmt.Errorf("persist: %d trailing bytes after shard snapshot", len(d.data))
+	}
+	return s, nil
+}
+
+func decodeCacheSnapshot(d *dec) *cache.Snapshot {
+	c := &cache.Snapshot{
+		NextID:     int(d.uvarint()),
+		Clock:      int64(d.uvarint()),
+		AppliedSeq: d.uvarint(),
+	}
+	for _, ctr := range []*int64{&c.Admitted, &c.Evicted, &c.Purges, &c.Validates, &c.RepairedBits, &c.RepairDropped} {
+		*ctr = int64(d.uvarint())
+	}
+	c.RelIncomplete = d.byte() != 0
+	n := d.count(8)
+	c.WindowStart = int(d.uvarint())
+	if d.err != nil {
+		return nil
+	}
+	c.Entries = make([]cache.EntrySnapshot, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		e := &c.Entries[i]
+		e.ID = int(d.uvarint())
+		kind := d.byte()
+		if kind > byte(cache.KindSuper) {
+			d.fail("entry %d: unknown kind %d", i, kind)
+			return nil
+		}
+		e.Kind = cache.Kind(kind)
+		e.Query = d.graph()
+		e.Seq = d.uvarint()
+		e.R = d.float64()
+		e.CostEst = d.float64()
+		e.Hits = int64(d.uvarint())
+		e.LastUsed = int64(d.uvarint())
+		e.Answer = d.bitset()
+		e.Valid = d.bitset()
+		e.RelKnown = d.byte() != 0
+		nsup := d.count(1)
+		for j := 0; j < nsup && d.err == nil; j++ {
+			e.Sup = append(e.Sup, int(d.uvarint()))
+		}
+		nsub := d.count(1)
+		for j := 0; j < nsub && d.err == nil; j++ {
+			e.Sub = append(e.Sub, int(d.uvarint()))
+		}
+	}
+	nrep := d.count(2)
+	for i := 0; i < nrep && d.err == nil; i++ {
+		c.RepairQueue = append(c.RepairQueue, cache.RepairRef{
+			EntryIdx: int(d.uvarint()),
+			GraphID:  int(d.uvarint()),
+		})
+	}
+	return c
+}

@@ -1,0 +1,127 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame codec: every payload persisted — one WAL batch, one shard
+// snapshot — is wrapped in a frame of
+//
+//	u32 payload length | u32 CRC-32 (IEEE) of the payload | payload
+//
+// A reader accepts a frame only when the full payload is present and the
+// CRC matches; anything else is a torn tail, reported as such so the
+// caller can truncate to the last intact frame.
+
+const frameHeaderSize = 8
+
+// maxFramePayload bounds a frame's declared payload so a corrupt length
+// word cannot trigger a giant allocation. Snapshots of very large shards
+// are the biggest frames; 1 GiB is far above anything the system writes.
+const maxFramePayload = 1 << 30
+
+// ErrTornFrame reports a frame that is incomplete or fails its CRC — the
+// expected shape of a WAL tail after a crash.
+var ErrTornFrame = errors.New("persist: torn frame")
+
+// appendFrame wraps payload in a frame and appends it to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// readFrame decodes one frame from the front of data, returning the
+// payload and the remaining bytes. io.EOF means data was empty (a clean
+// end); ErrTornFrame means a partial or corrupt frame.
+func readFrame(data []byte) (payload, rest []byte, err error) {
+	if len(data) == 0 {
+		return nil, nil, io.EOF
+	}
+	if len(data) < frameHeaderSize {
+		return nil, nil, ErrTornFrame
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	sum := binary.LittleEndian.Uint32(data[4:8])
+	if n > maxFramePayload {
+		return nil, nil, fmt.Errorf("%w: implausible payload length %d", ErrTornFrame, n)
+	}
+	body := data[frameHeaderSize:]
+	if uint32(len(body)) < n {
+		return nil, nil, ErrTornFrame
+	}
+	payload = body[:n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, nil, fmt.Errorf("%w: CRC mismatch", ErrTornFrame)
+	}
+	return payload, body[n:], nil
+}
+
+// File headers. Both file kinds start with a 4-byte magic and a u32
+// format version; WAL files add the shard index and the segment's base
+// epoch so a misplaced file fails loudly instead of replaying into the
+// wrong shard.
+
+const formatVersion = 1
+
+var (
+	walMagic  = [4]byte{'G', 'C', 'W', 'L'}
+	snapMagic = [4]byte{'G', 'C', 'S', 'N'}
+)
+
+const (
+	walHeaderSize  = 4 + 4 + 4 + 8 // magic, version, shard, base epoch
+	snapHeaderSize = 4 + 4 + 4     // magic, version, shard
+)
+
+func appendWALHeader(buf []byte, shard int, baseEpoch uint64) []byte {
+	buf = append(buf, walMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(shard))
+	return binary.LittleEndian.AppendUint64(buf, baseEpoch)
+}
+
+// parseWALHeader validates a WAL file header, returning its base epoch.
+func parseWALHeader(data []byte, shard int) (baseEpoch uint64, err error) {
+	if len(data) < walHeaderSize {
+		return 0, ErrTornFrame // crashed before the header hit disk
+	}
+	if [4]byte(data[0:4]) != walMagic {
+		return 0, fmt.Errorf("persist: not a WAL file (bad magic %q)", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != formatVersion {
+		return 0, fmt.Errorf("persist: unsupported WAL format version %d", v)
+	}
+	if got := int(binary.LittleEndian.Uint32(data[8:12])); got != shard {
+		return 0, fmt.Errorf("persist: WAL file belongs to shard %d, not %d", got, shard)
+	}
+	return binary.LittleEndian.Uint64(data[12:walHeaderSize]), nil
+}
+
+func appendSnapHeader(buf []byte, shard int) []byte {
+	buf = append(buf, snapMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	return binary.LittleEndian.AppendUint32(buf, uint32(shard))
+}
+
+func parseSnapHeader(data []byte, shard int) error {
+	if len(data) < snapHeaderSize {
+		return fmt.Errorf("persist: snapshot file too short (%d bytes)", len(data))
+	}
+	if [4]byte(data[0:4]) != snapMagic {
+		return fmt.Errorf("persist: not a snapshot file (bad magic %q)", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != formatVersion {
+		return fmt.Errorf("persist: unsupported snapshot format version %d", v)
+	}
+	if got := int(binary.LittleEndian.Uint32(data[8:12])); got != shard {
+		return fmt.Errorf("persist: snapshot file belongs to shard %d, not %d", got, shard)
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package persist
+
+import "os"
+
+// Non-unix platforms get no advisory lock: single-process operation is
+// the operator's responsibility there.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+func unlockDir(f *os.File) {}

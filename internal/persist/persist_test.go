@@ -1,0 +1,472 @@
+package persist
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gcplus/internal/bitset"
+	"gcplus/internal/cache"
+	"gcplus/internal/changeplan"
+	"gcplus/internal/core"
+	"gcplus/internal/dataset"
+	"gcplus/internal/graph"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 1000)}
+	var buf []byte
+	for _, p := range payloads {
+		buf = appendFrame(buf, p)
+	}
+	rest := buf
+	for i, want := range payloads {
+		got, next, err := readFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+		rest = next
+	}
+	if _, _, err := readFrame(rest); err == nil || len(rest) != 0 {
+		t.Fatalf("want clean EOF at end, got rest=%d", len(rest))
+	}
+}
+
+// TestFrameTornTruncation checks that every strict prefix of a valid
+// frame stream decodes to a prefix of the frames plus a torn tail —
+// never garbage, never an intact phantom frame.
+func TestFrameTornTruncation(t *testing.T) {
+	payloads := [][]byte{[]byte("alpha"), []byte("bb"), []byte("the third payload")}
+	var full []byte
+	ends := []int{}
+	for _, p := range payloads {
+		full = appendFrame(full, p)
+		ends = append(ends, len(full))
+	}
+	for cut := 0; cut < len(full); cut++ {
+		data := full[:cut]
+		var got int
+		for {
+			payload, rest, err := readFrame(data)
+			if err != nil {
+				break
+			}
+			if !bytes.Equal(payload, payloads[got]) {
+				t.Fatalf("cut %d: frame %d corrupted", cut, got)
+			}
+			got++
+			data = rest
+		}
+		wantIntact := 0
+		for _, e := range ends {
+			if cut >= e {
+				wantIntact++
+			}
+		}
+		if got != wantIntact {
+			t.Fatalf("cut %d: decoded %d frames, want %d", cut, got, wantIntact)
+		}
+	}
+	// Flip one payload byte: CRC must reject the frame.
+	corrupt := append([]byte(nil), full...)
+	corrupt[frameHeaderSize] ^= 0x01
+	if _, _, err := readFrame(corrupt); err == nil {
+		t.Fatal("corrupted frame passed its CRC")
+	}
+}
+
+func TestWALAppendReadTruncate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal-0.log")
+	w, err := CreateWAL(path, 3, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	for _, p := range payloads {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	base, frames, end, torn, err := ReadWALFile(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 7 || torn || len(frames) != 3 {
+		t.Fatalf("base=%d torn=%v frames=%d, want 7/false/3", base, torn, len(frames))
+	}
+	fi, _ := os.Stat(path)
+	if end != fi.Size() {
+		t.Fatalf("end %d != file size %d", end, fi.Size())
+	}
+
+	// Simulate a torn tail and verify the intact prefix plus the
+	// truncation offset survive, and appending after truncation works.
+	if err := os.Truncate(path, frames[2].End-1); err != nil {
+		t.Fatal(err)
+	}
+	_, frames2, end2, torn2, err := ReadWALFile(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn2 || len(frames2) != 2 || end2 != frames[1].End {
+		t.Fatalf("after tear: torn=%v frames=%d end=%d, want true/2/%d", torn2, len(frames2), end2, frames[1].End)
+	}
+	w2, err := OpenWALAppend(path, 3, end2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]byte("four")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, frames3, _, torn3, err := ReadWALFile(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn3 || len(frames3) != 3 || string(frames3[2].Payload) != "four" {
+		t.Fatalf("after re-append: torn=%v frames=%d", torn3, len(frames3))
+	}
+
+	// Wrong shard: loud structural error.
+	if _, _, _, _, err := ReadWALFile(path, 4); err == nil {
+		t.Fatal("WAL for shard 3 accepted as shard 4")
+	}
+}
+
+// TestWALPoisonedAfterFailedAppend pins the acknowledged-batch-loss
+// guard: once an append fails, the segment refuses further appends
+// (instead of writing past a possibly-torn frame that recovery would
+// truncate, discarding acknowledged batches behind it).
+func TestWALPoisonedAfterFailedAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-0.log")
+	w, err := CreateWAL(path, 0, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := w.Size()
+	w.f.Close() // force the next write to fail
+	if err := w.Append([]byte("fails")); err == nil {
+		t.Fatal("append on a closed file succeeded")
+	}
+	if err := w.Append([]byte("after")); err == nil {
+		t.Fatal("poisoned WAL accepted an append")
+	}
+	if w.Size() != goodSize {
+		t.Fatalf("size advanced past the last intact frame: %d vs %d", w.Size(), goodSize)
+	}
+	// The intact prefix is still recoverable.
+	_, frames, _, _, err := ReadWALFile(path, 0)
+	if err != nil || len(frames) != 1 || string(frames[0].Payload) != "good" {
+		t.Fatalf("intact prefix lost: %v, %d frames", err, len(frames))
+	}
+}
+
+func testGraph(name string) *graph.Graph {
+	b := graph.NewBuilder()
+	b.SetName(name)
+	b.AddVertex(1)
+	b.AddVertex(2)
+	b.AddVertex(1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, _ := b.Build()
+	return g
+}
+
+func TestWALBatchRoundTrip(t *testing.T) {
+	batch := &WALBatch{
+		Epoch: 42,
+		Ops: []WALOp{
+			{Op: changeplan.AddOp(testGraph("added")), GlobalID: 17},
+			{Op: changeplan.DeleteOp(3), GlobalID: 12},
+			{Op: changeplan.AddEdgeOp(2, 0, 1), GlobalID: 9},
+			{Op: changeplan.RemoveEdgeOp(1, 1, 2), GlobalID: 5},
+		},
+	}
+	payload, err := EncodeWALBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWALBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != batch.Epoch || len(got.Ops) != len(batch.Ops) {
+		t.Fatalf("epoch/ops mismatch: %+v", got)
+	}
+	for i, op := range got.Ops {
+		want := batch.Ops[i]
+		if op.GlobalID != want.GlobalID || op.Op.Type != want.Op.Type ||
+			op.Op.GraphID != want.Op.GraphID || op.Op.U != want.Op.U || op.Op.V != want.Op.V {
+			t.Fatalf("op %d: got %+v want %+v", i, op, want)
+		}
+	}
+	g := got.Ops[0].Op.Graph
+	if g == nil || g.Name() != "added" || g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("ADD graph did not round-trip: %v", g)
+	}
+	// Empty batch (untouched shard) round-trips too.
+	empty, err := EncodeWALBatch(&WALBatch{Epoch: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeWALBatch(empty)
+	if err != nil || back.Epoch != 7 || len(back.Ops) != 0 {
+		t.Fatalf("empty batch: %v %+v", err, back)
+	}
+	// Trailing garbage is rejected.
+	if _, err := DecodeWALBatch(append(payload, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestShardSnapshotRoundTrip(t *testing.T) {
+	g0, g2 := testGraph("g0"), testGraph("g2")
+	ans := bitset.FromIndices(0, 2)
+	valid := bitset.FromIndices(0)
+	snap := &ShardSnapshot{
+		Epoch: 9,
+		Dataset: &dataset.Snapshot{
+			Graphs: []*graph.Graph{g0, nil, g2}, // id 1 deleted
+			Seq:    13,
+		},
+		LocalToGlobal: []int{0, 4, 8},
+		State: &core.RuntimeState{
+			AvgTestCostN:    5,
+			AvgTestCostMean: 1.5e-6,
+			AvgTestCostM2:   math.Pi,
+			Cache: &cache.Snapshot{
+				Entries: []cache.EntrySnapshot{
+					{
+						ID: 0, Query: testGraph("q0"), Kind: cache.KindSub,
+						Answer: ans, Valid: valid, Seq: 13,
+						R: 12.5, CostEst: 3e-6, Hits: 4, LastUsed: 99,
+						RelKnown: true, Sup: []int{1}, Sub: nil,
+					},
+					{
+						ID: 1, Query: testGraph("q1"), Kind: cache.KindSuper,
+						Answer: bitset.New(0), Valid: bitset.FromIndices(1), Seq: 13,
+						RelKnown: true, Sup: nil, Sub: []int{0},
+					},
+				},
+				WindowStart: 1,
+				NextID:      2,
+				Clock:       7,
+				AppliedSeq:  13,
+				Admitted:    1, Evicted: 0, Purges: 0, Validates: 2,
+				RepairedBits: 3, RepairDropped: 1,
+				RepairQueue: []cache.RepairRef{{EntryIdx: 0, GraphID: 2}},
+			},
+		},
+	}
+	payload, err := EncodeShardSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeShardSnapshot(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 9 || got.Dataset.Seq != 13 || len(got.Dataset.Graphs) != 3 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Dataset.Graphs[1] != nil || got.Dataset.Graphs[0].Name() != "g0" || got.Dataset.Graphs[2].Name() != "g2" {
+		t.Fatal("dataset graphs did not round-trip")
+	}
+	if len(got.LocalToGlobal) != 3 || got.LocalToGlobal[1] != 4 {
+		t.Fatalf("localToGlobal: %v", got.LocalToGlobal)
+	}
+	st := got.State
+	if st.AvgTestCostN != 5 || st.AvgTestCostMean != 1.5e-6 || st.AvgTestCostM2 != math.Pi {
+		t.Fatalf("cost model: %+v", st)
+	}
+	c := st.Cache
+	if c == nil || len(c.Entries) != 2 || c.WindowStart != 1 || c.NextID != 2 || c.Clock != 7 {
+		t.Fatalf("cache header: %+v", c)
+	}
+	e0 := c.Entries[0]
+	if e0.Query.Name() != "q0" || e0.Kind != cache.KindSub || !e0.Answer.Equal(ans) ||
+		!e0.Valid.Equal(valid) || e0.R != 12.5 || e0.Hits != 4 || !e0.RelKnown ||
+		len(e0.Sup) != 1 || e0.Sup[0] != 1 || len(e0.Sub) != 0 {
+		t.Fatalf("entry 0: %+v", e0)
+	}
+	if c.RepairedBits != 3 || c.RepairDropped != 1 || len(c.RepairQueue) != 1 || c.RepairQueue[0].GraphID != 2 {
+		t.Fatalf("repair state: %+v", c)
+	}
+
+	// No-cache snapshot round-trips with a nil cache.
+	snap.State.Cache = nil
+	payload, err = EncodeShardSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeShardSnapshot(payload)
+	if err != nil || got.State.Cache != nil {
+		t.Fatalf("nil-cache round-trip: %v %+v", err, got.State)
+	}
+}
+
+func TestSnapshotFileAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap-0.snap")
+	payload := []byte("snapshot payload")
+	if err := WriteSnapshotFile(path, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(path, 1)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if _, err := ReadSnapshotFile(path, 2); err == nil {
+		t.Fatal("snapshot for shard 1 accepted as shard 2")
+	}
+	// A truncated file (torn rename never happens, but disk corruption
+	// can) is rejected, not half-read.
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshotFile(path, 1); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	// No stray tmp files.
+	m, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(m) != 0 {
+		t.Fatalf("stray tmp files: %v", m)
+	}
+}
+
+func TestStoreLayout(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HasState() || HasState(dir) {
+		t.Fatal("fresh store claims state")
+	}
+	// The META file records the layout from creation on, even before
+	// any snapshot exists.
+	if n, ok := StateShards(dir); !ok || n != 2 {
+		t.Fatalf("StateShards = (%d, %v), want (2, true)", n, ok)
+	}
+	// Complete generation at 4 on both shards, plus an incomplete one
+	// at 9 (shard 0 only) — discovery must pick 4 and list 9 nowhere.
+	for shard := 0; shard < 2; shard++ {
+		if err := WriteSnapshotFile(s.SnapshotPath(shard, 4), shard, []byte("gen4")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteSnapshotFile(s.SnapshotPath(0, 9), 0, []byte("gen9")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasState() || !HasState(dir) {
+		t.Fatal("store with snapshots claims no state")
+	}
+	gens := s.CompleteSnapshotEpochs()
+	if len(gens) != 1 || gens[0] != 4 {
+		t.Fatalf("complete generations: %v, want [4]", gens)
+	}
+	// WAL segments and byte accounting.
+	w, err := CreateWAL(s.WALPath(0, 4), 0, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("frame")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if segs := s.WALSegments(0); len(segs) != 1 || segs[0] != 4 {
+		t.Fatalf("segments: %v", segs)
+	}
+	// Cleanup drops strictly older generations only.
+	s.RemoveObsolete(9)
+	if got := s.CompleteSnapshotEpochs(); len(got) != 0 {
+		t.Fatalf("generation 4 should be gone, have %v", got)
+	}
+	if segs := s.WALSegments(0); len(segs) != 0 {
+		t.Fatalf("segment 4 should be gone, have %v", segs)
+	}
+	// A store is not portable across shard counts (the lock also blocks
+	// these, but the count mismatch is checked for unlocked reopens).
+	if _, err := OpenStore(dir, 1); err == nil {
+		t.Fatal("2-shard store opened with 1 shard")
+	}
+	if _, err := OpenStore(dir, 4); err == nil {
+		t.Fatal("2-shard store opened with 4 shards")
+	}
+	s.Close()
+	if _, err := OpenStore(dir, 4); err == nil {
+		t.Fatal("2-shard store opened with 4 shards after unlock")
+	}
+}
+
+// TestStorePartialFirstGeneration pins the first-boot crash semantics:
+// a partial generation (files in only a prefix of the shard dirs) is
+// not recoverable state — HasState stays false, the shard count stays
+// authoritative from META, and the next OpenStore clears the debris.
+func TestStorePartialFirstGeneration(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash mid-generation: only shards 0 and 1 got their files.
+	for shard := 0; shard < 2; shard++ {
+		if err := WriteSnapshotFile(s.SnapshotPath(shard, 0), shard, []byte("partial")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	if HasState(dir) {
+		t.Fatal("partial generation counted as recoverable state")
+	}
+	if n, ok := StateShards(dir); !ok || n != 4 {
+		t.Fatalf("StateShards = (%d, %v), want (4, true) — prefix dirs must not shrink the count", n, ok)
+	}
+	// Reopening clears the debris and the store cold-starts cleanly.
+	s2, err := OpenStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for shard := 0; shard < 2; shard++ {
+		if _, err := os.Stat(s2.SnapshotPath(shard, 0)); err == nil {
+			t.Fatalf("shard %d debris survived reopen", shard)
+		}
+	}
+}
+
+// TestStoreLock pins single-process ownership: a data directory cannot
+// be opened twice concurrently, and the lock releases on Close.
+func TestStoreLock(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenStore(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir, 1); err == nil {
+		t.Fatal("second concurrent open succeeded")
+	}
+	s1.Close()
+	s2, err := OpenStore(dir, 1)
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	s2.Close()
+}

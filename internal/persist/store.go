@@ -1,0 +1,286 @@
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// Store manages the data directory's layout: one subdirectory per shard
+// holding snapshot files and WAL segments, both named by the epoch they
+// are anchored at (see the package comment). An open Store holds an
+// exclusive advisory lock on the directory until Close.
+type Store struct {
+	dir    string
+	shards int
+	lock   *os.File
+}
+
+// storeMeta is the store's authoritative identity, written once at
+// creation. Recording the shard count here — rather than inferring it
+// from which shard directories happen to be non-empty — is what makes
+// partial first generations detectable: a crash mid-generation leaves
+// files in a prefix of the shard dirs, and counting those would make
+// the prefix look like a smaller, *complete* store (silently serving a
+// fraction of the dataset after restart).
+type storeMeta struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+const (
+	metaFile    = "META"
+	metaVersion = 1
+)
+
+func readMeta(dir string) (storeMeta, bool) {
+	data, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return storeMeta{}, false
+	}
+	var m storeMeta
+	if json.Unmarshal(data, &m) != nil || m.Version != metaVersion || m.Shards < 1 {
+		return storeMeta{}, false
+	}
+	return m, true
+}
+
+func writeMeta(dir string, m storeMeta) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, metaFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(path)
+}
+
+// OpenStore opens (creating if needed) a data directory for the given
+// shard count and takes its exclusive lock — a second process opening
+// the same directory fails loudly instead of corrupting the store. A
+// directory created with a different shard count is rejected:
+// partitions are not portable across shard counts (see StateShards for
+// adopting a directory's own count). Debris from a boot that never
+// completed its first snapshot generation — partial generations, empty
+// WAL segments — is cleared: nothing was ever recoverable or
+// acknowledged from it, and left in place it would wedge every future
+// boot.
+func OpenStore(dir string, shards int) (*Store, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("persist: store needs at least 1 shard, got %d", shards)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, shards: shards, lock: lock}
+	if m, ok := readMeta(dir); ok {
+		if m.Shards != shards {
+			s.Close()
+			return nil, fmt.Errorf("persist: %s was created for %d shards, not %d; shard counts are not portable", dir, m.Shards, shards)
+		}
+		if len(completeEpochsIn(dir, m.Shards)) == 0 {
+			for i := 0; i < m.Shards; i++ {
+				os.RemoveAll(shardDirIn(dir, i))
+			}
+		}
+	} else if err := writeMeta(dir, storeMeta{Version: metaVersion, Shards: shards}); err != nil {
+		s.Close()
+		return nil, err
+	}
+	for i := 0; i < shards; i++ {
+		if err := os.MkdirAll(s.ShardDir(i), 0o755); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Close releases the directory lock. The Store is unusable afterwards.
+func (s *Store) Close() {
+	unlockDir(s.lock)
+	s.lock = nil
+}
+
+// StateShards reports the shard count a data directory was created
+// with (from its META file), and false for a directory that is not a
+// store yet. Front-ends use it to adopt the persisted layout instead
+// of requiring the operator to repeat the original -shards value.
+func StateShards(dir string) (int, bool) {
+	m, ok := readMeta(dir)
+	return m.Shards, ok
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Shards returns the shard count the store was opened with.
+func (s *Store) Shards() int { return s.shards }
+
+// ShardDir returns shard i's subdirectory.
+func (s *Store) ShardDir(i int) string { return shardDirIn(s.dir, i) }
+
+func shardDirIn(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+}
+
+// SnapshotPath returns the snapshot file path for (shard, epoch).
+func (s *Store) SnapshotPath(shard int, epoch uint64) string {
+	return filepath.Join(s.ShardDir(shard), fmt.Sprintf("snap-%016x.snap", epoch))
+}
+
+// WALPath returns the WAL segment path for (shard, base epoch).
+func (s *Store) WALPath(shard int, epoch uint64) string {
+	return filepath.Join(s.ShardDir(shard), fmt.Sprintf("wal-%016x.log", epoch))
+}
+
+// HasState reports whether the directory holds recoverable state: at
+// least one snapshot generation complete across every shard — the
+// signal that a boot should recover rather than cold-start. Partial
+// generations alone are not state (nothing was ever acknowledged
+// before the first generation completed).
+func (s *Store) HasState() bool {
+	return len(s.CompleteSnapshotEpochs()) > 0
+}
+
+// HasState reports whether dir holds recoverable state, without
+// opening (or locking) it — cmd front-ends use it to decide whether an
+// initial dataset is required. Same predicate as Store.HasState, with
+// the shard count read from the directory itself.
+func HasState(dir string) bool {
+	n, ok := StateShards(dir)
+	return ok && len(completeEpochsIn(dir, n)) > 0
+}
+
+// epochsOf lists the epochs of shard i's files with the given prefix and
+// suffix, ascending.
+func (s *Store) epochsOf(shard int, prefix, suffix string) []uint64 {
+	return epochsIn(s.ShardDir(shard), prefix, suffix)
+}
+
+// epochsIn lists the epochs encoded in a directory's file names with
+// the given prefix and suffix, ascending. Unparsable names are ignored.
+func epochsIn(dir, prefix, suffix string) []uint64 {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+		v, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// CompleteSnapshotEpochs returns the epochs for which *every* shard
+// holds a snapshot file, descending (newest first). Recovery uses only
+// the newest entry — an older generation's WAL predecessors were
+// deleted when the newer one became durable, so "falling back" would
+// silently roll back acknowledged batches; a corrupt newest generation
+// is a loud boot failure instead.
+func (s *Store) CompleteSnapshotEpochs() []uint64 {
+	return completeEpochsIn(s.dir, s.shards)
+}
+
+func completeEpochsIn(dir string, shards int) []uint64 {
+	counts := make(map[uint64]int)
+	for i := 0; i < shards; i++ {
+		for _, e := range epochsIn(shardDirIn(dir, i), "snap-", ".snap") {
+			counts[e]++
+		}
+	}
+	var out []uint64
+	for e, n := range counts {
+		if n == shards {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] > out[b] })
+	return out
+}
+
+// WALSegments returns shard i's segment base epochs, ascending.
+func (s *Store) WALSegments(shard int) []uint64 {
+	return s.epochsOf(shard, "wal-", ".log")
+}
+
+// RemoveObsolete deletes snapshot generations and WAL segments strictly
+// older than the given epoch — called after a snapshot at that epoch is
+// durable on every shard, at which point the older chain can never be
+// needed again. Removal failures are ignored (stale files cost disk,
+// not correctness: recovery always prefers the newest complete
+// generation).
+func (s *Store) RemoveObsolete(epoch uint64) {
+	for i := 0; i < s.shards; i++ {
+		for _, e := range s.epochsOf(i, "snap-", ".snap") {
+			if e < epoch {
+				os.Remove(s.SnapshotPath(i, e))
+			}
+		}
+		for _, e := range s.epochsOf(i, "wal-", ".log") {
+			if e < epoch {
+				os.Remove(s.WALPath(i, e))
+			}
+		}
+	}
+}
+
+// RemoveSnapshotsAfter deletes snapshot files newer than epoch — at
+// recovery time, epoch is the newest *complete* generation, so newer
+// files are the partial debris of generations that never completed and
+// must not survive to pair up with a future attempt at the same epoch.
+func (s *Store) RemoveSnapshotsAfter(epoch uint64) {
+	for i := 0; i < s.shards; i++ {
+		for _, e := range s.epochsOf(i, "snap-", ".snap") {
+			if e > epoch {
+				os.Remove(s.SnapshotPath(i, e))
+			}
+		}
+	}
+}
+
+// syncDir fsyncs the directory containing path, making a just-created
+// or just-renamed file's directory entry durable. Failures propagate —
+// a lost dirent for a WAL segment would silently drop every
+// acknowledged batch the segment holds — except EINVAL, the errno of
+// filesystems that do not support directory fsync at all (the dirent
+// is inherently best-effort there, and erroring would make such
+// filesystems unusable rather than safer).
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) {
+		return err
+	}
+	return nil
+}

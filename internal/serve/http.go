@@ -146,11 +146,16 @@ func (wo wireOp) decode() (changeplan.Op, error) {
 	return op, nil
 }
 
-// updateResponse is the wire form of an UpdateResult.
+// updateResponse is the wire form of an UpdateResult. DurabilityError
+// is set (with status 507) when the batch was applied in memory but a
+// WAL append failed — the batch may not survive a crash. Clients must
+// NOT blindly retry a 507: the ops are already applied, and
+// re-submitting would double-apply them.
 type updateResponse struct {
-	Epoch   uint64         `json:"epoch"`
-	Applied int            `json:"applied"`
-	Ops     []wireOpResult `json:"ops"`
+	Epoch           uint64         `json:"epoch"`
+	Applied         int            `json:"applied"`
+	Ops             []wireOpResult `json:"ops"`
+	DurabilityError string         `json:"durability_error,omitempty"`
 }
 
 type wireOpResult struct {
@@ -180,7 +185,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		ops[i] = op
 	}
 	res, err := s.Update(ops)
-	if err != nil {
+	if err != nil && res == nil {
 		httpError(w, statusOf(err), "update failed: %v", err)
 		return
 	}
@@ -190,6 +195,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		if opRes.Err != nil {
 			out.Ops[i].Error = opRes.Err.Error()
 		}
+	}
+	if err != nil {
+		// Applied in memory, durability uncertain (WAL failure). Hand
+		// the full result back — assigned ids included — under 507 so
+		// the client knows not to re-submit the already-applied batch.
+		out.DurabilityError = err.Error()
+		writeJSON(w, http.StatusInsufficientStorage, out)
+		return
 	}
 	writeJSON(w, http.StatusOK, out)
 }

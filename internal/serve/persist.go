@@ -1,0 +1,413 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"gcplus/internal/dataset"
+	"gcplus/internal/persist"
+)
+
+// This file is the serving side of the durability subsystem
+// (internal/persist): WAL appends as owner jobs, snapshot generations,
+// and warm-restart recovery. See the persist package comment for the
+// on-disk layout and the crash-safety argument.
+
+// enqueueWALAppends enqueues, on every shard, the owner job that drains
+// the batch's walPending ops into one epoch-stamped frame and appends it
+// (fsynced unless NoSync). Called with seqMu held exclusively, right
+// after the batch's op jobs — FIFO order guarantees the pending list
+// holds exactly this batch's applied ops when the job runs. Untouched
+// shards log an empty frame, keeping per-shard epochs dense.
+func (s *Server) enqueueWALAppends(epoch uint64) []<-chan error {
+	acks := make([]<-chan error, len(s.shards))
+	for i, sh := range s.shards {
+		ch := make(chan error, 1)
+		acks[i] = ch
+		sh.jobs <- func() {
+			batch := persist.WALBatch{Epoch: epoch, Ops: sh.walPending}
+			sh.walPending = nil
+			if sh.wal == nil {
+				ch <- fmt.Errorf("serve: shard %d has no open WAL segment", sh.id)
+				return
+			}
+			payload, err := persist.EncodeWALBatch(&batch)
+			if err == nil {
+				err = sh.wal.Append(payload)
+			}
+			ch <- err
+		}
+	}
+	return acks
+}
+
+// Snapshot forces a snapshot generation at the current epoch and waits
+// until it is durable on every shard (or fails; a failed generation
+// leaves the previous one and its WAL chain intact). It returns an
+// error when persistence is not configured.
+func (s *Server) Snapshot() error {
+	if s.store == nil {
+		return fmt.Errorf("serve: persistence is not configured")
+	}
+	s.snapMu.Lock() // lock order: snapMu before seqMu
+	s.seqMu.RLock()
+	if s.closed {
+		s.seqMu.RUnlock()
+		s.snapMu.Unlock()
+		return ErrClosed
+	}
+	done := s.enqueueSnapshotLocked(s.epoch) // releases snapMu when done
+	s.seqMu.RUnlock()
+	return <-done
+}
+
+// maybeSnapshotLocked starts an asynchronous snapshot generation at
+// epoch if none is in flight. Called from Update with seqMu held
+// exclusively; TryLock keeps the writer path from ever blocking on an
+// in-flight generation.
+func (s *Server) maybeSnapshotLocked(epoch uint64) {
+	if !s.snapMu.TryLock() {
+		return
+	}
+	s.enqueueSnapshotLocked(epoch)
+}
+
+// enqueueSnapshotLocked enqueues one snapshot-export job per shard and
+// spawns the collector that writes the generation's files. Caller holds
+// snapMu and seqMu (either mode); holding seqMu across the enqueues is
+// what makes the generation consistent — every shard exports at exactly
+// the given epoch. The collector releases snapMu and reports on the
+// returned channel.
+//
+// The owner job does three things back to back: reconcile the cache
+// with the shard log (so the exported cache's AppliedSeq equals the
+// dataset's sequence number — the precondition for not persisting the
+// log itself), export dataset + runtime state (cheap: graph pointers
+// are shared, bitsets cloned), and rotate the WAL so the new segment's
+// frames are exactly the batches after this generation. File encoding
+// and IO run on the collector, off the owner.
+func (s *Server) enqueueSnapshotLocked(epoch uint64) <-chan error {
+	done := make(chan error, 1)
+	exports := make([]*persist.ShardSnapshot, len(s.shards))
+	rotateErrs := make([]error, len(s.shards))
+	acks := make(chan int, len(s.shards))
+	for i, sh := range s.shards {
+		sh.jobs <- func() {
+			defer func() { acks <- 1 }()
+			sh.rt.Sync()
+			l2g := make([]int, len(sh.localToGlobal))
+			copy(l2g, sh.localToGlobal)
+			exports[i] = &persist.ShardSnapshot{
+				Epoch:         epoch,
+				Dataset:       sh.ds.Export(),
+				LocalToGlobal: l2g,
+				State:         sh.rt.ExportState(),
+			}
+			if s.walWanted() {
+				// Rotation also heals a missing or poisoned segment
+				// from an earlier failed append or rotation — every
+				// generation retries, so a transient disk error does
+				// not disable logging for the process's lifetime.
+				if sh.wal != nil {
+					if err := sh.wal.Close(); err != nil {
+						rotateErrs[i] = err
+					}
+					sh.wal = nil
+				}
+				w, err := persist.CreateWAL(s.store.WALPath(sh.id, epoch), sh.id, epoch, !s.opts.NoSync)
+				if err != nil {
+					// Fail loudly on the next Update rather than drop
+					// batches silently: enqueueWALAppends errors on a
+					// nil segment.
+					rotateErrs[i] = err
+					return
+				}
+				sh.wal = w
+			}
+		}
+	}
+	go func() {
+		defer s.snapMu.Unlock()
+		for range s.shards {
+			<-acks
+		}
+		var firstErr error
+		for _, err := range rotateErrs {
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("serve: WAL rotation: %w", err)
+			}
+		}
+		for i, ex := range exports {
+			if firstErr != nil {
+				break
+			}
+			payload, err := persist.EncodeShardSnapshot(ex)
+			if err == nil {
+				err = persist.WriteSnapshotFile(s.store.SnapshotPath(i, epoch), i, payload)
+			}
+			if err != nil {
+				firstErr = fmt.Errorf("serve: snapshot shard %d: %w", i, err)
+			}
+		}
+		if firstErr == nil {
+			s.store.RemoveObsolete(epoch)
+			s.lastSnapshotEpoch.Store(epoch)
+			s.snapshotsWritten.Add(1)
+		} else {
+			// Best-effort removal of the failed generation's files: a
+			// stray snap-<epoch> surviving here could later pair with a
+			// different attempt's files at the same epoch and
+			// masquerade as a complete generation.
+			for i := range s.shards {
+				os.Remove(s.store.SnapshotPath(i, epoch))
+			}
+		}
+		done <- firstErr
+	}()
+	return done
+}
+
+// Recovered reports whether this server booted via warm-restart
+// recovery, and if so how many cache entries were restored and the
+// epoch recovery reached after WAL replay.
+func (s *Server) Recovered() (entries int, epoch uint64, ok bool) {
+	return s.recoveredEntries, s.recoveredEpoch, s.recovered
+}
+
+// replayFrame is one decoded WAL batch plus where it lives on disk, so
+// recovery can truncate the segment chain at the cross-shard
+// consistency point.
+type replayFrame struct {
+	batch   *persist.WALBatch
+	segBase uint64
+	end     int64 // offset just past the frame within its segment
+}
+
+// recover performs the warm restart: load the newest complete snapshot
+// generation, replay each shard's WAL chain up to the newest batch
+// durable on every shard, truncate the torn remainder, and rebuild the
+// server-level id map and epoch. Shard goroutines are not running yet —
+// everything here is single-threaded construction.
+func (s *Server) recover() error {
+	snaps, err := s.loadSnapshots()
+	if err != nil {
+		return err
+	}
+	snapEpoch := snaps[0].Epoch
+	s.shards = make([]*shard, s.opts.Shards)
+	for i, snap := range snaps {
+		coreOpts, err := s.shardCoreOptions()
+		if err != nil {
+			return err
+		}
+		sh, err := newShardOver(i, dataset.Restore(snap.Dataset), snap.LocalToGlobal, coreOpts)
+		if err != nil {
+			return err
+		}
+		if err := sh.rt.RestoreState(snap.State); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.recoveredEntries += sh.rt.CacheSize() + sh.rt.CacheStats().Window
+		s.shards[i] = sh
+	}
+
+	// Read each shard's segment chain: contiguous epochs starting at
+	// snapEpoch+1, stopping at the first gap, torn frame or decode
+	// failure. The newest batch durable on every shard is the minimum
+	// of the per-shard chain ends — batches beyond it were never
+	// acknowledged (their frames are not durable everywhere) and are
+	// discarded exactly as if they had never happened.
+	chains := make([][]replayFrame, len(s.shards))
+	safe := ^uint64(0)
+	for i := range s.shards {
+		chain, err := s.readChain(i, snapEpoch)
+		if err != nil {
+			return err
+		}
+		chains[i] = chain
+		last := snapEpoch
+		if len(chain) > 0 {
+			last = chain[len(chain)-1].batch.Epoch
+		}
+		if last < safe {
+			safe = last
+		}
+	}
+
+	for i, sh := range s.shards {
+		for _, f := range chains[i] {
+			if f.batch.Epoch > safe {
+				break
+			}
+			if err := sh.replayBatch(f.batch); err != nil {
+				return fmt.Errorf("shard %d, batch %d: %w", i, f.batch.Epoch, err)
+			}
+		}
+		if err := s.resetShardWAL(sh, chains[i], snapEpoch, safe); err != nil {
+			return err
+		}
+	}
+
+	// Rebuild the global id map from the shard-local maps: every global
+	// id ever assigned belongs to exactly one shard.
+	total := 0
+	for _, sh := range s.shards {
+		total += len(sh.localToGlobal)
+	}
+	s.loc = make([]location, total)
+	seen := make([]bool, total)
+	for _, sh := range s.shards {
+		for local, gid := range sh.localToGlobal {
+			if gid < 0 || gid >= total || seen[gid] {
+				return fmt.Errorf("shard %d maps local %d to invalid or duplicate global id %d", sh.id, local, gid)
+			}
+			seen[gid] = true
+			s.loc[gid] = location{shard: int32(sh.id), local: int32(local)}
+		}
+	}
+	s.nextAdd = total
+	s.epoch = safe
+	s.recoveredEpoch = safe
+	s.recovered = true
+	s.lastSnapshotEpoch.Store(snapEpoch)
+	// Purge partial debris of generations newer than the recovery
+	// point, so it can never pair up with a future generation attempt
+	// at the same epoch.
+	s.store.RemoveSnapshotsAfter(snapEpoch)
+	return nil
+}
+
+// loadSnapshots decodes the newest complete snapshot generation. A
+// decode failure is fatal, not a trigger to fall back to an older
+// generation: the newest generation's WAL predecessors were deleted
+// when it became durable, so booting from an older one would silently
+// roll back batches that were fsynced and acknowledged — a loud
+// refusal (operator restores from backup) is the only answer that
+// keeps the durability contract honest.
+func (s *Server) loadSnapshots() ([]*persist.ShardSnapshot, error) {
+	gens := s.store.CompleteSnapshotEpochs()
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("data directory holds state but no complete snapshot generation")
+	}
+	epoch := gens[0]
+	snaps := make([]*persist.ShardSnapshot, s.opts.Shards)
+	for i := range snaps {
+		payload, err := persist.ReadSnapshotFile(s.store.SnapshotPath(i, epoch), i)
+		if err == nil {
+			snaps[i], err = persist.DecodeShardSnapshot(payload)
+		}
+		if err == nil && snaps[i].Epoch != epoch {
+			err = fmt.Errorf("snapshot file claims epoch %d, name says %d", snaps[i].Epoch, epoch)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("newest snapshot generation %d is unreadable (shard %d): %w; refusing to roll back to an older generation", epoch, i, err)
+		}
+	}
+	return snaps, nil
+}
+
+// readChain reads shard i's WAL segments from the snapshot epoch on,
+// returning the contiguous batch chain. Unreadable or out-of-sequence
+// tails are cut, not fatal — they are the expected debris of a crash.
+func (s *Server) readChain(i int, snapEpoch uint64) ([]replayFrame, error) {
+	segs := s.store.WALSegments(i)
+	sort.Slice(segs, func(a, b int) bool { return segs[a] < segs[b] })
+	var chain []replayFrame
+	expect := snapEpoch + 1
+	for _, base := range segs {
+		if base < snapEpoch {
+			continue // pre-generation segment awaiting cleanup
+		}
+		baseEpoch, frames, _, _, err := persist.ReadWALFile(s.store.WALPath(i, base), i)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d, segment %d: %w", i, base, err)
+		}
+		if len(frames) == 0 {
+			break // empty (possibly torn-header) segment ends the chain
+		}
+		if baseEpoch != base {
+			return nil, fmt.Errorf("shard %d: segment file %d has base epoch %d", i, base, baseEpoch)
+		}
+		brokeChain := false
+		for _, f := range frames {
+			batch, err := persist.DecodeWALBatch(f.Payload)
+			if err != nil || batch.Epoch != expect {
+				brokeChain = true
+				break // treat like a torn tail: keep the intact prefix
+			}
+			chain = append(chain, replayFrame{batch: batch, segBase: base, end: f.End})
+			expect++
+		}
+		if brokeChain {
+			break
+		}
+	}
+	return chain, nil
+}
+
+// replayBatch applies one logged batch to the shard: ops run through
+// the existing executor (changeplan.Op.Apply) against the shard
+// dataset, in shard-local id space, and ADDs extend the local→global
+// map with their logged global ids. Every logged op applied once
+// before, so a replay failure means corruption and is fatal.
+func (sh *shard) replayBatch(b *persist.WALBatch) error {
+	for _, wop := range b.Ops {
+		if wop.Op.Type == dataset.OpAdd {
+			local, err := sh.ds.Add(wop.Op.Graph)
+			if err != nil {
+				return err
+			}
+			if local != len(sh.localToGlobal) {
+				return fmt.Errorf("replayed ADD got local id %d, want %d", local, len(sh.localToGlobal))
+			}
+			sh.localToGlobal = append(sh.localToGlobal, wop.GlobalID)
+			continue
+		}
+		if _, err := wop.Op.Apply(sh.ds); err != nil {
+			return err
+		}
+	}
+	sh.nextLocal = len(sh.localToGlobal)
+	return nil
+}
+
+// resetShardWAL puts shard sh's on-disk WAL in sync with the recovered
+// state: the segment holding the last replayed batch is truncated just
+// past it (cutting torn frames and discarded batches), later segments
+// are removed, and the shard's appender continues from there. With the
+// WAL disabled, stale segments are left for the next snapshot's cleanup.
+func (s *Server) resetShardWAL(sh *shard, chain []replayFrame, snapEpoch, safe uint64) error {
+	if !s.walWanted() {
+		return nil
+	}
+	keepBase, keepEnd := snapEpoch, int64(-1) // -1: truncate to just past the header
+	for _, f := range chain {
+		if f.batch.Epoch > safe {
+			break
+		}
+		keepBase, keepEnd = f.segBase, f.end
+	}
+	for _, base := range s.store.WALSegments(sh.id) {
+		if base > keepBase {
+			os.Remove(s.store.WALPath(sh.id, base))
+		}
+	}
+	path := s.store.WALPath(sh.id, keepBase)
+	if keepEnd < 0 {
+		// No replayed frame lives in a segment: start the base segment
+		// afresh (it may not exist, or hold only discarded frames).
+		w, err := persist.CreateWAL(path, sh.id, keepBase, !s.opts.NoSync)
+		if err != nil {
+			return err
+		}
+		sh.wal = w
+		return nil
+	}
+	w, err := persist.OpenWALAppend(path, sh.id, keepEnd, !s.opts.NoSync)
+	if err != nil {
+		return err
+	}
+	sh.wal = w
+	return nil
+}

@@ -40,7 +40,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gcplus/internal/cache"
@@ -48,6 +50,7 @@ import (
 	"gcplus/internal/core"
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
+	"gcplus/internal/persist"
 	"gcplus/internal/subiso"
 )
 
@@ -97,7 +100,34 @@ type Options struct {
 	// on the hot path (the pre-repair behavior, and the baseline the
 	// gcbench update-heavy scenario compares against).
 	DisableRepair bool
+	// DataDir enables the durability subsystem (internal/persist): a
+	// per-shard write-ahead log of update batches plus periodic
+	// snapshots of dataset and cache state under this directory. A boot
+	// that finds recoverable state there performs a warm restart —
+	// the initial graph slice is ignored in that case — loading the
+	// newest complete snapshot generation, replaying the WAL tail and
+	// queueing replay-touched validity bits for background repair.
+	// Empty (the default) disables persistence entirely.
+	DataDir string
+	// SnapshotEvery is the number of update batches between automatic
+	// snapshot generations (default DefaultSnapshotEvery). Snapshots
+	// also happen at boot (anchoring the WAL chain) and at graceful
+	// Close. Only meaningful with DataDir.
+	SnapshotEvery int
+	// DisableWAL turns the write-ahead log off, leaving snapshots as
+	// the only durability mechanism: a crash loses every batch applied
+	// since the last snapshot generation. Only meaningful with DataDir.
+	DisableWAL bool
+	// NoSync skips the fsync after each WAL append (snapshot files are
+	// always fsynced). Batches survive a process crash but not a
+	// machine crash — the usual group-durability trade for tests and
+	// benchmarks.
+	NoSync bool
 }
+
+// DefaultSnapshotEvery is the default number of update batches between
+// automatic snapshot generations.
+const DefaultSnapshotEvery = 256
 
 func (o Options) withDefaults() Options {
 	if o.Shards <= 0 {
@@ -111,6 +141,9 @@ func (o Options) withDefaults() Options {
 	}
 	o.VerifyParallelism = ResolveVerifyParallelism(o.VerifyParallelism, o.Shards)
 	o.RepairParallelism = ResolveRepairParallelism(o.RepairParallelism, o.repairEnabled())
+	if o.DataDir != "" && o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = DefaultSnapshotEvery
+	}
 	if o.RepairParallelism > 0 && o.Cache.RepairQueue == 0 {
 		// Copy before defaulting: the Config pointer belongs to the
 		// caller and must not be mutated as a side effect.
@@ -194,26 +227,125 @@ type Server struct {
 	// loc maps global graph id -> owning shard and shard-local id; only
 	// the update path reads or grows it.
 	loc []location
-	// nextAdd round-robins ADD placement across shards.
+	// nextAdd round-robins ADD placement across shards. Invariant:
+	// nextAdd == len(loc), which is what makes ADD placement replayable
+	// after a warm restart.
 	nextAdd int
+
+	// Durability state (nil store when persistence is off).
+	store   *persist.Store
+	started time.Time
+	// snapMu serializes snapshot generations; lock order is snapMu
+	// before seqMu (automatic triggers inside Update use TryLock, so
+	// they never block the writer path on an in-flight snapshot).
+	snapMu            sync.Mutex
+	lastSnapshotEpoch atomic.Uint64
+	snapshotsWritten  atomic.Int64
+	// recoveredEntries/recoveredEpoch describe the warm restart this
+	// server booted from (zero on a cold boot); written once in New.
+	recoveredEntries int
+	recoveredEpoch   uint64
+	recovered        bool
 }
+
+// buildVersion is the module version baked into the binary, surfaced on
+// /stats so restarted-vs-warm instances are distinguishable next to a
+// deploy log.
+var buildVersion = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		v := bi.Main.Version
+		var rev string
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				rev = s.Value
+			}
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		switch {
+		case v != "" && v != "(devel)":
+			return v
+		case rev != "":
+			return "devel+" + rev
+		}
+	}
+	return "unknown"
+}()
 
 // New builds a Server over the initial dataset graphs, which receive
 // global ids 0..len(initial)-1 and are partitioned round-robin across the
 // shards. The graphs are treated as immutable and owned by the Server.
+//
+// With Options.DataDir set, New first looks for recoverable state: if a
+// snapshot generation exists there, the server warm-restarts from it —
+// the initial slice is ignored — replaying the WAL tail and scheduling
+// background repair for replay-touched validity bits (see Recovered).
+// On a cold boot with persistence, New writes the initial snapshot
+// generation (anchoring the WAL chain) before returning.
 func New(initial []*graph.Graph, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	s := &Server{
-		opts:    opts,
-		shards:  make([]*shard, opts.Shards),
-		loc:     make([]location, len(initial)),
-		nextAdd: len(initial),
+	s := &Server{opts: opts, started: time.Now()}
+	if opts.DataDir != "" {
+		store, err := persist.OpenStore(opts.DataDir, opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
 	}
+	// Boot failures past this point must release the data directory's
+	// lock (and any opened files) before reporting.
+	fail := func(err error) (*Server, error) {
+		for _, sh := range s.shards {
+			if sh != nil && sh.wal != nil {
+				sh.wal.CloseRaw()
+			}
+		}
+		if s.store != nil {
+			s.store.Close()
+		}
+		return nil, err
+	}
+	if s.store != nil && s.store.HasState() {
+		if err := s.recover(); err != nil {
+			return fail(fmt.Errorf("serve: warm-restart recovery: %w", err))
+		}
+	} else if err := s.buildCold(initial); err != nil {
+		return fail(err)
+	}
+	for _, sh := range s.shards {
+		sh.start(opts.RepairParallelism)
+	}
+	if s.recovered {
+		// Reconcile each shard cache with the replayed log suffix off
+		// the query path: the CON validation sweep clears the validity
+		// bit of every replay-touched (entry, graph) pair and hands the
+		// pairs to the background repair pipeline, so recovery never
+		// trusts validity bits the replay may have invalidated.
+		for _, sh := range s.shards {
+			sh.jobs <- func() { sh.rt.Sync() }
+		}
+	} else if s.store != nil {
+		if err := s.Snapshot(); err != nil {
+			s.closeImpl(false)
+			return nil, fmt.Errorf("serve: initial snapshot: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// buildCold constructs the shards from the initial dataset (no
+// goroutines are started; error paths simply abandon the structures).
+func (s *Server) buildCold(initial []*graph.Graph) error {
+	opts := s.opts
+	s.shards = make([]*shard, opts.Shards)
+	s.loc = make([]location, len(initial))
+	s.nextAdd = len(initial)
 	parts := make([][]*graph.Graph, opts.Shards)
 	gids := make([][]int, opts.Shards)
 	for gid, g := range initial {
 		if g == nil {
-			return nil, fmt.Errorf("serve: initial graph %d is nil", gid)
+			return fmt.Errorf("serve: initial graph %d is nil", gid)
 		}
 		sid := gid % opts.Shards
 		s.loc[gid] = location{shard: int32(sid), local: int32(len(parts[sid]))}
@@ -221,24 +353,36 @@ func New(initial []*graph.Graph, opts Options) (*Server, error) {
 		gids[sid] = append(gids[sid], gid)
 	}
 	for i := range s.shards {
-		algo, err := subiso.New(opts.Method)
+		coreOpts, err := s.shardCoreOptions()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		coreOpts := core.Options{Algorithm: algo, VerifyParallelism: opts.VerifyParallelism}
-		if !opts.DisableCache {
-			cfg := *opts.Cache
-			coreOpts.Cache = &cfg
-		}
-		sh, err := newShard(i, parts[i], gids[i], coreOpts, opts.RepairParallelism)
+		sh, err := newShard(i, parts[i], gids[i], coreOpts)
 		if err != nil {
-			s.stopShards()
-			return nil, err
+			return err
 		}
 		s.shards[i] = sh
 	}
-	return s, nil
+	return nil
 }
+
+// shardCoreOptions builds one shard runtime's options (each shard gets
+// its own verifier instance and its own copy of the cache config).
+func (s *Server) shardCoreOptions() (core.Options, error) {
+	algo, err := subiso.New(s.opts.Method)
+	if err != nil {
+		return core.Options{}, err
+	}
+	coreOpts := core.Options{Algorithm: algo, VerifyParallelism: s.opts.VerifyParallelism}
+	if !s.opts.DisableCache {
+		cfg := *s.opts.Cache
+		coreOpts.Cache = &cfg
+	}
+	return coreOpts, nil
+}
+
+// walWanted reports whether update batches should be logged.
+func (s *Server) walWanted() bool { return s.store != nil && !s.opts.DisableWAL }
 
 func (s *Server) stopShards() {
 	for _, sh := range s.shards {
@@ -248,17 +392,80 @@ func (s *Server) stopShards() {
 	}
 }
 
-// Close shuts the shard workers down. Queries and updates issued after
-// Close return ErrClosed; Close waits for in-flight jobs to drain.
-func (s *Server) Close() {
+// Close shuts the server down gracefully: a final snapshot generation is
+// written (when persistence is on), shard job queues drain, and WAL
+// segments are flushed and closed. Queries and updates issued after
+// Close return ErrClosed. The returned error reports a failed final
+// snapshot — the server is down either way, but the data directory then
+// holds the previous generation plus the WAL instead of a fresh
+// generation (with the WAL disabled that means batches since the last
+// generation are lost; callers should surface it loudly).
+func (s *Server) Close() error { return s.closeImpl(true) }
+
+// CloseAbrupt shuts the server down without the final snapshot — the
+// crash-shaped shutdown: whatever the WAL and the last snapshot
+// generation already made durable is all a subsequent boot recovers.
+// Crash-recovery tests and the warm-restart benchmark use it to exercise
+// the WAL replay path deterministically.
+func (s *Server) CloseAbrupt() { _ = s.closeImpl(false) }
+
+func (s *Server) closeImpl(flush bool) error {
+	flush = flush && s.store != nil
+	holdsSnapMu := false
+	if s.store != nil {
+		// Acquiring snapMu waits out any in-flight snapshot
+		// generation's collector — even on the crash-shaped path, where
+		// the collector's file writes and obsolete-chain cleanup must
+		// not race a successor process that grabs the directory lock
+		// the moment we release it. Lock order: snapMu before seqMu.
+		s.snapMu.Lock()
+		holdsSnapMu = true
+	}
 	s.seqMu.Lock()
 	if s.closed {
 		s.seqMu.Unlock()
-		return
+		if holdsSnapMu {
+			s.snapMu.Unlock()
+		}
+		return nil
+	}
+	var snapDone <-chan error
+	if flush {
+		snapDone = s.enqueueSnapshotLocked(s.epoch) // releases snapMu when done
+		holdsSnapMu = false
 	}
 	s.closed = true
 	s.seqMu.Unlock()
+	var flushErr error
+	if snapDone != nil {
+		// On failure the previous generation plus the WAL chain remain
+		// — still recoverable, but the caller must hear about it.
+		flushErr = <-snapDone
+	}
 	s.stopShards()
+	for _, sh := range s.shards {
+		if sh.wal == nil {
+			continue
+		}
+		if flush {
+			if err := sh.wal.Close(); err != nil && flushErr == nil {
+				flushErr = fmt.Errorf("serve: closing shard %d WAL: %w", sh.id, err)
+			}
+		} else {
+			// Crash-shaped: no final fsync — recovery must cope with
+			// exactly what the kernel happened to have, like after a
+			// real crash.
+			sh.wal.CloseRaw()
+		}
+		sh.wal = nil
+	}
+	if s.store != nil {
+		s.store.Close()
+	}
+	if holdsSnapMu {
+		s.snapMu.Unlock()
+	}
+	return flushErr
 }
 
 // Shards returns the number of runtime shards.
@@ -406,13 +613,24 @@ type UpdateResult struct {
 // Concurrent queries observe either none or all of the batch. Individual
 // operations may fail (e.g. DEL of an already deleted graph) without
 // aborting the batch; inspect the per-op results. The returned error is
-// non-nil only when the server is closed or the batch is empty.
+// non-nil when the server is closed, the batch is empty, or — with the
+// WAL enabled — a WAL append failed; in the last case the returned
+// result is non-nil and the batch *is* applied in memory, it just may
+// not be durable.
 //
 // The sequence lock is held only while *enqueueing* the batch's shard
 // jobs: routing (including the local id an ADD will receive) is decided
 // writer-side, so nothing needs a job result before the next op can be
 // routed, and queries resume enqueueing while the batch executes —
 // FIFO order alone guarantees they observe all of it.
+//
+// With the WAL enabled, every shard — touched or not — logs one
+// epoch-stamped frame for the batch (empty for untouched shards, which
+// keeps per-shard epochs dense and crash recovery's cross-shard
+// consistency point computable), and Update does not return before the
+// frames are durable: an acknowledged batch survives a crash. A WAL
+// append failure is returned as an error alongside the result — the
+// batch is applied in memory but may not be durable.
 func (s *Server) Update(ops []changeplan.Op) (*UpdateResult, error) {
 	if len(ops) == 0 {
 		return nil, errors.New("serve: empty update batch")
@@ -430,6 +648,12 @@ func (s *Server) Update(ops []changeplan.Op) (*UpdateResult, error) {
 	for i, op := range ops {
 		pending[i] = s.enqueueOp(op, touched)
 	}
+	s.epoch++
+	epoch := s.epoch
+	var walAcks []<-chan error
+	if s.walWanted() {
+		walAcks = s.enqueueWALAppends(epoch)
+	}
 	if s.opts.EagerValidate {
 		// One reconciliation sweep per touched shard covers the whole
 		// batch: Sync processes the shard's log suffix in one pass, and
@@ -438,8 +662,13 @@ func (s *Server) Update(ops []changeplan.Op) (*UpdateResult, error) {
 			sh.jobs <- func() { sh.rt.Sync() }
 		}
 	}
-	s.epoch++
-	epoch := s.epoch
+	if s.store != nil && s.opts.SnapshotEvery > 0 &&
+		epoch >= s.lastSnapshotEpoch.Load()+uint64(s.opts.SnapshotEvery) {
+		// Anchored at the last durable generation (not absolute epoch
+		// multiples), so the interval means "batches since the last
+		// snapshot" regardless of recovery points or forced snapshots.
+		s.maybeSnapshotLocked(epoch)
+	}
 	s.seqMu.Unlock()
 
 	res := &UpdateResult{Epoch: epoch, Ops: make([]OpResult, len(ops))}
@@ -447,6 +676,11 @@ func (s *Server) Update(ops []changeplan.Op) (*UpdateResult, error) {
 		res.Ops[i] = <-ch
 		if res.Ops[i].Err == nil {
 			res.Applied++
+		}
+	}
+	for _, ch := range walAcks {
+		if err := <-ch; err != nil {
+			return res, fmt.Errorf("serve: WAL append for batch %d failed (applied in memory, may not be durable): %w", epoch, err)
 		}
 	}
 	return res, nil
@@ -489,6 +723,10 @@ func (s *Server) enqueueOp(op changeplan.Op, touched map[*shard]bool) <-chan OpR
 				return
 			}
 			sh.localToGlobal = append(sh.localToGlobal, gid)
+			if sh.wal != nil {
+				sh.walPending = append(sh.walPending,
+					persist.WALOp{Op: changeplan.AddOp(g), GlobalID: gid})
+			}
 			out <- OpResult{ID: gid}
 		}
 		return out
@@ -518,6 +756,12 @@ func (s *Server) enqueueOp(op changeplan.Op, touched map[*shard]bool) <-chan OpR
 					op.Type, gid, sh.id, local, err)}
 				return
 			}
+			if sh.wal != nil {
+				// Logged in shard-local id space — replay applies ops
+				// straight to the shard dataset.
+				lop := changeplan.Op{Type: op.Type, GraphID: local, U: op.U, V: op.V}
+				sh.walPending = append(sh.walPending, persist.WALOp{Op: lop, GlobalID: gid})
+			}
 			out <- OpResult{ID: gid}
 		}
 		return out
@@ -540,6 +784,10 @@ type ShardStats struct {
 	// currently set in the shard cache — the metric the background
 	// repair pipeline recovers after update churn (1 when disabled).
 	ValidityRatio float64 `json:"validity_ratio"`
+	// WALBytes is the shard's current WAL segment size (0 when
+	// persistence or the WAL is off). Tracked in memory by the
+	// appender — stats snapshots cost no directory IO.
+	WALBytes int64 `json:"wal_bytes"`
 	// Metrics is the shard runtime's aggregate query statistics.
 	Metrics core.MetricsSnapshot `json:"metrics"`
 	// Cache is the shard cache's state snapshot (zero when disabled).
@@ -567,6 +815,37 @@ type Stats struct {
 	RepairedBits int64 `json:"repaired_bits"`
 	// PendingRepairs sums the queued invalidated pairs across shards.
 	PendingRepairs int `json:"pending_repairs"`
+
+	// UptimeSec is the seconds since this process built the server —
+	// monotonic (measured on the runtime's monotonic clock), so ops
+	// dashboards can tell a restarted instance from a long-running one
+	// regardless of wall-clock adjustments.
+	UptimeSec float64 `json:"uptime_sec"`
+	// GoVersion and ModuleVersion identify the build serving this
+	// process (runtime.Version() and the module's embedded build info).
+	GoVersion     string `json:"go_version"`
+	ModuleVersion string `json:"module_version"`
+
+	// Durability gauges (all zero when persistence is off).
+
+	// PersistEnabled reports whether a data directory is configured.
+	PersistEnabled bool `json:"persist_enabled"`
+	// WALBytes sums the shards' current WAL segment sizes (older
+	// segments awaiting a generation's cleanup are not counted; they
+	// disappear at the next snapshot).
+	WALBytes int64 `json:"wal_bytes"`
+	// LastSnapshotEpoch is the epoch of the newest durable snapshot
+	// generation written by this process (the recovered generation's
+	// epoch right after a warm restart).
+	LastSnapshotEpoch uint64 `json:"last_snapshot_epoch"`
+	// SnapshotsWritten counts snapshot generations this process wrote.
+	SnapshotsWritten int64 `json:"snapshots_written"`
+	// RecoveredEntries is the number of cache entries restored by this
+	// boot's warm restart (0 on a cold boot) and RecoveredEpoch the
+	// epoch recovery reached after WAL replay.
+	RecoveredEntries int    `json:"recovered_entries"`
+	RecoveredEpoch   uint64 `json:"recovered_epoch"`
+
 	// PerShard holds the shard breakdown.
 	PerShard []ShardStats `json:"per_shard"`
 }
@@ -597,13 +876,31 @@ func (s *Server) Stats() (*Stats, error) {
 				Metrics:       m.Snapshot(),
 				Cache:         sh.rt.CacheStats(),
 			}
+			if sh.wal != nil {
+				per[i].WALBytes = sh.wal.Size()
+			}
 		}
 	}
 	s.seqMu.RUnlock()
 	wg.Wait()
 
-	out := &Stats{Epoch: epoch, Shards: len(s.shards), PerShard: per}
+	out := &Stats{
+		Epoch:         epoch,
+		Shards:        len(s.shards),
+		PerShard:      per,
+		UptimeSec:     time.Since(s.started).Seconds(),
+		GoVersion:     runtime.Version(),
+		ModuleVersion: buildVersion,
+	}
+	if s.store != nil {
+		out.PersistEnabled = true
+		out.LastSnapshotEpoch = s.lastSnapshotEpoch.Load()
+		out.SnapshotsWritten = s.snapshotsWritten.Load()
+		out.RecoveredEntries = s.recoveredEntries
+		out.RecoveredEpoch = s.recoveredEpoch
+	}
 	for _, ss := range per {
+		out.WALBytes += ss.WALBytes
 		out.LiveGraphs += ss.LiveGraphs
 		out.HitRate += ss.HitRate
 		out.ValidityRatio += ss.ValidityRatio

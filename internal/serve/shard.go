@@ -4,6 +4,7 @@ import (
 	"gcplus/internal/core"
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
+	"gcplus/internal/persist"
 )
 
 // jobQueueDepth bounds how many jobs can wait per shard before enqueue
@@ -32,6 +33,15 @@ type shard struct {
 	repairQuit chan struct{} // closed by stop, before jobs is closed
 	repairDone chan struct{} // closed when the repair loop has exited
 
+	// Durability state (nil/empty when persistence is off). wal is the
+	// shard's current WAL segment; appends, rotation and walPending are
+	// all owner-goroutine state, ordered with the dataset mutations they
+	// record by the FIFO queue itself. walPending accumulates the
+	// current batch's successfully applied ops between the batch's op
+	// jobs and its WAL-append job.
+	wal        *persist.WAL
+	walPending []persist.WALOp
+
 	// localToGlobal translates shard-local graph ids to global ids. It
 	// is appended to by ADD jobs and read by query jobs — both run on
 	// the worker goroutine, so no locking is needed.
@@ -40,36 +50,47 @@ type shard struct {
 	// nextLocal predicts the local id the next ADD will receive. It is
 	// writer-path state (guarded by Server.seqMu exclusive): the update
 	// router needs the mapping before the shard job has run, so later
-	// ops in the same batch can target a graph added earlier in it.
+	// ops in the same batch can target a graph an earlier op is about to
+	// add.
 	nextLocal int
 }
 
 // newShard builds a shard over its partition. gids lists the global ids
-// of the partition graphs in local-id order. repairPar > 0 starts the
-// shard's background repair worker with that verification parallelism.
-func newShard(id int, part []*graph.Graph, gids []int, opts core.Options, repairPar int) (*shard, error) {
-	ds := dataset.New(part)
+// of the partition graphs in local-id order. The shard's goroutines are
+// not started: callers run start once the shard state — possibly
+// overlaid with recovered snapshot/WAL state — is final.
+func newShard(id int, part []*graph.Graph, gids []int, opts core.Options) (*shard, error) {
+	return newShardOver(id, dataset.New(part), gids, opts)
+}
+
+// newShardOver builds a shard over an existing dataset (the recovery
+// path restores the dataset first).
+func newShardOver(id int, ds *dataset.Dataset, gids []int, opts core.Options) (*shard, error) {
 	rt, err := core.NewRuntime(ds, opts)
 	if err != nil {
 		return nil, err
 	}
-	sh := &shard{
+	return &shard{
 		id:            id,
 		ds:            ds,
 		rt:            rt,
 		jobs:          make(chan func(), jobQueueDepth),
 		done:          make(chan struct{}),
 		localToGlobal: gids,
-		nextLocal:     len(part),
-	}
-	if repairPar > 0 && rt.CacheEnabled() {
+		nextLocal:     len(gids),
+	}, nil
+}
+
+// start launches the shard's worker goroutine and, when repairPar > 0
+// and the shard has a cache, its background repair worker.
+func (sh *shard) start(repairPar int) {
+	if repairPar > 0 && sh.rt.CacheEnabled() {
 		sh.repairKick = make(chan struct{}, 1)
 		sh.repairQuit = make(chan struct{})
 		sh.repairDone = make(chan struct{})
 		go sh.repairLoop(repairPar)
 	}
 	go sh.loop()
-	return sh, nil
 }
 
 // loop is the worker goroutine: drain jobs in FIFO order until stopped.
@@ -133,7 +154,9 @@ func (sh *shard) repairLoop(parallelism int) {
 }
 
 // stop shuts the shard down: first the repair loop (it enqueues jobs,
-// so it must exit before the queue closes), then the worker.
+// so it must exit before the queue closes), then the worker. The WAL
+// segment stays open — in-flight appends have drained by the time stop
+// returns, and the Server closes the files last.
 func (sh *shard) stop() {
 	if sh.repairQuit != nil {
 		close(sh.repairQuit)

@@ -50,6 +50,20 @@ func (r *Running) Std() float64 { return math.Sqrt(r.Variance()) }
 // Sum returns mean*n.
 func (r *Running) Sum() float64 { return r.mean * float64(r.n) }
 
+// State returns the accumulator's internal moments (count, mean, sum of
+// squared deviations) so the durability subsystem can persist a running
+// accumulator across restarts.
+func (r *Running) State() (n int64, mean, m2 float64) {
+	return r.n, r.mean, r.m2
+}
+
+// RestoreState overwrites the accumulator with previously exported
+// moments; Add continues the Welford recurrence exactly where the
+// exported accumulator left off.
+func (r *Running) RestoreState(n int64, mean, m2 float64) {
+	r.n, r.mean, r.m2 = n, mean, m2
+}
+
 // CoV2 returns the squared coefficient of variation σ²/μ². For an all-zero
 // or empty sample it returns 0 (deemed low variability, matching the HD
 // policy's intent: indistinguishable R values carry no discriminating

@@ -119,3 +119,18 @@ func TestQuickRunningMatchesBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunningStateRoundTrip(t *testing.T) {
+	var a Running
+	for _, x := range []float64{1, 2, 7, 1.5} {
+		a.Add(x)
+	}
+	var b Running
+	b.RestoreState(a.State())
+	// The restored accumulator continues the recurrence identically.
+	a.Add(3.25)
+	b.Add(3.25)
+	if a.N() != b.N() || a.Mean() != b.Mean() || a.Variance() != b.Variance() {
+		t.Fatalf("restored accumulator diverged: %+v vs %+v", a, b)
+	}
+}
