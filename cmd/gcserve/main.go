@@ -23,10 +23,21 @@
 // API:
 //
 //	POST /query?kind=sub|super    body: one graph in the text codec
+//	     &trace=1                 include the per-shard stage trace
 //	POST /update                  body: {"ops":[{"op":"ADD","graph":"..."},
 //	                                            {"op":"DEL","id":3},
 //	                                            {"op":"UA","id":2,"u":0,"v":1}]}
 //	GET  /stats                   server + per-shard statistics
+//	GET  /metrics                 Prometheus text exposition
+//	GET  /healthz                 liveness probe
+//	GET  /readyz                  readiness probe (repair backlog gated)
+//	GET  /debug/slowlog           slow-query log (-slowlog-threshold)
+//
+// Observability:
+//
+//	-slowlog-threshold 50ms       capture queries at/above 50ms wall time
+//	-pprof-addr localhost:6060    serve net/http/pprof on a side listener
+//	-log-json                     structured logs as JSON lines
 //
 // Example:
 //
@@ -39,8 +50,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on the side listener only (-pprof-addr)
 	"os"
 	"os/signal"
 	"syscall"
@@ -72,19 +84,27 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durability directory: WAL + snapshots for crash-safe warm restarts (empty = no persistence)")
 		snapEvery = flag.Int("snapshot-every", 0, "update batches between automatic snapshots (0 = default; needs -data-dir)")
 		nowal     = flag.Bool("nowal", false, "disable the write-ahead log, keeping snapshots only (a crash loses batches since the last snapshot)")
+		slowThr   = flag.Duration("slowlog-threshold", 0, "capture queries at/above this wall time into GET /debug/slowlog (0 = off)")
+		slowSize  = flag.Int("slowlog-size", 0, "slow-query ring capacity (0 = default of 128)")
+		readyMax  = flag.Int("ready-max-pending", 0, "readyz threshold: 503 while more invalidated pairs than this await repair (0 = default, negative = require empty backlog)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this side listener (e.g. localhost:6060; empty = off)")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
 	)
 	flag.Parse()
+
+	logger := newLogger(*logJSON)
 
 	haveState := *dataDir != "" && persist.HasState(*dataDir)
 	initial, err := loadDataset(*datafile, *synthN, *seed, haveState)
 	if err != nil {
-		log.Fatal("gcserve: ", err)
+		fatal(logger, "dataset load failed", err)
 	}
 	if haveState {
 		// The shard partition is baked into the persisted state; adopt
 		// its count so a bare `gcserve -data-dir DIR` restart just works.
 		if n, ok := persist.StateShards(*dataDir); ok && n != *shards {
-			log.Printf("gcserve: data dir %s was written with %d shards; overriding -shards=%d", *dataDir, n, *shards)
+			logger.Warn("overriding -shards with persisted partition count",
+				"data_dir", *dataDir, "persisted_shards", n, "flag_shards", *shards)
 			*shards = n
 		}
 	}
@@ -101,16 +121,20 @@ func main() {
 	opts.DataDir = *dataDir
 	opts.SnapshotEvery = *snapEvery
 	opts.DisableWAL = *nowal
+	opts.SlowLogThreshold = *slowThr
+	opts.SlowLogSize = *slowSize
+	opts.ReadyMaxPendingRepairs = *readyMax
+	opts.Logger = logger
 	if opts.Model, err = cache.ParseModel(*modelName); err != nil {
-		log.Fatal("gcserve: ", err)
+		fatal(logger, "bad -model", err)
 	}
 	if opts.Policy, err = cache.ParsePolicy(*policy); err != nil {
-		log.Fatal("gcserve: ", err)
+		fatal(logger, "bad -policy", err)
 	}
 
 	srv, err := gcplus.NewServer(initial, opts)
 	if err != nil {
-		log.Fatal("gcserve: ", err)
+		fatal(logger, "server construction failed", err)
 	}
 
 	// Repair only runs for CON caches and the query index only exists
@@ -118,14 +142,30 @@ func main() {
 	repairOn := !*norepair && !*nocache && opts.Model == cache.ModelCON
 	hitIndexOn := *hitIndex && !*nocache
 	if entries, epoch, ok := srv.Recovered(); ok {
-		log.Printf("gcserve: warm restart from %s: %d cache entries recovered, epoch %d", *dataDir, entries, epoch)
+		logger.Info("warm restart", "data_dir", *dataDir, "cache_entries", entries, "epoch", epoch)
 	}
 	st, err := srv.Stats()
 	if err != nil {
-		log.Fatal("gcserve: ", err)
+		fatal(logger, "stats failed", err)
 	}
-	log.Printf("gcserve: %d graphs across %d shards (method=%s model=%s policy=%s cache=%d eager=%v repair=%v hit-index=%v durable=%v) on %s",
-		st.LiveGraphs, srv.Shards(), *method, *modelName, *policy, *cacheCap, *eager, repairOn, hitIndexOn, *dataDir != "", *addr)
+	logger.Info("serving",
+		"addr", *addr, "graphs", st.LiveGraphs, "shards", srv.Shards(),
+		"method", *method, "model", *modelName, "policy", *policy,
+		"cache", *cacheCap, "eager", *eager, "repair", repairOn,
+		"hit_index", hitIndexOn, "durable", *dataDir != "",
+		"slowlog_threshold", slowThr.String())
+
+	// The pprof side listener serves http.DefaultServeMux (where the
+	// net/http/pprof import registers) so the profiling surface never
+	// leaks onto the public API mux.
+	if *pprofAddr != "" {
+		go func() {
+			logger.Info("pprof listener up", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+	}
 
 	// Graceful shutdown: SIGINT/SIGTERM stop the listener, drain
 	// in-flight requests, then Close flushes shard queues, the WAL and
@@ -138,22 +178,36 @@ func main() {
 	select {
 	case err := <-errc:
 		srv.Close()
-		log.Fatal("gcserve: ", err)
+		fatal(logger, "listener failed", err)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Print("gcserve: shutting down (signal received)")
+	logger.Info("shutting down (signal received)")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Print("gcserve: http shutdown: ", err)
+		logger.Error("http shutdown", "err", err)
 	}
 	if err := srv.Close(); err != nil {
 		// The daemon is down either way, but the final snapshot did not
 		// land; exit non-zero so supervisors notice the degraded flush.
-		log.Fatal("gcserve: final flush failed (previous snapshot + WAL remain): ", err)
+		fatal(logger, "final flush failed (previous snapshot + WAL remain)", err)
 	}
-	log.Print("gcserve: state flushed, bye")
+	logger.Info("state flushed, bye")
+}
+
+// newLogger builds the process logger: text for humans by default,
+// JSON lines under -log-json for log pipelines.
+func newLogger(jsonOut bool) *slog.Logger {
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
 }
 
 func loadDataset(file string, synthN int, seed int64, haveState bool) ([]*gcplus.Graph, error) {

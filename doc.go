@@ -74,8 +74,9 @@
 //	http.ListenAndServe(":8844", srv.Handler())  // the cmd/gcserve API
 //
 // cmd/gcserve wraps the Server in a standalone HTTP daemon (POST /query,
-// POST /update, GET /stats), and cmd/gcbench's -throughput mode measures
-// its queries/sec and latency percentiles under concurrent load.
+// POST /update, GET /stats, GET /metrics, GET /healthz, GET /readyz,
+// GET /debug/slowlog), and cmd/gcbench's -throughput mode measures its
+// queries/sec and latency percentiles under concurrent load.
 //
 // # Background cache repair
 //
@@ -132,4 +133,24 @@
 // to a cold rebuild from the first post-restart query, and the cache
 // arrives warm — the kill-point differential tests and the gcbench
 // -warm-restart mode pin both properties.
+//
+// # Observability
+//
+// Every query stage records into log-bucketed latency histograms
+// (internal/obs: O(1) lock-free observe, exact-bound percentiles,
+// ≤12.5% bucket width) alongside the Welford aggregates, per shard.
+// A Server exposes them — together with cache validity, repair
+// backlog, WAL and snapshot counters — as Prometheus text exposition
+// at GET /metrics (gcplus_stage_duration_seconds{shard,stage},
+// gcplus_queue_wait_seconds, gcplus_queries_total, ...); the
+// histogram totals are pinned to Metrics.Queries by tests, and the
+// bench harness computes its reported p50/p95/p99 from the same
+// histogram code path. POST /query?trace=1 returns the per-shard
+// stage trace inline; queries crossing ServeOptions.SlowLogThreshold
+// are captured — trace included — into a bounded ring served at
+// GET /debug/slowlog. GET /healthz and GET /readyz are the liveness
+// and readiness probes (readiness is gated on the repair backlog via
+// ServeOptions.ReadyMaxPendingRepairs), ServeOptions.Logger receives
+// structured lifecycle events (log/slog), and cmd/gcserve's
+// -pprof-addr serves net/http/pprof on a side listener.
 package gcplus

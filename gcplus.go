@@ -3,7 +3,9 @@ package gcplus
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"time"
 
 	"gcplus/internal/cache"
 	"gcplus/internal/changeplan"
@@ -284,6 +286,21 @@ type ServeOptions struct {
 	// NoSync skips the per-append WAL fsync (snapshots still fsync):
 	// batches survive a process crash but not a machine crash.
 	NoSync bool
+	// SlowLogThreshold enables the slow-query log: queries whose wall
+	// time reaches the threshold are captured (with their per-shard
+	// stage trace) into a bounded ring served at GET /debug/slowlog.
+	// Zero disables capture.
+	SlowLogThreshold time.Duration
+	// SlowLogSize bounds the slow-query ring (0 = default of 128).
+	SlowLogSize int
+	// ReadyMaxPendingRepairs is the readiness threshold for GET /readyz:
+	// the endpoint reports 503 while the summed repair backlog exceeds
+	// it. 0 means the default repair-queue capacity; negative means 0
+	// (ready only with an empty backlog).
+	ReadyMaxPendingRepairs int
+	// Logger receives structured lifecycle events (recovery, snapshots,
+	// WAL failures, repair-queue pressure). Nil discards them.
+	Logger *slog.Logger
 }
 
 // UpdateOp describes one dataset change operation for Server.Update; use
@@ -338,6 +355,11 @@ func NewServer(initial []*Graph, opts ServeOptions) (*Server, error) {
 		SnapshotEvery:     opts.SnapshotEvery,
 		DisableWAL:        opts.DisableWAL,
 		NoSync:            opts.NoSync,
+		SlowLogThreshold:  opts.SlowLogThreshold,
+		SlowLogSize:       opts.SlowLogSize,
+
+		ReadyMaxPendingRepairs: opts.ReadyMaxPendingRepairs,
+		Logger:                 opts.Logger,
 	}
 	if !opts.DisableCache {
 		srvOpts.Cache = &cache.Config{
@@ -396,8 +418,17 @@ func (s *Server) Epoch() uint64 { return s.srv.Epoch() }
 // Stats snapshots server-wide and per-shard statistics.
 func (s *Server) Stats() (*ServerStats, error) { return s.srv.Stats() }
 
-// Handler returns the HTTP API (POST /query, POST /update, GET /stats)
-// that cmd/gcserve serves.
+// ServerSlowQuery is one captured slow-query log entry.
+type ServerSlowQuery = serve.SlowQuery
+
+// SlowQueries returns the retained slow-query log entries, newest
+// first (empty unless ServeOptions.SlowLogThreshold is set).
+func (s *Server) SlowQueries() []ServerSlowQuery { return s.srv.SlowQueries() }
+
+// Handler returns the HTTP API that cmd/gcserve serves: POST /query
+// (with ?trace=1 for per-shard stage traces), POST /update, GET /stats,
+// GET /metrics (Prometheus exposition), GET /healthz, GET /readyz and
+// GET /debug/slowlog.
 func (s *Server) Handler() http.Handler { return s.srv.Handler() }
 
 // Shards returns the number of runtime shards.

@@ -13,9 +13,9 @@ import (
 	"gcplus/internal/cache"
 	"gcplus/internal/changeplan"
 	"gcplus/internal/graph"
+	"gcplus/internal/obs"
 	"gcplus/internal/randx"
 	"gcplus/internal/serve"
-	"gcplus/internal/stats"
 )
 
 // ThroughputConfig sizes a concurrent-serving benchmark: C client
@@ -217,10 +217,14 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		progress("throughput: %d queries, %d clients, %d shards", cfg.Queries, cfg.Clients, cfg.Shards)
 	}
 
+	// One shared latency histogram across clients: lock-free atomic
+	// recording, and the *same* bucketing/percentile code path the
+	// serving layer's /metrics exposes — a p99 in a BENCH_*.json and a
+	// p99 on a dashboard can never disagree about method.
+	hist := obs.NewHistogram()
 	var (
 		wg        sync.WaitGroup
 		mu        sync.Mutex
-		latencies = make([]float64, 0, cfg.Queries)
 		ansDigest uint64 // XOR of per-query answer hashes; guarded by mu
 		firstErr  error
 		next      int // next query index to claim; guarded by mu
@@ -290,7 +294,6 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 	for c := 0; c < cfg.Clients; c++ {
 		go func() {
 			defer wg.Done()
-			local := make([]float64, 0, cfg.Queries/cfg.Clients+1)
 			var digest uint64
 			for {
 				i := claim()
@@ -304,7 +307,7 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 					fail(err)
 					break
 				}
-				local = append(local, time.Since(t0).Seconds())
+				hist.Observe(time.Since(t0))
 				digest ^= answerHash(i, res.IDs)
 				if cfg.UpdateEvery > 0 && (i+1)%cfg.UpdateEvery == 0 {
 					select {
@@ -314,7 +317,6 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 				}
 			}
 			mu.Lock()
-			latencies = append(latencies, local...)
 			ansDigest ^= digest
 			mu.Unlock()
 		}()
@@ -358,15 +360,15 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		CacheCapacity:  capacity,
 		HitIndex:       !cfg.DisableHitIndex && !cfg.DisableCache,
 		Seed:           cfg.Seed,
-		Queries:        len(latencies),
+		Queries:        int(hist.Count()),
 		UpdateBatches:  updateBatches,
 		OpsApplied:     opsApplied,
 		Epoch:          st.Epoch,
 		WallSeconds:    wall.Seconds(),
-		P50Millis:      stats.Percentile(latencies, 50) * 1000,
-		P95Millis:      stats.Percentile(latencies, 95) * 1000,
-		P99Millis:      stats.Percentile(latencies, 99) * 1000,
-		MeanMillis:     stats.Mean(latencies) * 1000,
+		P50Millis:      hist.Quantile(0.50) * 1000,
+		P95Millis:      hist.Quantile(0.95) * 1000,
+		P99Millis:      hist.Quantile(0.99) * 1000,
+		MeanMillis:     hist.MeanSeconds() * 1000,
 		HitRate:        st.HitRate,
 		LiveGraphs:     st.LiveGraphs,
 		ValidityRatio:  st.ValidityRatio,
@@ -374,10 +376,10 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		PendingRepairs: st.PendingRepairs,
 	}
 	if wall > 0 {
-		res.QPS = float64(len(latencies)) / wall.Seconds()
+		res.QPS = float64(res.Queries) / wall.Seconds()
 	}
-	if len(latencies) > 0 {
-		n := float64(len(latencies))
+	if res.Queries > 0 {
+		n := float64(res.Queries)
 		res.SubIsoTests = totalTests / n
 		res.HitMsMean = totalHitSec / n * 1000
 		res.HitCandidates = totalHitCands / n

@@ -1,0 +1,59 @@
+package core
+
+import "gcplus/internal/obs"
+
+// StageHists holds the runtime's per-stage latency histograms. Unlike
+// the Welford aggregates in Metrics they carry the full latency
+// distribution (tail percentiles for /metrics and the slow-query log),
+// are never cleared by ResetMeasurements, and are safe to read while
+// the owner goroutine records — so a scrape can walk them without
+// entering the shard's job queue.
+//
+// Because ResetMeasurements preserves Metrics.Queries and the
+// histograms are never reset, Query.Count() always equals
+// Metrics.Queries — the invariant the serving layer's exposition tests
+// pin.
+type StageHists struct {
+	// Query is end-to-end per-query processing time minus cache
+	// maintenance (the paper's "query processing time").
+	Query *obs.Histogram
+	// Hit is hit-discovery time (GC+sub/GC+super scan or index probe).
+	Hit *obs.Histogram
+	// Verify is the wall-clock of the Method M verification loop;
+	// VerifyCPU is the workers' summed busy time.
+	Verify    *obs.Histogram
+	VerifyCPU *obs.Histogram
+	// Overhead is cache-maintenance time; Consistency is its
+	// log-analysis/validation share.
+	Overhead    *obs.Histogram
+	Consistency *obs.Histogram
+	// RepairVerify is the off-owner verification time of one repair
+	// result (recorded at commit, one observation per repaired pair).
+	RepairVerify *obs.Histogram
+}
+
+func newStageHists() *StageHists {
+	return &StageHists{
+		Query:        obs.NewHistogram(),
+		Hit:          obs.NewHistogram(),
+		Verify:       obs.NewHistogram(),
+		VerifyCPU:    obs.NewHistogram(),
+		Overhead:     obs.NewHistogram(),
+		Consistency:  obs.NewHistogram(),
+		RepairVerify: obs.NewHistogram(),
+	}
+}
+
+// observe records one finished query's stage durations.
+func (s *StageHists) observe(st *QueryStats) {
+	s.Query.Observe(st.QueryTime)
+	s.Hit.Observe(st.HitTime)
+	s.Verify.Observe(st.VerifyTime)
+	s.VerifyCPU.Observe(st.VerifyCPUTime)
+	s.Overhead.Observe(st.Overhead)
+	s.Consistency.Observe(st.ConsistencyTime)
+}
+
+// StageHists returns the runtime's per-stage latency histograms. The
+// histograms are live: recording continues while callers read them.
+func (r *Runtime) StageHists() *StageHists { return r.hists }

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gcplus/internal/cache"
+	"gcplus/internal/testutil"
+)
+
+// TestStageHistCountMatchesQueries pins the invariant the serving
+// layer's /metrics tests rely on: the query histogram's count equals
+// Metrics.Queries, and ResetMeasurements — which preserves Queries —
+// does not disturb it.
+func TestStageHistCountMatchesQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds, _ := newTestDataset(rng, 6)
+	r := cachedRuntime(t, ds, cache.ModelCON, cache.PolicyHD)
+	for i := 0; i < 9; i++ {
+		q := testutil.BFSExtract(rng, ds.Graph(i%ds.LiveCount()), 0, 3)
+		if _, err := r.SubgraphQuery(q); err != nil {
+			t.Fatal(err)
+		}
+		if i == 4 {
+			r.ResetMeasurements()
+		}
+	}
+	h := r.StageHists()
+	if h == nil || h.Query == nil {
+		t.Fatal("StageHists not allocated")
+	}
+	if got, want := h.Query.Count(), r.Metrics().Queries; got != want {
+		t.Fatalf("query histogram count = %d, Metrics.Queries = %d", got, want)
+	}
+	// Every stage records exactly once per query.
+	for name, c := range map[string]int64{
+		"hit":         h.Hit.Count(),
+		"verify":      h.Verify.Count(),
+		"verify_cpu":  h.VerifyCPU.Count(),
+		"overhead":    h.Overhead.Count(),
+		"consistency": h.Consistency.Count(),
+	} {
+		if c != h.Query.Count() {
+			t.Fatalf("%s histogram count = %d, want %d", name, c, h.Query.Count())
+		}
+	}
+	if h.Query.Quantile(0.99) < h.Query.Quantile(0.5) {
+		t.Fatal("p99 below p50")
+	}
+}

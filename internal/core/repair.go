@@ -196,6 +196,7 @@ func (r *Runtime) CommitRepairs(results []RepairResult) int {
 	restored := 0
 	for _, res := range results {
 		r.m.RepairCPU += res.cpu
+		r.hists.RepairVerify.Observe(res.cpu)
 		if r.ds.Graph(res.job.id) != res.job.g {
 			r.m.RepairStale++
 			continue

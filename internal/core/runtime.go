@@ -69,7 +69,8 @@ type Runtime struct {
 	// test; it seeds cost estimates for entries admitted with zero tests.
 	avgTestCost stats.Running
 
-	m Metrics
+	m     Metrics
+	hists *StageHists
 }
 
 // NewRuntime builds a Runtime over the dataset.
@@ -85,6 +86,7 @@ func NewRuntime(ds *dataset.Dataset, opts Options) (*Runtime, error) {
 		algo:      opts.Algorithm,
 		hitAlgo:   opts.HitAlgorithm,
 		verifyPar: opts.VerifyParallelism,
+		hists:     newStageHists(),
 	}
 	if r.hitAlgo == nil {
 		r.hitAlgo = subiso.VF2Plus{}
@@ -424,6 +426,7 @@ func (r *Runtime) finish(g *graph.Graph, kind cache.Kind, answer, live *bitset.S
 	}
 	st.QueryTime = time.Since(start) - st.Overhead
 	r.m.fold(st)
+	r.hists.observe(st)
 	return &Result{Answer: answer, Stats: *st}, nil
 }
 

@@ -1,0 +1,197 @@
+// Package obs is GC+'s dependency-free observability core: log-bucketed
+// latency histograms with O(1) concurrent recording and exact-bound
+// percentile extraction, monotonic counters, gauges, and a registry that
+// renders the Prometheus text exposition format.
+//
+// The paper's evaluation is built on per-stage measurement (Figures 4–6
+// report per-stage means); a serving system additionally needs tail
+// latencies and live gauges. The histogram here is the single latency
+// representation shared by the serving layer (/metrics, the slow-query
+// log) and the benchmark harness (gcbench -throughput p50/p95/p99), so
+// a percentile on a dashboard and a percentile in a BENCH_*.json came
+// from the identical code path.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucketing: values are nanoseconds bucketed log-linearly —
+// 2^subBits sub-buckets per power of two, so every bucket's width is at
+// most 1/2^subBits (12.5%) of its lower bound. Values below 2^subBits ns
+// get exact unit buckets. The scheme is the HdrHistogram layout reduced
+// to its core: index arithmetic only (one bits.Len64, no floats, no
+// branches on magnitude tables), O(1) per record.
+const (
+	subBits    = 3
+	subBuckets = 1 << subBits // 8
+	// numBuckets covers the full non-negative int64 nanosecond range:
+	// 8 unit buckets + 8 sub-buckets per octave for octaves 3..62.
+	numBuckets = subBuckets + (63-subBits)*subBuckets
+)
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	o := bits.Len64(v) - 1 // floor(log2 v), ≥ subBits
+	sub := (v >> (uint(o) - subBits)) & (subBuckets - 1)
+	return subBuckets + (o-subBits)*subBuckets + int(sub)
+}
+
+// bucketUpperNS returns the largest nanosecond value the bucket holds —
+// the exact bound Quantile reports.
+func bucketUpperNS(idx int) uint64 {
+	if idx < subBuckets {
+		return uint64(idx)
+	}
+	block := uint(idx-subBuckets) / subBuckets
+	sub := uint64(idx-subBuckets) % subBuckets
+	return (subBuckets+sub+1)<<block - 1
+}
+
+// Histogram is a fixed-size log-bucketed latency histogram. Recording is
+// a single atomic add per bucket plus one for the running sum — O(1),
+// allocation-free, and safe for concurrent use (shard owner goroutines
+// and benchmark clients record into the same histogram a scrape reads).
+//
+// Reads (Count, Quantile, ForEachBucket) are lock-free snapshots of the
+// atomics; under concurrent recording the bucket counts, total count and
+// sum may each lag by a handful of in-flight observations, which is the
+// usual — and acceptable — scrape-time skew of live counters.
+type Histogram struct {
+	counts [numBuckets]atomic.Int64
+	count  atomic.Int64
+	sumNS  atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(uint64(ns))].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// ObserveSeconds records one duration given in seconds.
+func (h *Histogram) ObserveSeconds(s float64) {
+	h.Observe(time.Duration(s * float64(time.Second)))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// SumSeconds returns the sum of all observations in seconds.
+func (h *Histogram) SumSeconds() float64 {
+	return float64(h.sumNS.Load()) / float64(time.Second)
+}
+
+// MeanSeconds returns the mean observation in seconds (0 when empty).
+func (h *Histogram) MeanSeconds() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sumNS.Load()) / float64(n) / float64(time.Second)
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) in seconds, as an
+// exact bucket bound: the true quantile value v satisfies
+// lower(bucket) ≤ v ≤ returned bound, so the reported figure is never
+// below the true value by more than one bucket width (≤ 12.5% of the
+// value). Empty histograms yield 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	// Rank against the sum of bucket counts, not h.count: under
+	// concurrent recording the two can differ transiently, and ranking
+	// against the buckets themselves keeps the walk self-consistent.
+	var total int64
+	var snap [numBuckets]int64
+	for i := range snap {
+		snap[i] = h.counts[i].Load()
+		total += snap[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total) + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i := range snap {
+		cum += snap[i]
+		if cum >= rank {
+			return float64(bucketUpperNS(i)) / float64(time.Second)
+		}
+	}
+	return float64(bucketUpperNS(numBuckets-1)) / float64(time.Second)
+}
+
+// ForEachBucket visits the non-empty buckets in ascending order with
+// their upper bound (seconds) and count. Used by the exposition writer
+// and by tests asserting bucket totals.
+func (h *Histogram) ForEachBucket(fn func(upperSec float64, count int64)) {
+	for i := 0; i < numBuckets; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			fn(float64(bucketUpperNS(i))/float64(time.Second), c)
+		}
+	}
+}
+
+// Exposition bucket ladder: the fine internal buckets would make every
+// scrape carry ~500 series per histogram, so the Prometheus rendering
+// coarsens to one cumulative bucket per power of two from 128ns to ~34s
+// (29 bounds plus +Inf). The fine octave sub-buckets align exactly with
+// these bounds, so no observation is ever attributed to the wrong
+// exposition bucket.
+const (
+	promMinExp = 7  // 2^7 ns = 128ns
+	promMaxExp = 35 // 2^35 ns ≈ 34.36s
+)
+
+// promBuckets returns the cumulative exposition buckets (upper bounds in
+// seconds, cumulative counts), the total count and the sum in seconds.
+// The +Inf bucket is implicit: its cumulative count is the returned
+// total.
+func (h *Histogram) promBuckets() (les []float64, cums []int64, total int64, sumSec float64) {
+	var snap [numBuckets]int64
+	for i := range snap {
+		snap[i] = h.counts[i].Load()
+		total += snap[i]
+	}
+	sumSec = float64(h.sumNS.Load()) / float64(time.Second)
+	les = make([]float64, 0, promMaxExp-promMinExp+1)
+	cums = make([]int64, 0, promMaxExp-promMinExp+1)
+	var cum int64
+	idx := 0
+	for exp := promMinExp; exp <= promMaxExp; exp++ {
+		bound := uint64(1) << uint(exp)
+		// Fine buckets are ascending; accumulate every bucket whose
+		// values are < bound (upper bound bound-1 ≤ bound-1 < bound).
+		for idx < numBuckets && bucketUpperNS(idx) < bound {
+			cum += snap[idx]
+			idx++
+		}
+		les = append(les, float64(bound)/float64(time.Second))
+		cums = append(cums, cum)
+	}
+	return les, cums, total, sumSec
+}

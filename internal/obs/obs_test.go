@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexBounds checks, over the whole value range, that every
+// value lands in a bucket whose bounds contain it and that buckets are
+// contiguous and ascending.
+func TestBucketIndexBounds(t *testing.T) {
+	prevUpper := int64(-1)
+	for idx := 0; idx < numBuckets; idx++ {
+		upper := int64(bucketUpperNS(idx))
+		if upper <= prevUpper {
+			t.Fatalf("bucket %d upper %d not above previous %d", idx, upper, prevUpper)
+		}
+		// The upper bound itself must map back to the bucket, and the
+		// next value must map to the next bucket.
+		if got := bucketIndex(uint64(upper)); got != idx {
+			t.Fatalf("bucketIndex(upper=%d) = %d, want %d", upper, got, idx)
+		}
+		if idx+1 < numBuckets {
+			if got := bucketIndex(uint64(upper + 1)); got != idx+1 {
+				t.Fatalf("bucketIndex(%d) = %d, want %d", upper+1, got, idx+1)
+			}
+		}
+		prevUpper = upper
+	}
+}
+
+func TestBucketIndexRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		v := uint64(rng.Int63())
+		idx := bucketIndex(v)
+		upper := bucketUpperNS(idx)
+		if v > upper {
+			t.Fatalf("value %d above its bucket %d upper %d", v, idx, upper)
+		}
+		if idx > 0 && v <= bucketUpperNS(idx-1) {
+			t.Fatalf("value %d at or below previous bucket upper %d", v, bucketUpperNS(idx-1))
+		}
+	}
+}
+
+// TestQuantileExactBound: the histogram quantile must be an upper bound
+// of the true (sorted) quantile, and no more than one bucket width
+// (12.5%) above it.
+func TestQuantileExactBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	vals := make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		// Log-uniform over 1µs..1s, the latency range that matters.
+		v := time.Duration(1000 * (1 << uint(rng.Intn(20))))
+		v += time.Duration(rng.Int63n(int64(v)))
+		h.Observe(v)
+		vals = append(vals, v.Seconds())
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(q*float64(len(vals))+0.9999999999) - 1
+		truth := vals[rank]
+		got := h.Quantile(q)
+		if got < truth {
+			t.Errorf("q=%v: histogram %v below true value %v", q, got, truth)
+		}
+		if got > truth*(1+1.0/subBuckets)+1e-9 {
+			t.Errorf("q=%v: histogram %v more than one bucket above true value %v", q, got, truth)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	if got := h.MeanSeconds(); got != 0 {
+		t.Fatalf("empty histogram mean = %v, want 0", got)
+	}
+	h.Observe(-time.Second) // clamps to 0
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("negative observation quantile = %v, want 0", got)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	h.Observe(time.Millisecond)
+	if got := h.Quantile(1.0); got < 0.001 {
+		t.Fatalf("q=1 = %v, want ≥ 1ms", got)
+	}
+	if got := h.Quantile(0); got > 0 {
+		t.Fatalf("q=0 = %v, want bucket 0 bound", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(time.Second))))
+			}
+		}(int64(w))
+	}
+	// Concurrent reads must be safe (and self-consistent enough not to
+	// panic or return garbage).
+	for i := 0; i < 100; i++ {
+		_ = h.Quantile(0.99)
+		_ = h.Count()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var sum int64
+	h.ForEachBucket(func(_ float64, c int64) { sum += c })
+	if sum != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", sum, workers*per)
+	}
+}
+
+// expositionLine matches one Prometheus text-format sample line.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9.e+-]+|NaN|\+Inf|-Inf)$`)
+
+// ValidateExposition parses a Prometheus text exposition and fails on
+// any malformed line. Exported to the test binary only (used by the
+// serve handler tests via copy — kept here as the reference validator).
+func validateExposition(t *testing.T, body string) (samples int) {
+	t.Helper()
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("line %d is not valid exposition: %q", ln+1, line)
+		}
+		samples++
+	}
+	return samples
+}
+
+func TestRegistryWriteProm(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("gc_requests_total", "Total requests.", nil)
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("gc_temperature", "Current temperature.", Labels{"room": "a"})
+	g.Set(3.5)
+	h := r.Histogram("gc_latency_seconds", "Latency.", Labels{"shard": "0", "stage": "query"})
+	h.Observe(3 * time.Millisecond)
+	h.Observe(40 * time.Microsecond)
+	h.Observe(2 * time.Second)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	samples := validateExposition(t, out)
+	if samples == 0 {
+		t.Fatal("no samples rendered")
+	}
+	for _, want := range []string{
+		"# TYPE gc_requests_total counter",
+		"gc_requests_total 42",
+		"# TYPE gc_temperature gauge",
+		`gc_temperature{room="a"} 3.5`,
+		"# TYPE gc_latency_seconds histogram",
+		`gc_latency_seconds_bucket{shard="0",stage="query",le="+Inf"} 3`,
+		`gc_latency_seconds_count{shard="0",stage="query"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Histogram buckets must be cumulative (non-decreasing) and end at
+	// the total count.
+	var last int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "gc_latency_seconds_bucket") {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = v
+	}
+	if last != 3 {
+		t.Fatalf("final cumulative bucket = %d, want 3", last)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "", Labels{"a": "1"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "", Labels{"a": "1"})
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mix_total", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("mix_total", "", Labels{"a": "1"})
+}

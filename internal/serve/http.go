@@ -25,8 +25,14 @@ const (
 // The HTTP API of cmd/gcserve:
 //
 //	POST /query?kind=sub|super   body: one graph in the text codec
+//	     &trace=1                include the per-shard stage trace
 //	POST /update                 body: JSON update batch (see updateRequest)
 //	GET  /stats                  JSON server + per-shard statistics
+//	GET  /metrics                Prometheus text exposition
+//	GET  /healthz                liveness: 200 while the server accepts work
+//	GET  /readyz                 readiness: 200 while the repair backlog is
+//	                             at or below Options.ReadyMaxPendingRepairs
+//	GET  /debug/slowlog          JSON slow-query log, newest first
 //
 // Queries run concurrently; update batches are serialized through the
 // single-writer path and reported with the epoch they produced.
@@ -37,20 +43,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
 	return mux
 }
 
-// queryResponse is the wire form of a QueryResult.
+// queryResponse is the wire form of a QueryResult. Trace is present
+// only when the request asked for it (?trace=1).
 type queryResponse struct {
-	IDs            []int  `json:"ids"`
-	Count          int    `json:"count"`
-	Epoch          uint64 `json:"epoch"`
-	Kind           string `json:"kind"`
-	WallMicros     int64  `json:"wall_us"`
-	Candidates     int    `json:"candidates"`
-	SubIsoTests    int    `json:"subiso_tests"`
-	TestsSaved     int    `json:"tests_saved"`
-	ZeroTestShards int    `json:"zero_test_shards"`
+	IDs            []int       `json:"ids"`
+	Count          int         `json:"count"`
+	Epoch          uint64      `json:"epoch"`
+	Kind           string      `json:"kind"`
+	WallMicros     int64       `json:"wall_us"`
+	Candidates     int         `json:"candidates"`
+	SubIsoTests    int         `json:"subiso_tests"`
+	TestsSaved     int         `json:"tests_saved"`
+	ZeroTestShards int         `json:"zero_test_shards"`
+	Trace          *QueryTrace `json:"trace,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -85,7 +97,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if ids == nil {
 		ids = []int{}
 	}
-	writeJSON(w, http.StatusOK, queryResponse{
+	out := queryResponse{
 		IDs:            ids,
 		Count:          len(ids),
 		Epoch:          res.Epoch,
@@ -95,7 +107,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SubIsoTests:    res.SubIsoTests,
 		TestsSaved:     res.TestsSaved,
 		ZeroTestShards: res.ZeroTestShards,
-	})
+	}
+	if t := r.URL.Query().Get("trace"); t == "1" || t == "true" {
+		out.Trace = res.Trace()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // updateRequest is the wire form of an update batch.
@@ -214,6 +230,67 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleMetrics renders the Prometheus exposition: one epoch-consistent
+// Stats snapshot refreshes the mirrored gauges/counters, then the
+// registry — live histograms included — is written out.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Stats()
+	if err != nil {
+		httpError(w, statusOf(err), "metrics failed: %v", err)
+		return
+	}
+	s.obs.mirror(st)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obs.reg.WriteProm(w)
+}
+
+// handleHealthz is liveness: the process is up and the server accepts
+// work. It flips to 503 only once Close has run.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.seqMu.RLock()
+	closed := s.closed
+	s.seqMu.RUnlock()
+	if closed {
+		httpError(w, http.StatusServiceUnavailable, "server is closed")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: recovery is complete (New does not return
+// before it is) and the summed repair backlog is at or below the
+// configured threshold — a warm-restarted instance behind a load
+// balancer should not take traffic while its cache validity is still
+// being repaired en masse.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Stats()
+	if err != nil {
+		httpError(w, statusOf(err), "readiness check failed: %v", err)
+		return
+	}
+	body := map[string]any{
+		"pending_repairs": st.PendingRepairs,
+		"threshold":       s.opts.ReadyMaxPendingRepairs,
+	}
+	if st.PendingRepairs > s.opts.ReadyMaxPendingRepairs {
+		body["ready"] = false
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	body["ready"] = true
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleSlowLog serves the retained slow-query entries, newest first.
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	entries := s.SlowQueries()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_us": s.opts.SlowLogThreshold.Microseconds(),
+		"captured":     s.slow.captured(),
+		"entries":      entries,
+	})
 }
 
 func statusOf(err error) int {

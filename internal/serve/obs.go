@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"strconv"
+
+	"gcplus/internal/obs"
+)
+
+// This file builds the server's Prometheus registry. Two recording
+// styles coexist:
+//
+//   - Live histograms (per-stage latencies, queue wait, WAL appends,
+//     snapshot wall time) are owned by the shards/runtimes and record on
+//     the hot path; the registry holds references and a scrape renders
+//     whatever the atomics say at that instant.
+//   - Snapshot gauges and counters (queue depths, validity ratios, WAL
+//     bytes, repair counters, ...) are authoritatively tracked by shard
+//     state that only the owner goroutine may read. A scrape first takes
+//     one epoch-consistent Stats() snapshot — the same mechanism /stats
+//     uses — and mirrors it into the registered instruments before
+//     rendering, so /metrics and /stats can never disagree about a
+//     counter within a scrape.
+//
+// Metric names are stable API: the CI observability smoke greps for the
+// core series, and dashboards are built on them.
+
+// serverObs bundles the registry with the mirrored instruments a scrape
+// refreshes from a Stats snapshot.
+type serverObs struct {
+	reg *obs.Registry
+
+	// Aggregate (server-wide) instruments.
+	queries          *obs.Counter
+	epoch            *obs.Gauge
+	liveGraphs       *obs.Gauge
+	hitRate          *obs.Gauge
+	validityRatio    *obs.Gauge
+	cacheEntries     *obs.Gauge
+	cacheWindow      *obs.Gauge
+	cacheCapacity    *obs.Gauge
+	repairPending    *obs.Gauge
+	repairedBits     *obs.Counter
+	repairDropped    *obs.Counter
+	slowQueries      *obs.Counter
+	uptime           *obs.Gauge
+	walBytes         *obs.Gauge
+	walAppends       *obs.Counter
+	walAppendErrs    *obs.Counter
+	snapshotsWritten *obs.Counter
+	lastSnapEpoch    *obs.Gauge
+
+	// Per-shard instruments, indexed by shard id.
+	shardQueries       []*obs.Counter
+	shardLiveGraphs    []*obs.Gauge
+	shardHitRate       []*obs.Gauge
+	shardValidity      []*obs.Gauge
+	shardQueueLen      []*obs.Gauge
+	shardRepairPending []*obs.Gauge
+	shardRepairDropped []*obs.Counter
+	shardWALBytes      []*obs.Gauge
+}
+
+// stageHistNames orders the per-stage histogram series; the stage label
+// values match the Metrics field vocabulary of the paper's evaluation.
+var stageHistNames = []string{
+	"query", "hit", "verify", "verify_cpu", "overhead", "consistency", "repair_verify",
+}
+
+// initObs builds the registry over the constructed shards. Called from
+// New after the shards exist (cold or recovered) and before they start:
+// registration is not concurrency-safe with scrapes, construction time
+// is the one moment neither queries nor scrapes can be running.
+func (s *Server) initObs() {
+	o := &serverObs{reg: obs.NewRegistry()}
+	r := o.reg
+
+	o.queries = r.Counter("gcplus_queries_total",
+		"Queries served (max per-shard count; every query touches every shard).", nil)
+	o.epoch = r.Gauge("gcplus_epoch", "Current dataset version (applied update batches).", nil)
+	o.liveGraphs = r.Gauge("gcplus_live_graphs", "Live dataset graphs across shards.", nil)
+	o.hitRate = r.Gauge("gcplus_hit_rate",
+		"Mean per-shard fraction of measured queries answered with zero sub-iso tests.", nil)
+	o.validityRatio = r.Gauge("gcplus_cache_validity_ratio",
+		"Mean per-shard fraction of (entry, live graph) validity bits currently set.", nil)
+	o.cacheEntries = r.Gauge("gcplus_cache_entries", "Admitted cache entries across shards.", nil)
+	o.cacheWindow = r.Gauge("gcplus_cache_window", "Admission-window entries across shards.", nil)
+	o.cacheCapacity = r.Gauge("gcplus_cache_capacity", "Configured cache capacity across shards.", nil)
+	o.repairPending = r.Gauge("gcplus_repair_pending",
+		"Invalidated (entry, graph) pairs queued for background repair.", nil)
+	o.repairedBits = r.Counter("gcplus_repaired_bits_total",
+		"Validity bits restored by the background repair pipeline.", nil)
+	o.repairDropped = r.Counter("gcplus_repair_dropped_total",
+		"Invalidated pairs shed on a full repair queue (they stay invalid).", nil)
+	o.slowQueries = r.Counter("gcplus_slow_queries_total",
+		"Queries captured by the slow-query log (0 when disabled).", nil)
+	o.uptime = r.Gauge("gcplus_uptime_seconds", "Seconds since this process built the server.", nil)
+	o.walBytes = r.Gauge("gcplus_wal_bytes", "Current WAL segment bytes across shards.", nil)
+	o.walAppends = r.Counter("gcplus_wal_appends_total", "WAL append attempts across shards.", nil)
+	o.walAppendErrs = r.Counter("gcplus_wal_append_errors_total", "Failed WAL appends across shards.", nil)
+	o.snapshotsWritten = r.Counter("gcplus_snapshots_written_total",
+		"Snapshot generations written by this process.", nil)
+	o.lastSnapEpoch = r.Gauge("gcplus_last_snapshot_epoch",
+		"Epoch of the newest durable snapshot generation.", nil)
+
+	n := len(s.shards)
+	o.shardQueries = make([]*obs.Counter, n)
+	o.shardLiveGraphs = make([]*obs.Gauge, n)
+	o.shardHitRate = make([]*obs.Gauge, n)
+	o.shardValidity = make([]*obs.Gauge, n)
+	o.shardQueueLen = make([]*obs.Gauge, n)
+	o.shardRepairPending = make([]*obs.Gauge, n)
+	o.shardRepairDropped = make([]*obs.Counter, n)
+	o.shardWALBytes = make([]*obs.Gauge, n)
+	for _, sh := range s.shards {
+		lbl := strconv.Itoa(sh.id)
+		hists := sh.rt.StageHists()
+		for i, h := range []*obs.Histogram{
+			hists.Query, hists.Hit, hists.Verify, hists.VerifyCPU,
+			hists.Overhead, hists.Consistency, hists.RepairVerify,
+		} {
+			r.RegisterHistogram("gcplus_stage_duration_seconds",
+				"Per-stage query processing latency, by shard and stage.",
+				obs.Labels{"shard": lbl, "stage": stageHistNames[i]}, h)
+		}
+		r.RegisterHistogram("gcplus_queue_wait_seconds",
+			"Time jobs spend queued behind the shard owner goroutine.",
+			obs.Labels{"shard": lbl}, sh.queueWait)
+		if s.walWanted() {
+			r.RegisterHistogram("gcplus_wal_append_duration_seconds",
+				"WAL batch append latency (encode + write + fsync).",
+				obs.Labels{"shard": lbl}, sh.walAppend)
+		}
+		o.shardQueries[sh.id] = r.Counter("gcplus_shard_queries_total",
+			"Queries processed by the shard runtime.", obs.Labels{"shard": lbl})
+		o.shardLiveGraphs[sh.id] = r.Gauge("gcplus_shard_live_graphs",
+			"Live graphs in the shard partition.", obs.Labels{"shard": lbl})
+		o.shardHitRate[sh.id] = r.Gauge("gcplus_shard_hit_rate",
+			"Shard fraction of measured queries answered with zero sub-iso tests.",
+			obs.Labels{"shard": lbl})
+		o.shardValidity[sh.id] = r.Gauge("gcplus_shard_validity_ratio",
+			"Shard fraction of validity bits currently set.", obs.Labels{"shard": lbl})
+		o.shardQueueLen[sh.id] = r.Gauge("gcplus_shard_queue_len",
+			"Shard job-queue depth at snapshot time.", obs.Labels{"shard": lbl})
+		o.shardRepairPending[sh.id] = r.Gauge("gcplus_shard_repair_pending",
+			"Shard repair-queue depth.", obs.Labels{"shard": lbl})
+		o.shardRepairDropped[sh.id] = r.Counter("gcplus_shard_repair_dropped_total",
+			"Shard invalidated pairs shed on a full repair queue.", obs.Labels{"shard": lbl})
+		o.shardWALBytes[sh.id] = r.Gauge("gcplus_shard_wal_bytes",
+			"Shard current WAL segment bytes.", obs.Labels{"shard": lbl})
+	}
+	if s.store != nil {
+		s.snapHist = r.Histogram("gcplus_snapshot_duration_seconds",
+			"Snapshot generation wall time, enqueue to durable.", nil)
+	}
+	s.obs = o
+}
+
+// mirror refreshes the snapshot-style instruments from an
+// epoch-consistent Stats snapshot. Counter.Set is sound here because
+// every mirrored source is monotone over the process lifetime.
+func (o *serverObs) mirror(st *Stats) {
+	o.queries.Set(st.Queries)
+	o.epoch.Set(float64(st.Epoch))
+	o.liveGraphs.Set(float64(st.LiveGraphs))
+	o.hitRate.Set(st.HitRate)
+	o.validityRatio.Set(st.ValidityRatio)
+	o.repairPending.Set(float64(st.PendingRepairs))
+	o.repairedBits.Set(st.RepairedBits)
+	o.repairDropped.Set(st.RepairDropped)
+	o.slowQueries.Set(st.SlowQueries)
+	o.uptime.Set(st.UptimeSec)
+	o.walBytes.Set(float64(st.WALBytes))
+	o.walAppends.Set(st.WALAppends)
+	o.walAppendErrs.Set(st.WALAppendErrors)
+	o.snapshotsWritten.Set(st.SnapshotsWritten)
+	o.lastSnapEpoch.Set(float64(st.LastSnapshotEpoch))
+	var entries, window, capacity int
+	for _, ss := range st.PerShard {
+		if ss.Shard < 0 || ss.Shard >= len(o.shardQueries) {
+			continue
+		}
+		entries += ss.Cache.Entries
+		window += ss.Cache.Window
+		capacity += ss.Cache.Capacity
+		o.shardQueries[ss.Shard].Set(ss.Metrics.Queries)
+		o.shardLiveGraphs[ss.Shard].Set(float64(ss.LiveGraphs))
+		o.shardHitRate[ss.Shard].Set(ss.HitRate)
+		o.shardValidity[ss.Shard].Set(ss.ValidityRatio)
+		o.shardQueueLen[ss.Shard].Set(float64(ss.QueueLen))
+		o.shardRepairPending[ss.Shard].Set(float64(ss.Cache.PendingRepairs))
+		o.shardRepairDropped[ss.Shard].Set(ss.Cache.RepairDropped)
+		o.shardWALBytes[ss.Shard].Set(float64(ss.WALBytes))
+	}
+	o.cacheEntries.Set(float64(entries))
+	o.cacheWindow.Set(float64(window))
+	o.cacheCapacity.Set(float64(capacity))
+}

@@ -1,0 +1,411 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gcplus/internal/cache"
+	"gcplus/internal/changeplan"
+	"gcplus/internal/dataset"
+)
+
+// promLine matches one Prometheus text-format sample line (same
+// validator the obs package pins; duplicated here because it is not
+// exported API, only a test contract).
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9.e+-]+|NaN|\+Inf|-Inf)$`)
+
+func checkExposition(t *testing.T, body string) {
+	t.Helper()
+	samples := 0
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("exposition line %d is malformed: %q", ln+1, line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("exposition rendered no samples")
+	}
+}
+
+// promValue extracts one sample's value from an exposition body; the
+// series must appear exactly once.
+func promValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	var got float64
+	found := 0
+	for _, line := range strings.Split(body, "\n") {
+		name := line
+		if i := strings.LastIndex(line, " "); i >= 0 {
+			name = line[:i]
+		}
+		if name != series {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		got = v
+		found++
+	}
+	if found != 1 {
+		t.Fatalf("series %q appears %d times, want 1", series, found)
+	}
+	return got
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestMetricsExposition(t *testing.T) {
+	initial := genGraphs(t, 24, 9)
+	srv, err := New(initial, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	queries := testQueries(initial)
+	const rounds = 7
+	for i := 0; i < rounds; i++ {
+		q := queries[i%len(queries)]
+		if _, err := srv.SubgraphQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := srv.Update([]changeplan.Op{changeplan.AddOp(initial[0].Clone())}); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body := getBody(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	checkExposition(t, body)
+
+	// The core series must exist — CI greps for these names too.
+	for _, want := range []string{
+		"# TYPE gcplus_queries_total counter",
+		"# TYPE gcplus_stage_duration_seconds histogram",
+		"# TYPE gcplus_queue_wait_seconds histogram",
+		"gcplus_epoch 1",
+		"gcplus_live_graphs 25",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The acceptance invariant: the aggregate query counter equals every
+	// shard's query-stage histogram count (each query touches each
+	// shard exactly once, and histograms never reset).
+	total := promValue(t, body, "gcplus_queries_total")
+	if total != rounds {
+		t.Fatalf("gcplus_queries_total = %v, want %d", total, rounds)
+	}
+	st, err := srv.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(total) != st.Queries {
+		t.Fatalf("exposition total %v != Stats.Queries %d", total, st.Queries)
+	}
+	for i := 0; i < srv.Shards(); i++ {
+		series := fmt.Sprintf(`gcplus_stage_duration_seconds_count{shard="%d",stage="query"}`, i)
+		if got := promValue(t, body, series); got != total {
+			t.Fatalf("%s = %v, want %v", series, got, total)
+		}
+		shardQ := fmt.Sprintf(`gcplus_shard_queries_total{shard="%d"}`, i)
+		if got := promValue(t, body, shardQ); got != total {
+			t.Fatalf("%s = %v, want %v", shardQ, got, total)
+		}
+	}
+	// Stage histogram sums must be self-consistent: the verify stage is
+	// part of the query stage, so its summed time cannot exceed it by
+	// more than rounding.
+	qSum := promValue(t, body, `gcplus_stage_duration_seconds_sum{shard="0",stage="query"}`)
+	vSum := promValue(t, body, `gcplus_stage_duration_seconds_sum{shard="0",stage="verify"}`)
+	if vSum > qSum+1e-6 {
+		t.Fatalf("verify sum %v exceeds query sum %v", vSum, qSum)
+	}
+}
+
+func TestHealthzReadyz(t *testing.T) {
+	initial := genGraphs(t, 16, 3)
+	srv, err := New(initial, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if status, _ := getBody(t, ts.URL+"/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz status %d", status)
+	}
+	if status, body := getBody(t, ts.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("readyz status %d: %s", status, body)
+	}
+
+	srv.Close()
+	if status, _ := getBody(t, ts.URL+"/healthz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after close: status %d, want 503", status)
+	}
+	if status, _ := getBody(t, ts.URL+"/readyz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after close: status %d, want 503", status)
+	}
+}
+
+// TestReadyzBacklog: with repair disabled but a repair queue configured,
+// invalidated pairs accumulate with nothing draining them, and a
+// negative threshold (= "any backlog is unready") must flip readiness.
+func TestReadyzBacklog(t *testing.T) {
+	initial := genGraphs(t, 16, 5)
+	srv, err := New(initial, Options{
+		Shards:                 2,
+		Cache:                  &cache.Config{Capacity: 32, WindowSize: 2, RepairQueue: 64},
+		DisableRepair:          true,
+		EagerValidate:          true,
+		ReadyMaxPendingRepairs: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if status, body := getBody(t, ts.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("fresh server readyz status %d: %s", status, body)
+	}
+
+	// Populate the cache, then invalidate: edge updates clear validity
+	// bits during eager validation and enqueue the pairs for repair —
+	// which nothing drains.
+	for _, q := range testQueries(initial) {
+		if _, err := srv.SubgraphQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ua := func(id, u, v int) changeplan.Op {
+		return changeplan.Op{Type: dataset.OpUpdateAddEdge, GraphID: id, U: u, V: v}
+	}
+	ur := func(id, u, v int) changeplan.Op {
+		return changeplan.Op{Type: dataset.OpUpdateRemoveEdge, GraphID: id, U: u, V: v}
+	}
+	var pending int
+	for try := 0; try < 40 && pending == 0; try++ {
+		for id := 0; id < len(initial); id++ {
+			// One of the pair always applies, whichever way (0,1) starts.
+			srv.Update([]changeplan.Op{ua(id, 0, 1)})
+			srv.Update([]changeplan.Op{ur(id, 0, 1)})
+		}
+		st, err := srv.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = st.PendingRepairs
+	}
+	if pending == 0 {
+		t.Skip("workload produced no repair backlog; nothing to assert")
+	}
+	if status, body := getBody(t, ts.URL+"/readyz"); status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with backlog %d: status %d, want 503 (%s)", pending, status, body)
+	}
+}
+
+func TestQueryTraceAndSlowLog(t *testing.T) {
+	initial := genGraphs(t, 20, 7)
+	srv, err := New(initial, Options{
+		Shards:           2,
+		SlowLogThreshold: time.Nanosecond, // capture everything
+		SlowLogSize:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	queries := testQueries(initial)
+	q := queries[0]
+	resp, err := http.Post(ts.URL+"/query?kind=sub&trace=1", "text/plain",
+		strings.NewReader(codecOf(t, q)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr := decodeJSON[queryResponse](t, resp.Body)
+	resp.Body.Close()
+	if qr.Trace == nil {
+		t.Fatal("trace requested but absent")
+	}
+	if len(qr.Trace.PerShard) != 2 {
+		t.Fatalf("trace has %d shards, want 2", len(qr.Trace.PerShard))
+	}
+	for _, sp := range qr.Trace.PerShard {
+		if sp.QueryMicros < 0 || sp.VerifyMicros < 0 {
+			t.Fatalf("negative span: %+v", sp)
+		}
+	}
+	if qr.Trace.WallMicros < qr.Trace.PerShard[0].QueryMicros {
+		t.Fatalf("wall %dus below shard 0 query time %dus",
+			qr.Trace.WallMicros, qr.Trace.PerShard[0].QueryMicros)
+	}
+
+	// Untraced query: no trace field.
+	resp, err = http.Post(ts.URL+"/query?kind=sub", "text/plain",
+		strings.NewReader(codecOf(t, q)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr = decodeJSON[queryResponse](t, resp.Body)
+	resp.Body.Close()
+	if qr.Trace != nil {
+		t.Fatal("trace present without trace=1")
+	}
+
+	// Fill past the ring bound; retention is the newest SlowLogSize.
+	for i := 0; i < 6; i++ {
+		if _, err := srv.SubgraphQuery(queries[i%len(queries)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type slowLogBody struct {
+		ThresholdUS int64       `json:"threshold_us"`
+		Captured    int64       `json:"captured"`
+		Entries     []SlowQuery `json:"entries"`
+	}
+	resp, err = http.Get(ts.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := decodeJSON[slowLogBody](t, resp.Body)
+	resp.Body.Close()
+	if slow.Captured != 8 { // 2 HTTP + 6 direct
+		t.Fatalf("captured = %d, want 8", slow.Captured)
+	}
+	if len(slow.Entries) != 4 {
+		t.Fatalf("retained = %d, want ring size 4", len(slow.Entries))
+	}
+	for i, e := range slow.Entries {
+		if e.Trace == nil || len(e.Trace.PerShard) != 2 {
+			t.Fatalf("entry %d has no per-shard trace", i)
+		}
+		if !strings.HasPrefix(e.Query, "t ") {
+			t.Fatalf("entry %d query text not in codec form: %q", i, e.Query)
+		}
+		if i > 0 && e.Time.After(slow.Entries[i-1].Time) {
+			t.Fatalf("entries not newest-first at %d", i)
+		}
+	}
+	st, err := srv.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SlowQueries != 8 {
+		t.Fatalf("Stats.SlowQueries = %d, want 8", st.SlowQueries)
+	}
+}
+
+// TestObsUnderConcurrentLoad hammers queries, updates and observability
+// endpoints concurrently (race detector coverage), then checks the
+// final exposition is parseable and count-consistent.
+func TestObsUnderConcurrentLoad(t *testing.T) {
+	initial := genGraphs(t, 30, 13)
+	srv, err := New(initial, Options{
+		Shards:           2,
+		SlowLogThreshold: time.Nanosecond,
+		SlowLogSize:      16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	queries := testQueries(initial)
+	const queriers, perQuerier = 4, 8
+	var wg sync.WaitGroup
+	for w := 0; w < queriers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perQuerier; i++ {
+				if _, err := srv.SubgraphQuery(queries[(w+i)%len(queries)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if _, err := srv.Update([]changeplan.Op{changeplan.AddOp(initial[i].Clone())}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			status, body := getBody(t, ts.URL+"/metrics")
+			if status != http.StatusOK {
+				t.Errorf("concurrent metrics status %d", status)
+				return
+			}
+			checkExposition(t, body)
+			if status, _ := getBody(t, ts.URL+"/debug/slowlog"); status != http.StatusOK {
+				t.Errorf("concurrent slowlog status %d", status)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	status, body := getBody(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("final metrics status %d", status)
+	}
+	checkExposition(t, body)
+	want := float64(queriers * perQuerier)
+	if got := promValue(t, body, "gcplus_queries_total"); got != want {
+		t.Fatalf("gcplus_queries_total = %v, want %v", got, want)
+	}
+	for i := 0; i < srv.Shards(); i++ {
+		series := fmt.Sprintf(`gcplus_stage_duration_seconds_count{shard="%d",stage="query"}`, i)
+		if got := promValue(t, body, series); got != want {
+			t.Fatalf("%s = %v, want %v", series, got, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"gcplus/internal/dataset"
 	"gcplus/internal/persist"
@@ -25,19 +26,29 @@ func (s *Server) enqueueWALAppends(epoch uint64) []<-chan error {
 	for i, sh := range s.shards {
 		ch := make(chan error, 1)
 		acks[i] = ch
-		sh.jobs <- func() {
+		sh.enqueue(func() {
 			batch := persist.WALBatch{Epoch: epoch, Ops: sh.walPending}
 			sh.walPending = nil
 			if sh.wal == nil {
+				sh.walAppendErrors.Add(1)
 				ch <- fmt.Errorf("serve: shard %d has no open WAL segment", sh.id)
 				return
 			}
+			at := time.Now()
 			payload, err := persist.EncodeWALBatch(&batch)
 			if err == nil {
 				err = sh.wal.Append(payload)
 			}
+			// The append latency is dominated by the fsync (unless
+			// NoSync) — the per-batch durability price the histogram
+			// exists to expose.
+			sh.walAppend.Observe(time.Since(at))
+			sh.walAppends.Add(1)
+			if err != nil {
+				sh.walAppendErrors.Add(1)
+			}
 			ch <- err
-		}
+		})
 	}
 	return acks
 }
@@ -89,11 +100,12 @@ func (s *Server) maybeSnapshotLocked(epoch uint64) {
 // and IO run on the collector, off the owner.
 func (s *Server) enqueueSnapshotLocked(epoch uint64) <-chan error {
 	done := make(chan error, 1)
+	start := time.Now()
 	exports := make([]*persist.ShardSnapshot, len(s.shards))
 	rotateErrs := make([]error, len(s.shards))
 	acks := make(chan int, len(s.shards))
 	for i, sh := range s.shards {
-		sh.jobs <- func() {
+		sh.enqueue(func() {
 			defer func() { acks <- 1 }()
 			sh.rt.Sync()
 			l2g := make([]int, len(sh.localToGlobal))
@@ -125,7 +137,7 @@ func (s *Server) enqueueSnapshotLocked(epoch uint64) <-chan error {
 				}
 				sh.wal = w
 			}
-		}
+		})
 	}
 	go func() {
 		defer s.snapMu.Unlock()
@@ -154,6 +166,12 @@ func (s *Server) enqueueSnapshotLocked(epoch uint64) <-chan error {
 			s.store.RemoveObsolete(epoch)
 			s.lastSnapshotEpoch.Store(epoch)
 			s.snapshotsWritten.Add(1)
+			if s.snapHist != nil {
+				s.snapHist.Observe(time.Since(start))
+			}
+			s.log.Info("snapshot generation durable",
+				"epoch", epoch, "wall", time.Since(start),
+				"generations", s.snapshotsWritten.Load())
 		} else {
 			// Best-effort removal of the failed generation's files: a
 			// stray snap-<epoch> surviving here could later pair with a
@@ -162,6 +180,7 @@ func (s *Server) enqueueSnapshotLocked(epoch uint64) <-chan error {
 			for i := range s.shards {
 				os.Remove(s.store.SnapshotPath(i, epoch))
 			}
+			s.log.Error("snapshot generation failed", "epoch", epoch, "err", firstErr)
 		}
 		done <- firstErr
 	}()

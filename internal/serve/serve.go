@@ -39,6 +39,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -50,6 +51,7 @@ import (
 	"gcplus/internal/core"
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
+	"gcplus/internal/obs"
 	"gcplus/internal/persist"
 	"gcplus/internal/subiso"
 )
@@ -123,6 +125,24 @@ type Options struct {
 	// machine crash — the usual group-durability trade for tests and
 	// benchmarks.
 	NoSync bool
+	// SlowLogThreshold enables the slow-query log: every query whose
+	// end-to-end wall time meets or exceeds it is captured — with its
+	// per-shard stage trace and the query text — into a bounded
+	// in-memory ring readable via SlowQueries / GET /debug/slowlog.
+	// Zero (the default) disables capture.
+	SlowLogThreshold time.Duration
+	// SlowLogSize bounds the slow-query ring (default 128). Older
+	// entries are overwritten; the drop count is retained.
+	SlowLogSize int
+	// ReadyMaxPendingRepairs is the readiness threshold: GET /readyz
+	// reports ready only while the summed per-shard repair backlog is at
+	// or below it. 0 means the default (DefaultRepairQueue); negative
+	// means "any backlog marks the server unready".
+	ReadyMaxPendingRepairs int
+	// Logger receives structured lifecycle events (recovery summaries,
+	// snapshot generations, WAL errors, repair-queue drops, shutdown).
+	// Nil discards them.
+	Logger *slog.Logger
 }
 
 // DefaultSnapshotEvery is the default number of update batches between
@@ -150,6 +170,18 @@ func (o Options) withDefaults() Options {
 		cfg := *o.Cache
 		cfg.RepairQueue = DefaultRepairQueue
 		o.Cache = &cfg
+	}
+	if o.SlowLogSize <= 0 {
+		o.SlowLogSize = DefaultSlowLogSize
+	}
+	switch {
+	case o.ReadyMaxPendingRepairs == 0:
+		o.ReadyMaxPendingRepairs = DefaultRepairQueue
+	case o.ReadyMaxPendingRepairs < 0:
+		o.ReadyMaxPendingRepairs = 0
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
 	}
 	return o
 }
@@ -246,6 +278,12 @@ type Server struct {
 	recoveredEntries int
 	recoveredEpoch   uint64
 	recovered        bool
+
+	// Observability (built once in New, before the shards start).
+	log      *slog.Logger
+	obs      *serverObs
+	slow     *slowLog
+	snapHist *obs.Histogram // snapshot-generation wall time (nil without persistence)
 }
 
 // buildVersion is the module version baked into the binary, surfaced on
@@ -285,7 +323,8 @@ var buildVersion = func() string {
 // generation (anchoring the WAL chain) before returning.
 func New(initial []*graph.Graph, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	s := &Server{opts: opts, started: time.Now()}
+	s := &Server{opts: opts, started: time.Now(), log: opts.Logger}
+	s.slow = newSlowLog(opts.SlowLogSize)
 	if opts.DataDir != "" {
 		store, err := persist.OpenStore(opts.DataDir, opts.Shards)
 		if err != nil {
@@ -313,8 +352,18 @@ func New(initial []*graph.Graph, opts Options) (*Server, error) {
 	} else if err := s.buildCold(initial); err != nil {
 		return fail(err)
 	}
+	s.initObs()
 	for _, sh := range s.shards {
+		sh.log = s.log
 		sh.start(opts.RepairParallelism)
+	}
+	if s.recovered {
+		s.log.Info("warm restart complete",
+			"epoch", s.recoveredEpoch, "cache_entries", s.recoveredEntries,
+			"shards", len(s.shards))
+	} else {
+		s.log.Info("cold boot", "shards", len(s.shards), "graphs", len(s.loc),
+			"persist", s.store != nil)
 	}
 	if s.recovered {
 		// Reconcile each shard cache with the replayed log suffix off
@@ -323,7 +372,7 @@ func New(initial []*graph.Graph, opts Options) (*Server, error) {
 		// pairs to the background repair pipeline, so recovery never
 		// trusts validity bits the replay may have invalidated.
 		for _, sh := range s.shards {
-			sh.jobs <- func() { sh.rt.Sync() }
+			sh.enqueue(func() { sh.rt.Sync() })
 		}
 	} else if s.store != nil {
 		if err := s.Snapshot(); err != nil {
@@ -465,6 +514,11 @@ func (s *Server) closeImpl(flush bool) error {
 	if holdsSnapMu {
 		s.snapMu.Unlock()
 	}
+	if flushErr != nil {
+		s.log.Error("shutdown with failed final snapshot", "err", flushErr)
+	} else {
+		s.log.Info("server closed", "final_snapshot", flush)
+	}
 	return flushErr
 }
 
@@ -540,7 +594,7 @@ func (s *Server) query(q *graph.Graph, kind cache.Kind) (*QueryResult, error) {
 	epoch := s.epoch
 	wg.Add(len(s.shards))
 	for i, sh := range s.shards {
-		sh.jobs <- func() {
+		sh.enqueue(func() {
 			defer wg.Done()
 			var res *core.Result
 			var err error
@@ -559,7 +613,7 @@ func (s *Server) query(q *graph.Graph, kind cache.Kind) (*QueryResult, error) {
 				ids[j] = sh.localToGlobal[l]
 			}
 			answers[i] = shardAnswer{ids: ids, st: res.Stats}
-		}
+		})
 	}
 	s.seqMu.RUnlock()
 	wg.Wait()
@@ -585,6 +639,9 @@ func (s *Server) query(q *graph.Graph, kind cache.Kind) (*QueryResult, error) {
 	}
 	out.IDs = mergeSorted(lists, total)
 	out.Wall = time.Since(start)
+	if t := s.opts.SlowLogThreshold; t > 0 && out.Wall >= t {
+		s.slow.record(q, out)
+	}
 	return out, nil
 }
 
@@ -659,7 +716,7 @@ func (s *Server) Update(ops []changeplan.Op) (*UpdateResult, error) {
 		// batch: Sync processes the shard's log suffix in one pass, and
 		// FIFO order places it before any query enqueued after us.
 		for sh := range touched {
-			sh.jobs <- func() { sh.rt.Sync() }
+			sh.enqueue(func() { sh.rt.Sync() })
 		}
 	}
 	if s.store != nil && s.opts.SnapshotEvery > 0 &&
@@ -680,6 +737,7 @@ func (s *Server) Update(ops []changeplan.Op) (*UpdateResult, error) {
 	}
 	for _, ch := range walAcks {
 		if err := <-ch; err != nil {
+			s.log.Error("WAL append failed, batch not durable", "epoch", epoch, "err", err)
 			return res, fmt.Errorf("serve: WAL append for batch %d failed (applied in memory, may not be durable): %w", epoch, err)
 		}
 	}
@@ -710,7 +768,7 @@ func (s *Server) enqueueOp(op changeplan.Op, touched map[*shard]bool) <-chan OpR
 		sh.nextLocal++
 		touched[sh] = true
 		g := op.Graph
-		sh.jobs <- func() {
+		sh.enqueue(func() {
 			local, err := sh.ds.Add(g)
 			if err == nil && local != len(sh.localToGlobal) {
 				// Cannot happen while all ADDs flow through this path;
@@ -728,7 +786,7 @@ func (s *Server) enqueueOp(op changeplan.Op, touched map[*shard]bool) <-chan OpR
 					persist.WALOp{Op: changeplan.AddOp(g), GlobalID: gid})
 			}
 			out <- OpResult{ID: gid}
-		}
+		})
 		return out
 	case dataset.OpDelete, dataset.OpUpdateAddEdge, dataset.OpUpdateRemoveEdge:
 		gid := op.GraphID
@@ -739,7 +797,7 @@ func (s *Server) enqueueOp(op changeplan.Op, touched map[*shard]bool) <-chan OpR
 		sh := s.shards[l.shard]
 		local := int(l.local)
 		touched[sh] = true
-		sh.jobs <- func() {
+		sh.enqueue(func() {
 			var err error
 			switch op.Type {
 			case dataset.OpDelete:
@@ -763,7 +821,7 @@ func (s *Server) enqueueOp(op changeplan.Op, touched map[*shard]bool) <-chan OpR
 				sh.walPending = append(sh.walPending, persist.WALOp{Op: lop, GlobalID: gid})
 			}
 			out <- OpResult{ID: gid}
-		}
+		})
 		return out
 	}
 	return fail(fmt.Errorf("serve: unknown op type %v", op.Type))
@@ -784,10 +842,17 @@ type ShardStats struct {
 	// currently set in the shard cache — the metric the background
 	// repair pipeline recovers after update churn (1 when disabled).
 	ValidityRatio float64 `json:"validity_ratio"`
+	// QueueLen is the shard job queue's depth at snapshot time — jobs
+	// enqueued but not yet started (head-of-line pressure).
+	QueueLen int `json:"queue_len"`
 	// WALBytes is the shard's current WAL segment size (0 when
 	// persistence or the WAL is off). Tracked in memory by the
 	// appender — stats snapshots cost no directory IO.
 	WALBytes int64 `json:"wal_bytes"`
+	// WALAppends and WALAppendErrors count the shard's WAL append
+	// attempts and failures over the process lifetime.
+	WALAppends      int64 `json:"wal_appends"`
+	WALAppendErrors int64 `json:"wal_append_errors"`
 	// Metrics is the shard runtime's aggregate query statistics.
 	Metrics core.MetricsSnapshot `json:"metrics"`
 	// Cache is the shard cache's state snapshot (zero when disabled).
@@ -815,6 +880,13 @@ type Stats struct {
 	RepairedBits int64 `json:"repaired_bits"`
 	// PendingRepairs sums the queued invalidated pairs across shards.
 	PendingRepairs int `json:"pending_repairs"`
+	// RepairDropped sums the invalidated pairs shed on full repair
+	// queues across shards (they simply stay invalid).
+	RepairDropped int64 `json:"repair_dropped"`
+	// SlowQueries counts queries captured by the slow-query log over the
+	// process lifetime (0 when the log is disabled), including entries
+	// the bounded ring has since overwritten.
+	SlowQueries int64 `json:"slow_queries"`
 
 	// UptimeSec is the seconds since this process built the server —
 	// monotonic (measured on the runtime's monotonic clock), so ops
@@ -834,6 +906,10 @@ type Stats struct {
 	// segments awaiting a generation's cleanup are not counted; they
 	// disappear at the next snapshot).
 	WALBytes int64 `json:"wal_bytes"`
+	// WALAppends and WALAppendErrors sum the shards' WAL append attempts
+	// and failures over the process lifetime.
+	WALAppends      int64 `json:"wal_appends"`
+	WALAppendErrors int64 `json:"wal_append_errors"`
 	// LastSnapshotEpoch is the epoch of the newest durable snapshot
 	// generation written by this process (the recovered generation's
 	// epoch right after a warm restart).
@@ -864,22 +940,25 @@ func (s *Server) Stats() (*Stats, error) {
 	epoch := s.epoch
 	wg.Add(len(s.shards))
 	for i, sh := range s.shards {
-		sh.jobs <- func() {
+		sh.enqueue(func() {
 			defer wg.Done()
 			m := sh.rt.Metrics()
 			per[i] = ShardStats{
-				Shard:         sh.id,
-				LiveGraphs:    sh.ds.LiveCount(),
-				LogSeq:        sh.ds.Seq(),
-				HitRate:       m.HitRate(),
-				ValidityRatio: sh.rt.ValidityRatio(),
-				Metrics:       m.Snapshot(),
-				Cache:         sh.rt.CacheStats(),
+				Shard:           sh.id,
+				LiveGraphs:      sh.ds.LiveCount(),
+				LogSeq:          sh.ds.Seq(),
+				HitRate:         m.HitRate(),
+				ValidityRatio:   sh.rt.ValidityRatio(),
+				QueueLen:        len(sh.jobs),
+				WALAppends:      sh.walAppends.Load(),
+				WALAppendErrors: sh.walAppendErrors.Load(),
+				Metrics:         m.Snapshot(),
+				Cache:           sh.rt.CacheStats(),
 			}
 			if sh.wal != nil {
 				per[i].WALBytes = sh.wal.Size()
 			}
-		}
+		})
 	}
 	s.seqMu.RUnlock()
 	wg.Wait()
@@ -899,13 +978,17 @@ func (s *Server) Stats() (*Stats, error) {
 		out.RecoveredEntries = s.recoveredEntries
 		out.RecoveredEpoch = s.recoveredEpoch
 	}
+	out.SlowQueries = s.slow.captured()
 	for _, ss := range per {
 		out.WALBytes += ss.WALBytes
+		out.WALAppends += ss.WALAppends
+		out.WALAppendErrors += ss.WALAppendErrors
 		out.LiveGraphs += ss.LiveGraphs
 		out.HitRate += ss.HitRate
 		out.ValidityRatio += ss.ValidityRatio
 		out.RepairedBits += ss.Cache.RepairedBits
 		out.PendingRepairs += ss.Cache.PendingRepairs
+		out.RepairDropped += ss.Cache.RepairDropped
 		if ss.Metrics.Queries > out.Queries {
 			out.Queries = ss.Metrics.Queries
 		}

@@ -1,9 +1,14 @@
 package serve
 
 import (
+	"log/slog"
+	"sync/atomic"
+	"time"
+
 	"gcplus/internal/core"
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
+	"gcplus/internal/obs"
 	"gcplus/internal/persist"
 )
 
@@ -53,6 +58,22 @@ type shard struct {
 	// ops in the same batch can target a graph an earlier op is about to
 	// add.
 	nextLocal int
+
+	// Observability. queueWait measures enqueue-to-execution latency of
+	// every job routed through enqueue — the head-of-line blocking a
+	// query experiences behind updates, repairs and snapshots on this
+	// shard. walAppend measures the WAL append (encode + write + fsync)
+	// inside the owner job; walAppends/walAppendErrors are its lifetime
+	// counters, read lock-free by stats and metrics scrapes.
+	queueWait       *obs.Histogram
+	walAppend       *obs.Histogram
+	walAppends      atomic.Int64
+	walAppendErrors atomic.Int64
+	// log receives shard lifecycle warnings (repair-queue drops); set by
+	// the Server before start. lastRepairDropped is owner-goroutine
+	// state backing the drop-detection edge trigger.
+	log               *slog.Logger
+	lastRepairDropped int64
 }
 
 // newShard builds a shard over its partition. gids lists the global ids
@@ -78,7 +99,20 @@ func newShardOver(id int, ds *dataset.Dataset, gids []int, opts core.Options) (*
 		done:          make(chan struct{}),
 		localToGlobal: gids,
 		nextLocal:     len(gids),
+		queueWait:     obs.NewHistogram(),
+		walAppend:     obs.NewHistogram(),
 	}, nil
+}
+
+// enqueue submits a job to the shard worker, recording how long it
+// waited in the queue before running. Every job producer goes through
+// here so the queue-wait histogram covers the shard's whole workload.
+func (sh *shard) enqueue(fn func()) {
+	at := time.Now()
+	sh.jobs <- func() {
+		sh.queueWait.Observe(time.Since(at))
+		fn()
+	}
 }
 
 // start launches the shard's worker goroutine and, when repairPar > 0
@@ -100,10 +134,22 @@ func (sh *shard) loop() {
 	defer close(sh.done)
 	for job := range sh.jobs {
 		job()
-		if sh.repairKick != nil && sh.rt.PendingRepairs() > 0 {
-			select {
-			case sh.repairKick <- struct{}{}:
-			default: // a kick is already pending
+		if sh.repairKick != nil {
+			if sh.log != nil {
+				// Edge-triggered drop warning: the cache counts pairs it
+				// sheds on a full repair queue; surface each increase once
+				// instead of flooding one line per dropped pair.
+				if d := sh.rt.CacheStats().RepairDropped; d > sh.lastRepairDropped {
+					sh.log.Warn("repair queue full, invalidated pairs dropped",
+						"shard", sh.id, "dropped", d-sh.lastRepairDropped, "total_dropped", d)
+					sh.lastRepairDropped = d
+				}
+			}
+			if sh.rt.PendingRepairs() > 0 {
+				select {
+				case sh.repairKick <- struct{}{}:
+				default: // a kick is already pending
+				}
 			}
 		}
 	}
@@ -134,20 +180,20 @@ func (sh *shard) repairLoop(parallelism int) {
 			}
 			var jobs []core.RepairJob
 			planned := make(chan struct{})
-			sh.jobs <- func() {
+			sh.enqueue(func() {
 				jobs = sh.rt.PlanRepairs(core.DefaultRepairBatch)
 				close(planned)
-			}
+			})
 			<-planned
 			if len(jobs) == 0 {
 				break
 			}
 			results := sh.rt.VerifyRepairs(jobs, parallelism)
 			committed := make(chan struct{})
-			sh.jobs <- func() {
+			sh.enqueue(func() {
 				sh.rt.CommitRepairs(results)
 				close(committed)
-			}
+			})
 			<-committed
 		}
 	}

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"gcplus/internal/core"
+	"gcplus/internal/graph"
+)
+
+// ShardTrace is one shard's stage breakdown of a query — the per-shard
+// core.QueryStats in wire form (microseconds), the unit of both the
+// inline ?trace=1 response and the slow-query log.
+type ShardTrace struct {
+	Shard int `json:"shard"`
+	// Stage durations in microseconds. Query is the shard's end-to-end
+	// processing time minus cache maintenance; Overhead the maintenance;
+	// Consistency the log-analysis/validation share of Overhead.
+	QueryMicros       int64 `json:"query_us"`
+	HitMicros         int64 `json:"hit_us"`
+	VerifyMicros      int64 `json:"verify_us"`
+	VerifyCPUMicros   int64 `json:"verify_cpu_us"`
+	OverheadMicros    int64 `json:"overhead_us"`
+	ConsistencyMicros int64 `json:"consistency_us"`
+	// Work counters explaining where the time went.
+	SubIsoTests   int  `json:"subiso_tests"`
+	TestsSaved    int  `json:"tests_saved"`
+	HitCandidates int  `json:"hit_candidates"`
+	ExactHit      bool `json:"exact_hit,omitempty"`
+	EmptyShortcut bool `json:"empty_shortcut,omitempty"`
+}
+
+// QueryTrace is a query's full execution trace: the front-end wall time
+// plus one ShardTrace per shard. The slowest shard bounds the wall time;
+// the gap between them is fan-out/merge and queue wait.
+type QueryTrace struct {
+	WallMicros int64        `json:"wall_us"`
+	PerShard   []ShardTrace `json:"per_shard"`
+}
+
+func shardTrace(i int, st core.QueryStats) ShardTrace {
+	return ShardTrace{
+		Shard:             i,
+		QueryMicros:       st.QueryTime.Microseconds(),
+		HitMicros:         st.HitTime.Microseconds(),
+		VerifyMicros:      st.VerifyTime.Microseconds(),
+		VerifyCPUMicros:   st.VerifyCPUTime.Microseconds(),
+		OverheadMicros:    st.Overhead.Microseconds(),
+		ConsistencyMicros: st.ConsistencyTime.Microseconds(),
+		SubIsoTests:       st.SubIsoTests,
+		TestsSaved:        st.TestsSaved,
+		HitCandidates:     st.HitCandidates,
+		ExactHit:          st.ExactHit,
+		EmptyShortcut:     st.EmptyShortcut,
+	}
+}
+
+// Trace builds the execution trace of a finished query result.
+func (res *QueryResult) Trace() *QueryTrace {
+	t := &QueryTrace{
+		WallMicros: res.Wall.Microseconds(),
+		PerShard:   make([]ShardTrace, len(res.PerShard)),
+	}
+	for i, st := range res.PerShard {
+		t.PerShard[i] = shardTrace(i, st)
+	}
+	return t
+}
+
+// DefaultSlowLogSize bounds the slow-query ring when
+// Options.SlowLogSize is unset.
+const DefaultSlowLogSize = 128
+
+// slowQueryTextLimit truncates captured query texts: queries are small
+// by nature, but the log must stay bounded even against a pathological
+// near-1MiB upload.
+const slowQueryTextLimit = 4096
+
+// SlowQuery is one captured slow query.
+type SlowQuery struct {
+	// Time is the wall-clock completion time.
+	Time time.Time `json:"time"`
+	// Kind is "sub" or "super"; Epoch the dataset version answered at.
+	Kind  string `json:"kind"`
+	Epoch uint64 `json:"epoch"`
+	// Query is the query graph in the text codec (truncated at 4KiB).
+	Query string `json:"query"`
+	// Results is the answer-set size.
+	Results     int   `json:"results"`
+	SubIsoTests int   `json:"subiso_tests"`
+	WallMicros  int64 `json:"wall_us"`
+	// Trace is the per-shard stage breakdown.
+	Trace *QueryTrace `json:"trace"`
+}
+
+// slowLog is a bounded ring of the slowest-path evidence: queries whose
+// wall time crossed Options.SlowLogThreshold, newest overwriting oldest.
+type slowLog struct {
+	mu    sync.Mutex
+	buf   []SlowQuery
+	next  int   // ring write position
+	total int64 // lifetime captures (≥ len of retained entries)
+}
+
+func newSlowLog(size int) *slowLog {
+	return &slowLog{buf: make([]SlowQuery, 0, size)}
+}
+
+// record captures one slow query. The query text is rendered here, on
+// the already-slow path — the fast path never pays for it.
+func (l *slowLog) record(q *graph.Graph, res *QueryResult) {
+	var b strings.Builder
+	_ = graph.Write(&b, []*graph.Graph{q})
+	text := b.String()
+	if len(text) > slowQueryTextLimit {
+		text = text[:slowQueryTextLimit] + "…(truncated)"
+	}
+	entry := SlowQuery{
+		Time:        time.Now(),
+		Kind:        res.Kind,
+		Epoch:       res.Epoch,
+		Query:       text,
+		Results:     len(res.IDs),
+		SubIsoTests: res.SubIsoTests,
+		WallMicros:  res.Wall.Microseconds(),
+		Trace:       res.Trace(),
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, entry)
+		return
+	}
+	if cap(l.buf) == 0 {
+		return
+	}
+	l.buf[l.next] = entry
+	l.next = (l.next + 1) % cap(l.buf)
+}
+
+// snapshot returns the retained entries, newest first.
+func (l *slowLog) snapshot() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, len(l.buf))
+	// The ring's chronological order is buf[next:] then buf[:next] when
+	// full, plain append order while filling; walk it backwards.
+	for i := len(l.buf) - 1; i >= 0; i-- {
+		out = append(out, l.buf[(l.next+i)%len(l.buf)])
+	}
+	return out
+}
+
+func (l *slowLog) captured() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// SlowQueries returns the retained slow-query log entries, newest
+// first. Empty when Options.SlowLogThreshold is unset.
+func (s *Server) SlowQueries() []SlowQuery { return s.slow.snapshot() }

@@ -36,9 +36,12 @@ func (r *Running) N() int64 { return r.n }
 // Mean returns the running mean (0 for no observations).
 func (r *Running) Mean() float64 { return r.mean }
 
-// Variance returns the population variance.
+// Variance returns the population variance. A negative m2 — reachable
+// through floating-point cancellation in the Welford update, or a
+// corrupted RestoreState — clamps to 0 so Std can never return NaN
+// (NaN is not valid JSON and would poison every serialized snapshot).
 func (r *Running) Variance() float64 {
-	if r.n == 0 {
+	if r.n == 0 || r.m2 <= 0 {
 		return 0
 	}
 	return r.m2 / float64(r.n)

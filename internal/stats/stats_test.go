@@ -120,6 +120,39 @@ func TestQuickRunningMatchesBatch(t *testing.T) {
 	}
 }
 
+// TestStdNeverNaN pins the NaN guards: a zero-count accumulator, a
+// single observation, and a negative-m2 accumulator (floating-point
+// cancellation, or a corrupted restore) must all yield Std() == 0, not
+// NaN — NaN is invalid JSON and would poison serialized snapshots.
+func TestStdNeverNaN(t *testing.T) {
+	var r Running
+	if s := r.Std(); s != 0 || math.IsNaN(s) {
+		t.Fatalf("zero-value Std = %g, want 0", s)
+	}
+	r.Add(3)
+	if s := r.Std(); s != 0 || math.IsNaN(s) {
+		t.Fatalf("single-observation Std = %g, want 0", s)
+	}
+	var neg Running
+	neg.RestoreState(5, 1.0, -1e-12)
+	if v := neg.Variance(); v != 0 {
+		t.Fatalf("negative-m2 Variance = %g, want 0", v)
+	}
+	if s := neg.Std(); math.IsNaN(s) || s != 0 {
+		t.Fatalf("negative-m2 Std = %g, want 0", s)
+	}
+	// Welford cancellation shape: many equal large values can leave m2 a
+	// tiny negative residue on some platforms; whatever it leaves, Std
+	// must be a finite non-negative number.
+	var c Running
+	for i := 0; i < 1000; i++ {
+		c.Add(1e15 + 0.1)
+	}
+	if s := c.Std(); math.IsNaN(s) || s < 0 {
+		t.Fatalf("cancellation Std = %g, want finite ≥ 0", s)
+	}
+}
+
 func TestRunningStateRoundTrip(t *testing.T) {
 	var a Running
 	for _, x := range []float64{1, 2, 7, 1.5} {
