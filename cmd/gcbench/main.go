@@ -15,6 +15,9 @@
 //	gcbench -throughput -cache 2000 -queries 5000 -update-every 0             # large cache, query index on
 //	gcbench -throughput -cache 2000 -queries 5000 -update-every 0 -hit-index=false  # linear-scan baseline
 //	gcbench -warm-restart -scale smoke           # durability: recovery vs cold start
+//	gcbench -throughput -burst 32 -max-inflight-queries 8   # flash crowd vs admission control
+//	gcbench -chaos -scale smoke                  # fault-injected soak + crash + warm restart
+//	gcbench -chaos -wal-policy degrade-to-volatile
 //
 // The -warm-restart mode exercises the durability subsystem end to end:
 // it warms a persistent server under churn, forces a snapshot, lands
@@ -33,6 +36,19 @@
 // background cache-repair pipeline recovers the validity ratio and hit
 // rate that invalidation would otherwise bleed away; compare against a
 // -norepair run on the same seed.
+//
+// The -burst flag turns a -throughput run into a flash-crowd scenario:
+// N extra query clients spin up for the middle third of the run and the
+// summary gains the shed rate, degraded-mode seconds and the p99 split
+// into before/during/after the spike — the overload-resilience numbers
+// (see README "Operating under failure").
+//
+// The -chaos mode is the fault-injection harness end to end: WAL and
+// snapshot I/O fail, tear and stall on a seeded schedule while a query
+// stream with interleaved churn runs; the server is then killed
+// abruptly and warm-restarted, and every answer digest is compared
+// against a fault-free reference replica. The JSON includes the full
+// fault schedule, so a failing CI run is replayable from the artifact.
 //
 // Absolute times depend on the host; the speedup shapes are what
 // reproduce the paper (see EXPERIMENTS.md).
@@ -71,13 +87,18 @@ func main() {
 		norepair    = flag.Bool("norepair", false, "throughput: disable background cache repair (baseline for the churn scenario)")
 		cacheCap    = flag.Int("cache", 0, "throughput: per-shard cache capacity (0 = scale default; the query index targets 2000-10000)")
 		hitIndex    = flag.Bool("hit-index", true, "throughput: maintain the cache query index for sub-linear hit discovery (false = linear scan baseline)")
+		burst       = flag.Int("burst", 0, "throughput: flash-crowd mode — N extra query clients for the middle third of the run (0 disables)")
+		maxInflight = flag.Int("max-inflight-queries", 0, "throughput: server admission limit on concurrent queries (0 = serving default, negative = unlimited)")
+
+		chaos     = flag.Bool("chaos", false, "run the chaos benchmark: fault-injected WAL/snapshot I/O under load, abrupt kill, warm restart, differential answer check (JSON output)")
+		walPolicy = flag.String("wal-policy", "", "chaos: WAL append-failure policy: fail-update (default) or degrade-to-volatile")
 
 		warmRestart = flag.Bool("warm-restart", false, "run the durability warm-restart benchmark: time-to-full-validity and hit-rate-at-t after crash recovery vs a cold start (JSON output)")
-		dataDir     = flag.String("data-dir", "", "warm-restart: durability directory (default: a fresh temp dir, removed after)")
+		dataDir     = flag.String("data-dir", "", "warm-restart/chaos: durability directory (default: a fresh temp dir, removed after)")
 		tailBatches = flag.Int("tail-batches", 0, "warm-restart: churn batches applied after the snapshot, i.e. the WAL tail replayed on recovery (0 = default)")
 	)
 	flag.Parse()
-	if *figure == "" && !*insights && *ablation == "" && !*throughput && !*warmRestart {
+	if *figure == "" && !*insights && *ablation == "" && !*throughput && !*warmRestart && !*chaos {
 		*figure = "all"
 	}
 
@@ -107,22 +128,24 @@ func main() {
 			spec = specs[0]
 		}
 		res, err := bench.RunThroughput(bench.ThroughputConfig{
-			Scale:             sc,
-			Workload:          spec,
-			Method:            methodList[0],
-			Shards:            *shards,
-			Clients:           *clients,
-			Queries:           *tpQueries,
-			UpdateEvery:       *updateEvery,
-			UpdateKind:        *updateKind,
-			EagerValidate:     *eager,
-			DisableCache:      *nocache,
-			VerifyParallelism: *verifyPar,
-			RepairParallelism: *repairPar,
-			DisableRepair:     *norepair,
-			CacheCapacity:     *cacheCap,
-			DisableHitIndex:   !*hitIndex,
-			Seed:              *seed,
+			Scale:              sc,
+			Workload:           spec,
+			Method:             methodList[0],
+			Shards:             *shards,
+			Clients:            *clients,
+			Queries:            *tpQueries,
+			UpdateEvery:        *updateEvery,
+			UpdateKind:         *updateKind,
+			EagerValidate:      *eager,
+			DisableCache:       *nocache,
+			VerifyParallelism:  *verifyPar,
+			RepairParallelism:  *repairPar,
+			DisableRepair:      *norepair,
+			CacheCapacity:      *cacheCap,
+			DisableHitIndex:    !*hitIndex,
+			BurstClients:       *burst,
+			MaxInFlightQueries: *maxInflight,
+			Seed:               *seed,
 		}, progress)
 		if err != nil {
 			fatal(err)
@@ -152,6 +175,30 @@ func main() {
 			fatal(err)
 		}
 		if err := bench.WriteWarmRestartJSON(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+	}
+	if *chaos {
+		var spec bench.WorkloadSpec
+		if len(specs) > 0 {
+			spec = specs[0]
+		}
+		res, err := bench.RunChaos(bench.ChaosConfig{
+			Scale:         sc,
+			Workload:      spec,
+			Method:        methodList[0],
+			Shards:        *shards,
+			Queries:       *tpQueries,
+			CacheCapacity: *cacheCap,
+			UpdateEvery:   *updateEvery,
+			WALPolicy:     *walPolicy,
+			DataDir:       *dataDir,
+			Seed:          *seed,
+		}, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteChaosJSON(os.Stdout, res); err != nil {
 			fatal(err)
 		}
 	}

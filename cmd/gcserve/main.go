@@ -39,6 +39,15 @@
 //	-pprof-addr localhost:6060    serve net/http/pprof on a side listener
 //	-log-json                     structured logs as JSON lines
 //
+// Resilience (see README "Operating under failure"):
+//
+//	-query-timeout 2s             per-query deadline (504 when exceeded)
+//	-update-timeout 10s           per-update-batch deadline
+//	-max-inflight-queries 64      admission limit before shedding with 429
+//	-max-inflight-updates 16      same for update batches
+//	-wal-policy fail-update       or degrade-to-volatile
+//	-nodegrade                    disable graceful degradation under load
+//
 // Example:
 //
 //	printf 't q\nv 0 1\nv 1 2\ne 0 1\n' | curl -s --data-binary @- \
@@ -89,6 +98,13 @@ func main() {
 		readyMax  = flag.Int("ready-max-pending", 0, "readyz threshold: 503 while more invalidated pairs than this await repair (0 = default, negative = require empty backlog)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this side listener (e.g. localhost:6060; empty = off)")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
+
+		queryTimeout  = flag.Duration("query-timeout", 2*time.Second, "per-query deadline; exceeding it returns 504 (0 = no deadline)")
+		updateTimeout = flag.Duration("update-timeout", 10*time.Second, "per-update-batch deadline; expiring before application returns 504 with nothing applied (0 = no deadline)")
+		maxQueries    = flag.Int("max-inflight-queries", 0, "admitted concurrent queries before shedding with 429 (0 = default of 64, negative = unlimited)")
+		maxUpdates    = flag.Int("max-inflight-updates", 0, "admitted concurrent update batches before shedding with 429 (0 = default of 16, negative = unlimited)")
+		walPolicy     = flag.String("wal-policy", "fail-update", "WAL append-failure policy: fail-update (503 the batch) or degrade-to-volatile (ack and raise the volatile-WAL alarm)")
+		nodegrade     = flag.Bool("nodegrade", false, "disable graceful degradation under overload (no verify capping or cache bypass)")
 	)
 	flag.Parse()
 
@@ -124,6 +140,12 @@ func main() {
 	opts.SlowLogThreshold = *slowThr
 	opts.SlowLogSize = *slowSize
 	opts.ReadyMaxPendingRepairs = *readyMax
+	opts.QueryTimeout = *queryTimeout
+	opts.UpdateTimeout = *updateTimeout
+	opts.MaxInFlightQueries = *maxQueries
+	opts.MaxInFlightUpdates = *maxUpdates
+	opts.WALPolicy = *walPolicy
+	opts.DisableDegradation = *nodegrade
 	opts.Logger = logger
 	if opts.Model, err = cache.ParseModel(*modelName); err != nil {
 		fatal(logger, "bad -model", err)
@@ -153,15 +175,37 @@ func main() {
 		"method", *method, "model", *modelName, "policy", *policy,
 		"cache", *cacheCap, "eager", *eager, "repair", repairOn,
 		"hit_index", hitIndexOn, "durable", *dataDir != "",
+		"wal_policy", *walPolicy, "query_timeout", queryTimeout.String(),
+		"max_inflight_queries", *maxQueries,
 		"slowlog_threshold", slowThr.String())
+
+	// Listener timeouts: a slow or stalled client must never hold a
+	// connection (and its admission slot) forever. The write timeout
+	// tracks the configured request deadlines so a legitimately long
+	// query is not cut off mid-response by the transport.
+	writeTimeout := 30 * time.Second
+	for _, d := range []time.Duration{*queryTimeout, *updateTimeout} {
+		if d > 0 && d+5*time.Second > writeTimeout {
+			writeTimeout = d + 5*time.Second
+		}
+	}
 
 	// The pprof side listener serves http.DefaultServeMux (where the
 	// net/http/pprof import registers) so the profiling surface never
-	// leaks onto the public API mux.
+	// leaks onto the public API mux. Profile captures stream for tens
+	// of seconds, so its write timeout is generous rather than tight.
 	if *pprofAddr != "" {
+		pprofSrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           nil, // DefaultServeMux
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      2 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
 			logger.Info("pprof listener up", "addr", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := pprofSrv.ListenAndServe(); err != nil {
 				logger.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
 			}
 		}()
@@ -172,7 +216,14 @@ func main() {
 	// a final snapshot before the process exits 0.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {

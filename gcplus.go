@@ -1,6 +1,7 @@
 package gcplus
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -298,10 +299,54 @@ type ServeOptions struct {
 	// it. 0 means the default repair-queue capacity; negative means 0
 	// (ready only with an empty backlog).
 	ReadyMaxPendingRepairs int
+	// QueryTimeout bounds each query's end-to-end latency: requests
+	// that exceed it are cancelled at the next cooperative checkpoint
+	// and fail with a deadline error (HTTP 504). Zero means no deadline
+	// beyond whatever context the caller supplies.
+	QueryTimeout time.Duration
+	// UpdateTimeout bounds each update batch the same way (a batch that
+	// already acquired the writer lock still applies atomically; the
+	// deadline is checked before application begins).
+	UpdateTimeout time.Duration
+	// MaxInFlightQueries bounds concurrently admitted queries; excess
+	// requests are shed immediately with an overload error (HTTP 429)
+	// instead of queueing without bound. 0 means the serving layer's
+	// default (64); negative disables admission control.
+	MaxInFlightQueries int
+	// MaxInFlightUpdates bounds concurrently admitted update batches
+	// the same way (default 16).
+	MaxInFlightUpdates int
+	// WALPolicy selects how a WAL append failure that survives retries
+	// is surfaced: WALPolicyFailUpdate (default) fails the update so
+	// callers know durability was not achieved; WALPolicyDegradeToVolatile
+	// acks the update and latches a volatile-WAL alarm instead. Either
+	// way the shard stops claiming durability for new batches until a
+	// snapshot rotation heals the gap.
+	WALPolicy string
+	// DisableDegradation turns the overload pressure controller off:
+	// the server never caps verify parallelism or serves cache-bypass
+	// under repair-backlog or queue pressure.
+	DisableDegradation bool
 	// Logger receives structured lifecycle events (recovery, snapshots,
 	// WAL failures, repair-queue pressure). Nil discards them.
 	Logger *slog.Logger
 }
+
+// WAL failure policies for ServeOptions.WALPolicy.
+const (
+	// WALPolicyFailUpdate surfaces a persistent WAL append failure to
+	// the updating caller (the batch is applied in memory but reported
+	// non-durable).
+	WALPolicyFailUpdate = serve.WALPolicyFailUpdate
+	// WALPolicyDegradeToVolatile acks the update and raises an
+	// edge-triggered volatile-WAL alarm instead of failing it.
+	WALPolicyDegradeToVolatile = serve.WALPolicyDegradeToVolatile
+)
+
+// IsOverload reports whether err is an admission-control load-shed
+// error (HTTP 429 from the wire API); such requests were not executed
+// and are safe to retry after a backoff.
+func IsOverload(err error) bool { return serve.IsOverload(err) }
 
 // UpdateOp describes one dataset change operation for Server.Update; use
 // NewAddOp, NewDeleteOp, NewAddEdgeOp and NewRemoveEdgeOp to build them.
@@ -359,6 +404,12 @@ func NewServer(initial []*Graph, opts ServeOptions) (*Server, error) {
 		SlowLogSize:       opts.SlowLogSize,
 
 		ReadyMaxPendingRepairs: opts.ReadyMaxPendingRepairs,
+		QueryTimeout:           opts.QueryTimeout,
+		UpdateTimeout:          opts.UpdateTimeout,
+		MaxInFlightQueries:     opts.MaxInFlightQueries,
+		MaxInFlightUpdates:     opts.MaxInFlightUpdates,
+		WALPolicy:              opts.WALPolicy,
+		DisableDegradation:     opts.DisableDegradation,
 		Logger:                 opts.Logger,
 	}
 	if !opts.DisableCache {
@@ -385,6 +436,24 @@ func (s *Server) SubgraphQuery(q *Graph) (*ServerAnswer, error) {
 // SupergraphQuery returns all live dataset graphs contained in q.
 func (s *Server) SupergraphQuery(q *Graph) (*ServerAnswer, error) {
 	return s.srv.SupergraphQuery(q)
+}
+
+// SubgraphQueryCtx is SubgraphQuery bounded by ctx: cancellation or an
+// expired deadline aborts the query at its next cooperative checkpoint
+// (on top of any ServeOptions.QueryTimeout).
+func (s *Server) SubgraphQueryCtx(ctx context.Context, q *Graph) (*ServerAnswer, error) {
+	return s.srv.SubgraphQueryCtx(ctx, q)
+}
+
+// SupergraphQueryCtx is SupergraphQuery bounded by ctx.
+func (s *Server) SupergraphQueryCtx(ctx context.Context, q *Graph) (*ServerAnswer, error) {
+	return s.srv.SupergraphQueryCtx(ctx, q)
+}
+
+// UpdateCtx is Update bounded by ctx; a deadline that expires before the
+// batch starts applying rejects the whole batch (nothing applied).
+func (s *Server) UpdateCtx(ctx context.Context, ops []UpdateOp) (*ServerUpdateResult, error) {
+	return s.srv.UpdateCtx(ctx, ops)
 }
 
 // Update applies a batch of dataset change operations atomically with

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gcplus/internal/cache"
@@ -73,6 +74,19 @@ type ThroughputConfig struct {
 	// DisableRepair turns background cache repair off — the baseline the
 	// churn scenario compares hit-rate recovery against.
 	DisableRepair bool
+	// BurstClients, when positive, turns on the flash-crowd mode: that
+	// many extra query clients spin up once a third of the query budget
+	// has been claimed and stop at two thirds — an N× load spike in the
+	// middle of the run. Burst traffic repeats workload queries without
+	// consuming the budget; its served count is reported separately and
+	// excluded from QPS. Requests the admission controller sheds are
+	// counted and dropped, never retried — the flash-crowd contract is
+	// fast failure.
+	BurstClients int
+	// MaxInFlightQueries caps concurrently admitted queries server-side
+	// (0 = the serving default, negative = unlimited) — the admission
+	// limit the burst slams into.
+	MaxInFlightQueries int
 	// Seed drives dataset, workload and update generation.
 	Seed int64
 }
@@ -101,6 +115,12 @@ func (c ThroughputConfig) withDefaults() ThroughputConfig {
 	}
 	return c
 }
+
+// shedBackoff is the pause a bench client takes after an admission
+// shed before issuing its next (different) query — long enough that
+// the shed counter tracks offered load rather than a busy-loop's spin
+// rate, short enough to keep the flash crowd saturating.
+const shedBackoff = 250 * time.Microsecond
 
 // Update-stream kinds for ThroughputConfig.UpdateKind.
 const (
@@ -161,6 +181,21 @@ type ThroughputResult struct {
 	// the end of the run.
 	RepairedBits   int64 `json:"repaired_bits"`
 	PendingRepairs int   `json:"pending_repairs"`
+	// Flash-crowd (-burst) summary, populated when BurstClients > 0.
+	// ShedQueries counts admission sheds (the 429 path: fast-failed,
+	// never executed); ShedRate divides by every attempt, budgeted or
+	// burst. The split p99s bracket the spike — during-burst degradation
+	// and after-burst recovery are the two numbers the overload story is
+	// judged on. DegradedSeconds is the wall time the pressure
+	// controller spent above rung 0.
+	BurstClients    int     `json:"burst_clients,omitempty"`
+	BurstServed     int64   `json:"burst_served,omitempty"`
+	ShedQueries     int64   `json:"shed_queries,omitempty"`
+	ShedRate        float64 `json:"shed_rate,omitempty"`
+	DegradedSeconds float64 `json:"degraded_seconds,omitempty"`
+	P99BeforeBurst  float64 `json:"p99_before_burst_ms,omitempty"`
+	P99DuringBurst  float64 `json:"p99_during_burst_ms,omitempty"`
+	P99AfterBurst   float64 `json:"p99_after_burst_ms,omitempty"`
 }
 
 // RunThroughput drives a sharded server with concurrent clients and a
@@ -188,13 +223,14 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 	}
 
 	srvOpts := serve.Options{
-		Shards:            cfg.Shards,
-		Method:            cfg.Method,
-		DisableCache:      cfg.DisableCache,
-		EagerValidate:     cfg.EagerValidate,
-		VerifyParallelism: cfg.VerifyParallelism,
-		RepairParallelism: cfg.RepairParallelism,
-		DisableRepair:     cfg.DisableRepair,
+		Shards:             cfg.Shards,
+		Method:             cfg.Method,
+		DisableCache:       cfg.DisableCache,
+		EagerValidate:      cfg.EagerValidate,
+		VerifyParallelism:  cfg.VerifyParallelism,
+		RepairParallelism:  cfg.RepairParallelism,
+		DisableRepair:      cfg.DisableRepair,
+		MaxInFlightQueries: cfg.MaxInFlightQueries,
 	}
 	capacity := cfg.Scale.CacheCapacity
 	if cfg.CacheCapacity > 0 {
@@ -229,6 +265,25 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		firstErr  error
 		next      int // next query index to claim; guarded by mu
 	)
+
+	// Flash-crowd instrumentation: a phase index (0 before, 1 during,
+	// 2 after the spike) selects which histogram records each latency,
+	// so the spike's p99 is separable from the calm on either side. The
+	// transitions ride the claim counter — deterministic in the query
+	// stream, not in wall time.
+	burst := cfg.BurstClients > 0
+	var (
+		phase       atomic.Int32
+		shed        atomic.Int64
+		burstServed atomic.Int64
+		startBurst  sync.Once
+		stopBurst   sync.Once
+	)
+	phaseHists := [3]*obs.Histogram{obs.NewHistogram(), obs.NewHistogram(), obs.NewHistogram()}
+	burstStart := make(chan struct{})
+	burstStop := make(chan struct{})
+	burstLo, burstHi := cfg.Queries/3, 2*cfg.Queries/3
+
 	claim := func() int {
 		mu.Lock()
 		defer mu.Unlock()
@@ -237,6 +292,16 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		}
 		i := next
 		next++
+		if burst {
+			if i == burstLo {
+				phase.Store(1)
+				startBurst.Do(func() { close(burstStart) })
+			}
+			if i == burstHi {
+				phase.Store(2)
+				stopBurst.Do(func() { close(burstStop) })
+			}
+		}
 		return i
 	}
 	fail := func(err error) {
@@ -289,6 +354,47 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		}()
 	}
 
+	// Burst clients: pure extra load, gated on the stream position. They
+	// repeat workload queries without claiming budget indices, so the
+	// budgeted stream's digest and QPS stay comparable across runs.
+	var burstWG sync.WaitGroup
+	if burst {
+		burstWG.Add(cfg.BurstClients)
+		for b := 0; b < cfg.BurstClients; b++ {
+			go func(b int) {
+				defer burstWG.Done()
+				select {
+				case <-burstStart:
+				case <-burstStop:
+					return
+				}
+				for j := b; ; j += cfg.BurstClients {
+					select {
+					case <-burstStop:
+						return
+					default:
+					}
+					q := wl.Queries[j%len(wl.Queries)]
+					t0 := time.Now()
+					if _, err := srv.SubgraphQuery(q); err != nil {
+						if serve.IsOverload(err) {
+							shed.Add(1)
+							// Brief pause, no retry of this query: sheds
+							// should track offered load, not the spin rate
+							// of a rejection busy-loop.
+							time.Sleep(shedBackoff)
+							continue
+						}
+						fail(err)
+						return
+					}
+					phaseHists[phase.Load()].Observe(time.Since(t0))
+					burstServed.Add(1)
+				}
+			}(b)
+		}
+	}
+
 	start := time.Now()
 	wg.Add(cfg.Clients)
 	for c := 0; c < cfg.Clients; c++ {
@@ -303,12 +409,27 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 				q := wl.Queries[i%len(wl.Queries)]
 				t0 := time.Now()
 				res, err := srv.SubgraphQuery(q)
-				if err != nil {
+				switch {
+				case err != nil && serve.IsOverload(err):
+					// Admission shed: count it and move on. The query's
+					// answer hash is skipped, so a run that sheds reports
+					// a different digest than one that does not — digest
+					// comparisons only hold between shed-free runs.
+					shed.Add(1)
+					time.Sleep(shedBackoff)
+				case err != nil:
 					fail(err)
+				default:
+					d := time.Since(t0)
+					hist.Observe(d)
+					if burst {
+						phaseHists[phase.Load()].Observe(d)
+					}
+					digest ^= answerHash(i, res.IDs)
+				}
+				if err != nil && !serve.IsOverload(err) {
 					break
 				}
-				hist.Observe(time.Since(t0))
-				digest ^= answerHash(i, res.IDs)
 				if cfg.UpdateEvery > 0 && (i+1)%cfg.UpdateEvery == 0 {
 					select {
 					case updates <- struct{}{}:
@@ -322,6 +443,12 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		}()
 	}
 	wg.Wait()
+	if burst {
+		// The budget may drain before the 2/3 mark is claimed (an error
+		// aborts the run early); make the stop edge unconditional.
+		stopBurst.Do(func() { close(burstStop) })
+		burstWG.Wait()
+	}
 	close(updates)
 	writerWG.Wait()
 	wall := time.Since(start)
@@ -384,6 +511,18 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		res.HitMsMean = totalHitSec / n * 1000
 		res.HitCandidates = totalHitCands / n
 		res.HitScanned = totalHitScanned / n
+	}
+	res.ShedQueries = shed.Load()
+	res.DegradedSeconds = st.DegradedSeconds
+	if burst {
+		res.BurstClients = cfg.BurstClients
+		res.BurstServed = burstServed.Load()
+		if attempts := float64(res.Queries) + float64(res.BurstServed+res.ShedQueries); attempts > 0 {
+			res.ShedRate = float64(res.ShedQueries) / attempts
+		}
+		res.P99BeforeBurst = phaseHists[0].Quantile(0.99) * 1000
+		res.P99DuringBurst = phaseHists[1].Quantile(0.99) * 1000
+		res.P99AfterBurst = phaseHists[2].Quantile(0.99) * 1000
 	}
 	res.AnswersFNV = fmt.Sprintf("%016x", ansDigest)
 	return res, nil

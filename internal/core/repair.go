@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"gcplus/internal/cache"
@@ -120,6 +121,18 @@ func sortJobsByEntry(jobs []RepairJob) {
 // methods — VerifyRepairs is safe to call off the owner goroutine while
 // the owner serves queries and updates.
 func (r *Runtime) VerifyRepairs(jobs []RepairJob, parallelism int) []RepairResult {
+	return r.VerifyRepairsCtx(context.Background(), jobs, parallelism)
+}
+
+// VerifyRepairsCtx is VerifyRepairs with cooperative cancellation:
+// workers poll ctx between jobs and stop early when it is done. Only
+// the results actually verified are returned — jobs abandoned by the
+// cancellation are dropped, which is conservative and safe (their
+// validity bits simply stay cleared; a later queue re-invalidation or
+// hot-path re-verification can still restore them). CommitRepairs must
+// therefore never see a zero-value RepairResult, and this compaction
+// is what guarantees it.
+func (r *Runtime) VerifyRepairsCtx(ctx context.Context, jobs []RepairJob, parallelism int) []RepairResult {
 	if len(jobs) == 0 {
 		return nil
 	}
@@ -139,21 +152,30 @@ func (r *Runtime) VerifyRepairs(jobs []RepairJob, parallelism int) []RepairResul
 		parallelism = len(jobs)
 	}
 	if parallelism == 1 {
-		verifyRepairChunk(jobs, results, bases)
-		return results
+		n := verifyRepairChunk(ctx, jobs, results, bases)
+		return results[:n]
 	}
+	type span struct{ lo, n int }
+	spans := make([]span, parallelism)
 	done := make(chan struct{}, parallelism)
 	for w := 0; w < parallelism; w++ {
 		lo, hi := w*len(jobs)/parallelism, (w+1)*len(jobs)/parallelism
-		go func(lo, hi int) {
-			verifyRepairChunk(jobs[lo:hi], results[lo:hi], bases)
+		go func(w, lo, hi int) {
+			n := verifyRepairChunk(ctx, jobs[lo:hi], results[lo:hi], bases)
+			spans[w] = span{lo: lo, n: n}
 			done <- struct{}{}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	for w := 0; w < parallelism; w++ {
 		<-done
 	}
-	return results
+	// Compact the per-chunk completed prefixes into one dense slice so
+	// no unfilled zero-value result survives to the commit phase.
+	out := results[:0]
+	for _, sp := range spans {
+		out = append(out, results[sp.lo:sp.lo+sp.n]...)
+	}
+	return out
 }
 
 // compileFor compiles the matcher testing an entry's recorded relation:
@@ -167,13 +189,20 @@ func (r *Runtime) compileFor(e *cache.Entry) *subiso.Matcher {
 }
 
 // verifyRepairChunk runs one worker's share, forking a matcher per
-// entry run (jobs are grouped by entry).
-func verifyRepairChunk(jobs []RepairJob, out []RepairResult, bases map[*cache.Entry]*subiso.Matcher) {
+// entry run (jobs are grouped by entry). It polls ctx between jobs and
+// returns how many results it completed — always a prefix of out.
+func verifyRepairChunk(ctx context.Context, jobs []RepairJob, out []RepairResult, bases map[*cache.Entry]*subiso.Matcher) int {
 	var (
 		m    *subiso.Matcher
 		last *cache.Entry
 	)
+	done := ctx.Done()
 	for i, j := range jobs {
+		select {
+		case <-done:
+			return i
+		default:
+		}
 		if j.entry != last {
 			m = bases[j.entry].Fork()
 			last = j.entry
@@ -181,6 +210,7 @@ func verifyRepairChunk(jobs []RepairJob, out []RepairResult, bases map[*cache.En
 		t0 := time.Now()
 		out[i] = RepairResult{job: j, positive: m.Contains(j.g), cpu: time.Since(t0)}
 	}
+	return len(jobs)
 }
 
 // CommitRepairs atomically restores the Answer/Valid bits of verified

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -188,29 +189,91 @@ type QueryStats struct {
 	// ConsistencyTime is the log-analysis + validation (or purge) part
 	// of Overhead; the paper reports it below 1% of CON's overhead.
 	ConsistencyTime time.Duration
+	// CacheBypassed reports that the query ran with QueryOptions.
+	// BypassCache while a cache was configured — pure Method M, no
+	// admission (degraded-mode serving).
+	CacheBypassed bool
 }
+
+// QueryOptions tunes one query execution. The zero value is the
+// normal path: cache on, verification parallelism as configured.
+type QueryOptions struct {
+	// BypassCache answers the query by pure Method M verification over
+	// the live snapshot: no consistency sync, no hit discovery, no
+	// admission. The answer is sound by construction (every candidate
+	// is tested), which is what makes cache bypass a safe degradation
+	// step when the consistency machinery is backlogged.
+	BypassCache bool
+	// MaxVerifyParallelism, when > 0, caps the verification worker pool
+	// below the runtime's configured parallelism — the pressure
+	// controller's first degradation step.
+	MaxVerifyParallelism int
+}
+
+// CancelError reports a query abandoned at a cooperative cancellation
+// checkpoint, naming the stage that observed the cancelled context.
+type CancelError struct {
+	Stage string // "sync", "hit" or "verify" (the serving layer adds "queue")
+	Err   error  // ctx.Err(): Canceled or DeadlineExceeded
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("core: query cancelled during %s: %v", e.Stage, e.Err)
+}
+
+func (e *CancelError) Unwrap() error { return e.Err }
+
+// cancelCheckInterval is how many candidates a verification loop tests
+// between context checks: frequent enough to bound overrun past a
+// deadline to a handful of sub-iso tests, rare enough that the
+// non-blocking channel poll never shows up in profiles.
+const cancelCheckInterval = 32
 
 // SubgraphQuery answers "which live dataset graphs contain g?".
 func (r *Runtime) SubgraphQuery(g *graph.Graph) (*Result, error) {
-	return r.process(g, cache.KindSub)
+	return r.process(context.Background(), g, cache.KindSub, QueryOptions{})
 }
 
 // SupergraphQuery answers "which live dataset graphs are contained in g?".
 func (r *Runtime) SupergraphQuery(g *graph.Graph) (*Result, error) {
-	return r.process(g, cache.KindSuper)
+	return r.process(context.Background(), g, cache.KindSuper, QueryOptions{})
 }
 
-func (r *Runtime) process(g *graph.Graph, kind cache.Kind) (*Result, error) {
+// SubgraphQueryCtx is SubgraphQuery with cooperative cancellation and
+// per-query options. Cancellation is checkpoint-based: the query
+// returns a *CancelError at the next checkpoint after ctx is done,
+// leaving the cache structurally intact (credits already granted to
+// hit entries stand — they record pruning work that really happened).
+func (r *Runtime) SubgraphQueryCtx(ctx context.Context, g *graph.Graph, opt QueryOptions) (*Result, error) {
+	return r.process(ctx, g, cache.KindSub, opt)
+}
+
+// SupergraphQueryCtx is SupergraphQuery with cooperative cancellation
+// and per-query options.
+func (r *Runtime) SupergraphQueryCtx(ctx context.Context, g *graph.Graph, opt QueryOptions) (*Result, error) {
+	return r.process(ctx, g, cache.KindSuper, opt)
+}
+
+func (r *Runtime) process(ctx context.Context, g *graph.Graph, kind cache.Kind, opt QueryOptions) (*Result, error) {
 	if g == nil {
 		return nil, errors.New("core: nil query graph")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, &CancelError{Stage: "sync", Err: err}
+	}
 	start := time.Now()
 	st := QueryStats{Kind: kind}
+	useCache := r.cache != nil && !opt.BypassCache
+	st.CacheBypassed = r.cache != nil && opt.BypassCache
 
 	// Consistency point: reconcile cache with the dataset log (§4: the
 	// Dataset Manager first identifies whether the dataset has changed;
-	// if so the Cache Validator is triggered).
-	r.syncCache(&st)
+	// if so the Cache Validator is triggered). A bypassed query skips
+	// it: the log suffix keeps accumulating and the next cached query
+	// reconciles the whole of it.
+	if useCache {
+		r.syncCache(&st)
+	}
 
 	live := r.ds.LiveSnapshot()
 	csm := live.Clone() // CS_M(g): Method M would test the whole dataset
@@ -222,7 +285,7 @@ func (r *Runtime) process(g *graph.Graph, kind cache.Kind) (*Result, error) {
 		iso        *cache.Entry   // an entry isomorphic to g, if discovered
 		answerSure *bitset.Set    // Answer_sub(g) of formula (1)
 	)
-	if r.cache != nil {
+	if useCache {
 		ht0 := time.Now()
 		direct, restrict, iso = r.findHits(g, kind, &st)
 		st.HitTime = time.Since(ht0)
@@ -237,7 +300,7 @@ func (r *Runtime) process(g *graph.Graph, kind cache.Kind) (*Result, error) {
 			ans := iso.Answer.Clone()
 			ans.And(live)
 			st.TestsSaved = st.CandidatesBefore
-			return r.finish(g, kind, ans, live, iso, direct, restrict, start, &st)
+			return r.finish(g, kind, ans, live, iso, direct, restrict, true, start, &st)
 		}
 
 		// §6.3 optimal case 2: certain-empty answer. A restrict-side hit
@@ -248,7 +311,7 @@ func (r *Runtime) process(g *graph.Graph, kind cache.Kind) (*Result, error) {
 				st.EmptyShortcut = true
 				e.Credit(st.CandidatesBefore, r.cache.Tick())
 				st.TestsSaved = st.CandidatesBefore
-				return r.finish(g, kind, bitset.New(0), live, iso, direct, restrict, start, &st)
+				return r.finish(g, kind, bitset.New(0), live, iso, direct, restrict, true, start, &st)
 			}
 		}
 
@@ -284,10 +347,20 @@ func (r *Runtime) process(g *graph.Graph, kind cache.Kind) (*Result, error) {
 		}
 	}
 
+	// Cancellation checkpoint between hit discovery and verification:
+	// abandoning here costs nothing — credits already granted record
+	// pruning work that really happened, and no admission has run.
+	if err := ctx.Err(); err != nil {
+		return nil, &CancelError{Stage: "hit", Err: err}
+	}
+
 	// Verification: Method M sub-iso tests over the pruned candidate set,
 	// through the compiled matcher and (when configured) the intra-query
 	// worker pool.
-	verified := r.verify(g, kind, csm, &st)
+	verified, err := r.verify(ctx, g, kind, csm, &st, opt.MaxVerifyParallelism)
+	if err != nil {
+		return nil, err
+	}
 	if st.SubIsoTests > 0 {
 		r.avgTestCost.Add(st.VerifyCPUTime.Seconds() / float64(st.SubIsoTests))
 	}
@@ -296,7 +369,7 @@ func (r *Runtime) process(g *graph.Graph, kind cache.Kind) (*Result, error) {
 	if answerSure != nil {
 		verified.Or(answerSure)
 	}
-	return r.finish(g, kind, verified, live, iso, direct, restrict, start, &st)
+	return r.finish(g, kind, verified, live, iso, direct, restrict, useCache, start, &st)
 }
 
 // minVerifyChunk is the fewest candidates worth handing one verification
@@ -309,13 +382,19 @@ const minVerifyChunk = 8
 // Each worker forks the compiled matcher (own scratch, shared compiled
 // artifacts) and fills a private bitset; the chunks partition the ids, so
 // the final union is exactly the sequential answer.
-func (r *Runtime) verify(g *graph.Graph, kind cache.Kind, csm *bitset.Set, st *QueryStats) *bitset.Set {
+//
+// Cancellation is cooperative: every cancelCheckInterval tests the loop
+// polls ctx's done channel (a non-blocking select against a channel
+// that is nil for context.Background, so the fault-free path pays one
+// predictable branch). A cancelled query returns *CancelError with
+// stage "verify"; partial worker bitsets are discarded.
+func (r *Runtime) verify(ctx context.Context, g *graph.Graph, kind cache.Kind, csm *bitset.Set, st *QueryStats, maxPar int) (*bitset.Set, error) {
 	count := csm.Count()
 	st.SubIsoTests = count
 	st.TestsSaved = st.CandidatesBefore - count
 	verified := bitset.New(st.CandidatesBefore)
 	if count == 0 {
-		return verified
+		return verified, nil
 	}
 	compile := func() *subiso.Matcher {
 		if kind == cache.KindSub {
@@ -326,7 +405,11 @@ func (r *Runtime) verify(g *graph.Graph, kind cache.Kind, csm *bitset.Set, st *Q
 		// the patterns.
 		return subiso.CompileSuper(g, r.algo)
 	}
+	done := ctx.Done()
 	workers := r.verifyPar
+	if maxPar > 0 && workers > maxPar {
+		workers = maxPar
+	}
 	if most := (count + minVerifyChunk - 1) / minVerifyChunk; workers > most {
 		workers = most
 	}
@@ -335,21 +418,35 @@ func (r *Runtime) verify(g *graph.Graph, kind cache.Kind, csm *bitset.Set, st *Q
 		// Sequential: iterate the bitset directly — no materialized id
 		// slice, keeping the verify path allocation-lean.
 		m := compile()
+		cancelled := false
+		n := 0
 		csm.ForEach(func(id int) bool {
+			if n++; n%cancelCheckInterval == 0 {
+				select {
+				case <-done:
+					cancelled = true
+					return false
+				default:
+				}
+			}
 			if m.Contains(r.ds.Graph(id)) {
 				verified.Set(id)
 			}
 			return true
 		})
+		if cancelled {
+			return nil, &CancelError{Stage: "verify", Err: ctx.Err()}
+		}
 		st.VerifyTime = time.Since(vt0)
 		st.VerifyCPUTime = st.VerifyTime
 		st.VerifyWorkers = 1
-		return verified
+		return verified, nil
 	}
 	ids := csm.Indices()
 	base := compile()
 	parts := make([]*bitset.Set, workers)
 	busy := make([]time.Duration, workers)
+	cancelled := make([]bool, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := w*len(ids)/workers, (w+1)*len(ids)/workers
@@ -359,7 +456,16 @@ func (r *Runtime) verify(g *graph.Graph, kind cache.Kind, csm *bitset.Set, st *Q
 			t0 := time.Now()
 			m := base.Fork()
 			out := bitset.New(st.CandidatesBefore)
-			for _, id := range chunk {
+			for i, id := range chunk {
+				if i%cancelCheckInterval == cancelCheckInterval-1 {
+					select {
+					case <-done:
+						cancelled[w] = true
+						busy[w] = time.Since(t0)
+						return
+					default:
+					}
+				}
 				if m.Contains(r.ds.Graph(id)) {
 					out.Set(id)
 				}
@@ -370,12 +476,15 @@ func (r *Runtime) verify(g *graph.Graph, kind cache.Kind, csm *bitset.Set, st *Q
 	}
 	wg.Wait()
 	for w := 0; w < workers; w++ {
+		if cancelled[w] {
+			return nil, &CancelError{Stage: "verify", Err: ctx.Err()}
+		}
 		verified.Or(parts[w])
 		st.VerifyCPUTime += busy[w]
 	}
 	st.VerifyTime = time.Since(vt0)
 	st.VerifyWorkers = workers
-	return verified
+	return verified, nil
 }
 
 // finish feeds the executed query back to the Cache Manager (overhead),
@@ -386,8 +495,12 @@ func (r *Runtime) verify(g *graph.Graph, kind cache.Kind, csm *bitset.Set, st *Q
 // indicator are refreshed in place (it now reflects the just-executed,
 // fully valid fact) instead of admitting a duplicate — duplicates would
 // crowd the fixed-capacity cache without adding pruning power.
-func (r *Runtime) finish(g *graph.Graph, kind cache.Kind, answer, live *bitset.Set, iso *cache.Entry, direct, restrict []*cache.Entry, start time.Time, st *QueryStats) (*Result, error) {
-	if r.cache != nil {
+// A bypassed query (admit == false) skips the Cache Manager entirely:
+// its answer was computed without consulting cache state, so neither
+// refreshing an entry nor admitting a new one would be justified by a
+// classification that never ran.
+func (r *Runtime) finish(g *graph.Graph, kind cache.Kind, answer, live *bitset.Set, iso *cache.Entry, direct, restrict []*cache.Entry, admit bool, start time.Time, st *QueryStats) (*Result, error) {
+	if admit && r.cache != nil {
 		at0 := time.Now()
 		if iso != nil {
 			// Through the cache so the invalidation index follows the

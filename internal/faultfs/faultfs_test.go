@@ -1,0 +1,165 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gcplus/internal/persist"
+)
+
+// TestWriteFault: a scheduled write error fires after the configured
+// number of matching calls, is recorded, and stops at its Count.
+func TestWriteFault(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(persist.OSFS, 1, Rule{ID: "w", Op: OpWrite, Path: "target", After: 1, Count: 1})
+	f, err := ffs.OpenFile(filepath.Join(dir, "target.dat"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatalf("write 1 (inside After) should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("second")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2 should fail injected, got %v", err)
+	}
+	if _, err := f.Write([]byte("third")); err != nil {
+		t.Fatalf("write 3 (past Count) should pass: %v", err)
+	}
+	evs := ffs.Events()
+	if len(evs) != 1 || evs[0].Rule != "w" || evs[0].Op != OpWrite {
+		t.Fatalf("want one event for rule w, got %+v", evs)
+	}
+}
+
+// TestTornWriteLeavesPrefix: a torn write really lands its prefix in
+// the file, so recovery-style readers see a short tail.
+func TestTornWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.dat")
+	ffs := New(persist.OSFS, 1, Rule{Op: OpWrite, Torn: 3, Count: 1})
+	f, err := ffs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrInjected) || n != 3 {
+		t.Fatalf("want torn write of 3 bytes + injected error, got n=%d err=%v", n, err)
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("file should hold the torn prefix \"abc\", got %q err=%v", got, err)
+	}
+}
+
+// TestWALAppendRetryAfterInjectedSync: the WAL rolls back after an
+// injected fsync error and the same payload appends cleanly on retry —
+// the contract the serve layer's bounded-retry policy depends on.
+func TestWALAppendRetryAfterInjectedSync(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(persist.OSFS, 1, Rule{Op: OpSync, Path: "wal-", After: 1, Count: 1})
+	w, err := persist.CreateWALFS(ffs, filepath.Join(dir, "wal-0.log"), 0, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Append([]byte("payload"))
+	if !persist.IsRetryableAppend(err) {
+		t.Fatalf("append under injected fsync fault should be retryable, got %v", err)
+	}
+	if w.Broken() {
+		t.Fatal("rolled-back WAL must not be poisoned")
+	}
+	if err := w.Append([]byte("payload")); err != nil {
+		t.Fatalf("retry should succeed: %v", err)
+	}
+	base, frames, _, torn, err := persist.ReadWALFileFS(ffs, w.Path(), 0)
+	if err != nil || torn || base != 1 || len(frames) != 1 || string(frames[0].Payload) != "payload" {
+		t.Fatalf("want one intact frame after retry, got base=%d frames=%d torn=%v err=%v",
+			base, len(frames), torn, err)
+	}
+}
+
+// TestWALPoisonWhenRollbackFails: when the rollback truncate is also
+// failing, the WAL latches broken and refuses further appends.
+func TestWALPoisonWhenRollbackFails(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(persist.OSFS, 1,
+		Rule{Op: OpWrite, Path: "wal-", After: 1, Count: 1},
+		Rule{Op: OpTruncate, Path: "wal-", Count: 1})
+	w, err := persist.CreateWALFS(ffs, filepath.Join(dir, "wal-0.log"), 0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.CloseRaw()
+	err = w.Append([]byte("payload"))
+	if err == nil || persist.IsRetryableAppend(err) {
+		t.Fatalf("append with failing rollback must be non-retryable, got %v", err)
+	}
+	if !w.Broken() {
+		t.Fatal("WAL should be poisoned")
+	}
+	if err := w.Append([]byte("next")); err == nil {
+		t.Fatal("poisoned WAL must refuse appends")
+	}
+}
+
+// TestDeterminism: the same seed and schedule fire on the same calls.
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		dir := t.TempDir()
+		ffs := New(persist.OSFS, 99, Rule{Op: OpWrite, Prob: 0.4})
+		f, err := ffs.OpenFile(filepath.Join(dir, "d.dat"), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		var failed []int
+		for i := 0; i < 40; i++ {
+			if _, err := f.Write([]byte("x")); err != nil {
+				failed = append(failed, i)
+			}
+		}
+		return failed
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 40 {
+		t.Fatalf("prob 0.4 over 40 writes should fail some but not all, got %d", len(a))
+	}
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			t.Fatalf("same seed must fire identically: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestDelayOnlyAndStop: delay-only rules slow the call without failing
+// it, and Stop disables the whole schedule.
+func TestDelayOnlyAndStop(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(persist.OSFS, 1, Rule{Op: OpSync, Delay: 20 * time.Millisecond, DelayOnly: true})
+	f, err := ffs.OpenFile(filepath.Join(dir, "s.dat"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("delay-only rule must not fail the call: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("sync should have been delayed ~20ms, took %v", d)
+	}
+	if got := len(ffs.Events()); got != 1 {
+		t.Fatalf("delay event should be logged, got %d events", got)
+	}
+	ffs.Stop()
+	start = time.Now()
+	if err := f.Sync(); err != nil || time.Since(start) > 10*time.Millisecond {
+		t.Fatalf("after Stop, sync must be clean and fast: err=%v", err)
+	}
+}

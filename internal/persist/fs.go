@@ -1,0 +1,61 @@
+package persist
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem seam the persistence layer writes through. The
+// default implementation (OSFS) delegates straight to the os package;
+// fault-injection wrappers (internal/faultfs) interpose here to fail
+// writes, fsyncs and renames on schedule without touching the real
+// disk semantics underneath. The directory lock (flock) deliberately
+// stays outside the seam: lock behaviour is kernel state, not I/O, and
+// injecting faults there would only test the injector.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+}
+
+// File is the subset of *os.File the persistence layer uses. Sync and
+// Truncate are the interesting members for fault injection: a WAL's
+// durability point is the fsync, and its self-healing path is the
+// truncate back to the last intact frame.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// OSFS is the real filesystem. Package-level functions that do not
+// take an FS use it.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error)       { return os.Open(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}

@@ -17,6 +17,7 @@ import (
 // are anchored at (see the package comment). An open Store holds an
 // exclusive advisory lock on the directory until Close.
 type Store struct {
+	fs     FS
 	dir    string
 	shards int
 	lock   *os.File
@@ -39,8 +40,8 @@ const (
 	metaVersion = 1
 )
 
-func readMeta(dir string) (storeMeta, bool) {
-	data, err := os.ReadFile(filepath.Join(dir, metaFile))
+func readMeta(fsys FS, dir string) (storeMeta, bool) {
+	data, err := fsys.ReadFile(filepath.Join(dir, metaFile))
 	if err != nil {
 		return storeMeta{}, false
 	}
@@ -51,21 +52,21 @@ func readMeta(dir string) (storeMeta, bool) {
 	return m, true
 }
 
-func writeMeta(dir string, m storeMeta) error {
+func writeMeta(fsys FS, dir string, m storeMeta) error {
 	data, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
 	path := filepath.Join(dir, metaFile)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := fsys.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(path)
+	return syncDirFS(fsys, path)
 }
 
 // OpenStore opens (creating if needed) a data directory for the given
@@ -79,33 +80,41 @@ func writeMeta(dir string, m storeMeta) error {
 // acknowledged from it, and left in place it would wedge every future
 // boot.
 func OpenStore(dir string, shards int) (*Store, error) {
+	return OpenStoreFS(OSFS, dir, shards)
+}
+
+// OpenStoreFS is OpenStore reading and writing through an explicit
+// filesystem. The directory lock is always taken on the real
+// filesystem: advisory locks are kernel state, not file I/O, and the
+// fault injector has no business there.
+func OpenStoreFS(fsys FS, dir string, shards int) (*Store, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("persist: store needs at least 1 shard, got %d", shards)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	lock, err := lockDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, shards: shards, lock: lock}
-	if m, ok := readMeta(dir); ok {
+	s := &Store{fs: fsys, dir: dir, shards: shards, lock: lock}
+	if m, ok := readMeta(fsys, dir); ok {
 		if m.Shards != shards {
 			s.Close()
 			return nil, fmt.Errorf("persist: %s was created for %d shards, not %d; shard counts are not portable", dir, m.Shards, shards)
 		}
-		if len(completeEpochsIn(dir, m.Shards)) == 0 {
+		if len(completeEpochsIn(fsys, dir, m.Shards)) == 0 {
 			for i := 0; i < m.Shards; i++ {
-				os.RemoveAll(shardDirIn(dir, i))
+				fsys.RemoveAll(shardDirIn(dir, i))
 			}
 		}
-	} else if err := writeMeta(dir, storeMeta{Version: metaVersion, Shards: shards}); err != nil {
+	} else if err := writeMeta(fsys, dir, storeMeta{Version: metaVersion, Shards: shards}); err != nil {
 		s.Close()
 		return nil, err
 	}
 	for i := 0; i < shards; i++ {
-		if err := os.MkdirAll(s.ShardDir(i), 0o755); err != nil {
+		if err := fsys.MkdirAll(s.ShardDir(i), 0o755); err != nil {
 			s.Close()
 			return nil, err
 		}
@@ -124,12 +133,17 @@ func (s *Store) Close() {
 // store yet. Front-ends use it to adopt the persisted layout instead
 // of requiring the operator to repeat the original -shards value.
 func StateShards(dir string) (int, bool) {
-	m, ok := readMeta(dir)
+	m, ok := readMeta(OSFS, dir)
 	return m.Shards, ok
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// FS returns the filesystem the store reads and writes through. WAL
+// and snapshot I/O anchored at this store must go through it so fault
+// injection covers the whole persistence surface.
+func (s *Store) FS() FS { return s.fs }
 
 // Shards returns the shard count the store was opened with.
 func (s *Store) Shards() int { return s.shards }
@@ -166,19 +180,19 @@ func (s *Store) HasState() bool {
 // the shard count read from the directory itself.
 func HasState(dir string) bool {
 	n, ok := StateShards(dir)
-	return ok && len(completeEpochsIn(dir, n)) > 0
+	return ok && len(completeEpochsIn(OSFS, dir, n)) > 0
 }
 
 // epochsOf lists the epochs of shard i's files with the given prefix and
 // suffix, ascending.
 func (s *Store) epochsOf(shard int, prefix, suffix string) []uint64 {
-	return epochsIn(s.ShardDir(shard), prefix, suffix)
+	return epochsIn(s.fs, s.ShardDir(shard), prefix, suffix)
 }
 
 // epochsIn lists the epochs encoded in a directory's file names with
 // the given prefix and suffix, ascending. Unparsable names are ignored.
-func epochsIn(dir, prefix, suffix string) []uint64 {
-	ents, err := os.ReadDir(dir)
+func epochsIn(fsys FS, dir, prefix, suffix string) []uint64 {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil
 	}
@@ -206,13 +220,13 @@ func epochsIn(dir, prefix, suffix string) []uint64 {
 // silently roll back acknowledged batches; a corrupt newest generation
 // is a loud boot failure instead.
 func (s *Store) CompleteSnapshotEpochs() []uint64 {
-	return completeEpochsIn(s.dir, s.shards)
+	return completeEpochsIn(s.fs, s.dir, s.shards)
 }
 
-func completeEpochsIn(dir string, shards int) []uint64 {
+func completeEpochsIn(fsys FS, dir string, shards int) []uint64 {
 	counts := make(map[uint64]int)
 	for i := 0; i < shards; i++ {
-		for _, e := range epochsIn(shardDirIn(dir, i), "snap-", ".snap") {
+		for _, e := range epochsIn(fsys, shardDirIn(dir, i), "snap-", ".snap") {
 			counts[e]++
 		}
 	}
@@ -241,12 +255,12 @@ func (s *Store) RemoveObsolete(epoch uint64) {
 	for i := 0; i < s.shards; i++ {
 		for _, e := range s.epochsOf(i, "snap-", ".snap") {
 			if e < epoch {
-				os.Remove(s.SnapshotPath(i, e))
+				s.fs.Remove(s.SnapshotPath(i, e))
 			}
 		}
 		for _, e := range s.epochsOf(i, "wal-", ".log") {
 			if e < epoch {
-				os.Remove(s.WALPath(i, e))
+				s.fs.Remove(s.WALPath(i, e))
 			}
 		}
 	}
@@ -260,21 +274,21 @@ func (s *Store) RemoveSnapshotsAfter(epoch uint64) {
 	for i := 0; i < s.shards; i++ {
 		for _, e := range s.epochsOf(i, "snap-", ".snap") {
 			if e > epoch {
-				os.Remove(s.SnapshotPath(i, e))
+				s.fs.Remove(s.SnapshotPath(i, e))
 			}
 		}
 	}
 }
 
-// syncDir fsyncs the directory containing path, making a just-created
+// syncDirFS fsyncs the directory containing path, making a just-created
 // or just-renamed file's directory entry durable. Failures propagate —
 // a lost dirent for a WAL segment would silently drop every
 // acknowledged batch the segment holds — except EINVAL, the errno of
 // filesystems that do not support directory fsync at all (the dirent
 // is inherently best-effort there, and erroring would make such
 // filesystems unusable rather than safer).
-func syncDir(path string) error {
-	d, err := os.Open(filepath.Dir(path))
+func syncDirFS(fsys FS, path string) error {
+	d, err := fsys.Open(filepath.Dir(path))
 	if err != nil {
 		return err
 	}

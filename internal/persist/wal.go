@@ -12,17 +12,47 @@ import (
 // owner goroutine, which is also what orders frames with the dataset
 // mutations they record.
 type WAL struct {
-	f    *os.File
+	fs   FS
+	f    File
 	path string
 	size int64
 	sync bool
 	buf  []byte // reusable frame assembly buffer
-	// broken latches after a failed append: the segment may end in a
-	// torn frame, and appending past it would let recovery's
-	// torn-tail truncation silently discard the later —
+	// broken latches after a failed append whose rollback also failed:
+	// the segment may end in a torn frame, and appending past it would
+	// let recovery's torn-tail truncation silently discard the later —
 	// already-acknowledged — frames. A broken WAL refuses every
 	// further append until a snapshot rotation replaces the segment.
 	broken bool
+}
+
+// AppendError wraps a failed WAL append. Retryable reports that the
+// segment was rolled back to its last intact frame, so re-appending
+// the same payload is safe (the basis for the serve layer's bounded
+// retry-with-backoff under the fail-update policy). A non-retryable
+// AppendError means the segment is poisoned until rotation.
+type AppendError struct {
+	Path      string
+	Err       error
+	Retryable bool
+}
+
+func (e *AppendError) Error() string {
+	state := "poisoned until rotation"
+	if e.Retryable {
+		state = "rolled back, retryable"
+	}
+	return fmt.Sprintf("persist: WAL %s append failed (%s): %v", e.Path, state, e.Err)
+}
+
+func (e *AppendError) Unwrap() error { return e.Err }
+
+// IsRetryableAppend reports whether err is a WAL append failure after
+// which the segment was restored to its last intact frame, making an
+// immediate re-append of the same payload safe.
+func IsRetryableAppend(err error) bool {
+	var ae *AppendError
+	return errors.As(err, &ae) && ae.Retryable
 }
 
 // CreateWAL creates (truncating any previous file) a WAL segment with
@@ -32,7 +62,12 @@ type WAL struct {
 // rotation whose dirent is lost in a crash would silently drop every
 // acknowledged batch the segment held.
 func CreateWAL(path string, shard int, baseEpoch uint64, sync bool) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	return CreateWALFS(OSFS, path, shard, baseEpoch, sync)
+}
+
+// CreateWALFS is CreateWAL writing through an explicit filesystem.
+func CreateWALFS(fsys FS, path string, shard int, baseEpoch uint64, sync bool) (*WAL, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -41,13 +76,13 @@ func CreateWAL(path string, shard int, baseEpoch uint64, sync bool) (*WAL, error
 		f.Close()
 		return nil, err
 	}
-	w := &WAL{f: f, path: path, size: int64(len(hdr)), sync: sync}
+	w := &WAL{fs: fsys, f: f, path: path, size: int64(len(hdr)), sync: sync}
 	if sync {
 		if err := f.Sync(); err != nil {
 			f.Close()
 			return nil, err
 		}
-		if err := syncDir(path); err != nil {
+		if err := syncDirFS(fsys, path); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -60,7 +95,13 @@ func CreateWAL(path string, shard int, baseEpoch uint64, sync bool) (*WAL, error
 // last intact frame, as reported by ReadWALFile) so a torn tail never
 // precedes fresh frames.
 func OpenWALAppend(path string, shard int, truncAt int64, sync bool) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	return OpenWALAppendFS(OSFS, path, shard, truncAt, sync)
+}
+
+// OpenWALAppendFS is OpenWALAppend writing through an explicit
+// filesystem.
+func OpenWALAppendFS(fsys FS, path string, shard int, truncAt int64, sync bool) (*WAL, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -76,48 +117,56 @@ func OpenWALAppend(path string, shard int, truncAt int64, sync bool) (*WAL, erro
 		f.Close()
 		return nil, err
 	}
-	return &WAL{f: f, path: path, size: truncAt, sync: sync}, nil
+	return &WAL{fs: fsys, f: f, path: path, size: truncAt, sync: sync}, nil
 }
 
 // Append writes one frame and, when the WAL is in sync mode, fsyncs it
 // before returning — the durability point of an update batch.
 //
-// A failed append poisons the segment: the file may now end in a torn
-// frame (short write) or in bytes whose durability is unknowable (a
-// failed fsync — the page cache's state after fsyncgate-style errors
-// cannot be trusted), and a frame appended after either would be cut
-// off by recovery's torn-tail truncation even though its batch was
-// acknowledged. Append first tries to truncate back to the last intact
-// frame, then refuses all further appends either way; the caller keeps
-// failing loudly until a snapshot rotation opens a fresh segment.
+// A failed append leaves the file in an untrustworthy state: it may end
+// in a torn frame (short write), or in bytes whose durability is
+// unknowable (a failed fsync — the page cache's state after
+// fsyncgate-style errors cannot be trusted), and a frame appended after
+// either would be cut off by recovery's torn-tail truncation even
+// though its batch was acknowledged. Append first tries to roll the
+// segment back to the last intact frame (truncate + seek); if the
+// rollback succeeds the returned *AppendError is Retryable — the caller
+// may re-append the same payload, which rewrites the frame from scratch
+// and fsyncs it again. If the rollback itself fails the segment is
+// poisoned and refuses all further appends until a snapshot rotation
+// opens a fresh segment.
 func (w *WAL) Append(payload []byte) error {
 	if w.broken {
 		return fmt.Errorf("persist: WAL %s is poisoned by an earlier failed append; awaiting rotation", w.path)
 	}
 	w.buf = appendFrame(w.buf[:0], payload)
 	if _, err := w.f.Write(w.buf); err != nil {
-		w.poison()
-		return err
+		return w.appendFailed(err)
 	}
 	if w.sync {
 		if err := w.f.Sync(); err != nil {
-			w.poison()
-			return err
+			return w.appendFailed(err)
 		}
 	}
 	w.size += int64(len(w.buf))
 	return nil
 }
 
-// poison marks the segment unusable and best-effort truncates it back
-// to the last intact frame so the on-disk tail is clean even if the
-// process lives on without ever rotating.
-func (w *WAL) poison() {
-	w.broken = true
+// appendFailed handles a failed write or fsync: roll back to the last
+// intact frame if possible (retryable), poison the segment otherwise.
+func (w *WAL) appendFailed(cause error) error {
 	if err := w.f.Truncate(w.size); err == nil {
-		_, _ = w.f.Seek(w.size, io.SeekStart)
+		if _, err := w.f.Seek(w.size, io.SeekStart); err == nil {
+			return &AppendError{Path: w.path, Err: cause, Retryable: true}
+		}
 	}
+	w.broken = true
+	return &AppendError{Path: w.path, Err: cause, Retryable: false}
 }
+
+// Broken reports whether the segment is poisoned (refusing appends
+// until rotation).
+func (w *WAL) Broken() bool { return w.broken }
 
 // Size returns the current file size in bytes (header + intact frames).
 func (w *WAL) Size() int64 { return w.size }
@@ -153,7 +202,12 @@ type WALFrame struct {
 // whether anything was cut. Structural problems (wrong magic, wrong
 // shard) are errors.
 func ReadWALFile(path string, shard int) (baseEpoch uint64, frames []WALFrame, end int64, torn bool, err error) {
-	data, err := os.ReadFile(path)
+	return ReadWALFileFS(OSFS, path, shard)
+}
+
+// ReadWALFileFS is ReadWALFile reading through an explicit filesystem.
+func ReadWALFileFS(fsys FS, path string, shard int) (baseEpoch uint64, frames []WALFrame, end int64, torn bool, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, nil, 0, false, err
 	}
@@ -189,38 +243,50 @@ func ReadWALFile(path string, shard int) (baseEpoch uint64, frames []WALFrame, e
 // fsynced, and renamed into place, with the directory fsynced after the
 // rename. A crash at any point leaves either no file or a complete one.
 func WriteSnapshotFile(path string, shard int, payload []byte) error {
+	return WriteSnapshotFileFS(OSFS, path, shard, payload)
+}
+
+// WriteSnapshotFileFS is WriteSnapshotFile writing through an explicit
+// filesystem.
+func WriteSnapshotFileFS(fsys FS, path string, shard int, payload []byte) error {
 	buf := appendSnapHeader(nil, shard)
 	buf = appendFrame(buf, payload)
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(path)
+	return syncDirFS(fsys, path)
 }
 
 // ReadSnapshotFile reads and validates a snapshot file, returning its
 // frame payload.
 func ReadSnapshotFile(path string, shard int) ([]byte, error) {
-	data, err := os.ReadFile(path)
+	return ReadSnapshotFileFS(OSFS, path, shard)
+}
+
+// ReadSnapshotFileFS is ReadSnapshotFile reading through an explicit
+// filesystem.
+func ReadSnapshotFileFS(fsys FS, path string, shard int) ([]byte, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"gcplus/internal/persist"
+)
+
+// This file holds the overload / failure-policy vocabulary of the
+// resilience layer: the typed errors the admission controller and
+// deadline enforcement return, the WAL failure policies, and the fault
+// injection hooks the chaos harness drives.
+
+// OverloadError is returned when admission control sheds a request
+// because the in-flight limit is saturated. The HTTP layer maps it to
+// 429 with a Retry-After header; programmatic callers should back off
+// and retry — nothing was executed or enqueued.
+type OverloadError struct {
+	// Kind is "query" or "update".
+	Kind string
+	// Limit is the in-flight bound that was saturated.
+	Limit int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: %s load shed: %d in flight (admission limit reached)", e.Kind, e.Limit)
+}
+
+// IsOverload reports whether err is an admission-control shed.
+func IsOverload(err error) bool {
+	_, ok := err.(*OverloadError)
+	return ok
+}
+
+// WAL failure policies (Options.WALPolicy). The policy decides what an
+// update batch whose WAL append ultimately failed — after the bounded
+// in-place retries — means for the caller.
+const (
+	// WALPolicyFailUpdate (the default) propagates the failure: Update
+	// returns the result alongside an error, the HTTP layer answers 503
+	// with the failed shard's detail, and the durable-epoch claim in
+	// /stats stops advancing. The batch IS applied in memory — clients
+	// must not blindly re-submit.
+	WALPolicyFailUpdate = "fail-update"
+	// WALPolicyDegradeToVolatile acknowledges the batch (200) despite
+	// the append failure and latches the shard volatile: an
+	// edge-triggered alarm is logged, gcplus_wal_volatile_shards rises,
+	// and the durable-epoch claim stops advancing until a snapshot
+	// rotation heals the segment. Availability over durability.
+	WALPolicyDegradeToVolatile = "degrade-to-volatile"
+)
+
+// walAppendRetries bounds the in-place retries of a rolled-back WAL
+// append before the failure policy applies; with walRetryBase doubling
+// per attempt the owner goroutine blocks at most ~2·walRetryBase·2^n.
+const (
+	walAppendRetries = 3
+	walRetryBase     = time.Millisecond
+)
+
+// snapshot retry backoff: a failed generation schedules a retry
+// instead of waiting for the next SnapshotEvery trigger; consecutive
+// failures double the delay up to the cap.
+const (
+	snapRetryBase = 250 * time.Millisecond
+	snapRetryCap  = 8 * time.Second
+)
+
+// FaultInjection carries the chaos harness's hooks into the serving
+// path. All hooks are optional; nil fields mean "no injection". The
+// struct is plumbed via Options.Faults and is intentionally not
+// exposed on the public gcplus facade.
+type FaultInjection struct {
+	// FS replaces the persistence layer's filesystem (see
+	// internal/faultfs) so WAL and snapshot I/O fail on schedule.
+	FS persist.FS
+	// ShardStall, when set, is invoked at the start of every shard job
+	// execution — sleeping inside it stalls the shard's owner goroutine
+	// exactly like a descheduled or I/O-blocked worker, backing up the
+	// FIFO queue behind it.
+	ShardStall func(shard int)
+	// Now replaces time.Now for the server's bookkeeping clocks (queue
+	// wait, uptime, slow-log timestamps), simulating wall-clock skew.
+	// Epoch sequencing and durability never consult it — correctness
+	// must not depend on the clock, which is what the hook proves.
+	Now func() time.Time
+}
+
+// validWALPolicy reports whether p names a known WAL failure policy
+// ("" means the default).
+func validWALPolicy(p string) bool {
+	return p == "" || p == WALPolicyFailUpdate || p == WALPolicyDegradeToVolatile
+}

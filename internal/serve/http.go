@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"gcplus/internal/changeplan"
+	"gcplus/internal/core"
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
 )
@@ -85,12 +86,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var res *QueryResult
 	if kind == "sub" {
-		res, err = s.SubgraphQuery(graphs[0])
+		res, err = s.SubgraphQueryCtx(r.Context(), graphs[0])
 	} else {
-		res, err = s.SupergraphQuery(graphs[0])
+		res, err = s.SupergraphQueryCtx(r.Context(), graphs[0])
 	}
 	if err != nil {
-		httpError(w, statusOf(err), "query failed: %v", err)
+		writeErr(w, err, "query failed: %v", err)
 		return
 	}
 	ids := res.IDs
@@ -163,10 +164,11 @@ func (wo wireOp) decode() (changeplan.Op, error) {
 }
 
 // updateResponse is the wire form of an UpdateResult. DurabilityError
-// is set (with status 507) when the batch was applied in memory but a
-// WAL append failed — the batch may not survive a crash. Clients must
-// NOT blindly retry a 507: the ops are already applied, and
-// re-submitting would double-apply them.
+// is set (with status 503, under the default fail-update WAL policy)
+// when the batch was applied in memory but a WAL append failed — the
+// batch may not survive a crash. Clients must NOT blindly retry such a
+// 503: the ops are already applied, and re-submitting would
+// double-apply them. The error names the failed shard.
 type updateResponse struct {
 	Epoch           uint64         `json:"epoch"`
 	Applied         int            `json:"applied"`
@@ -200,9 +202,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		ops[i] = op
 	}
-	res, err := s.Update(ops)
+	res, err := s.UpdateCtx(r.Context(), ops)
 	if err != nil && res == nil {
-		httpError(w, statusOf(err), "update failed: %v", err)
+		writeErr(w, err, "update failed: %v", err)
 		return
 	}
 	out := updateResponse{Epoch: res.Epoch, Applied: res.Applied, Ops: make([]wireOpResult, len(res.Ops))}
@@ -213,11 +215,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
-		// Applied in memory, durability uncertain (WAL failure). Hand
-		// the full result back — assigned ids included — under 507 so
-		// the client knows not to re-submit the already-applied batch.
+		// Applied in memory, durability uncertain (WAL failure under the
+		// fail-update policy). Hand the full result back — assigned ids
+		// included — under 503 so the client knows the server is shedding
+		// durability and must not re-submit the already-applied batch.
 		out.DurabilityError = err.Error()
-		writeJSON(w, http.StatusInsufficientStorage, out)
+		writeJSON(w, http.StatusServiceUnavailable, out)
 		return
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -270,9 +273,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		httpError(w, statusOf(err), "readiness check failed: %v", err)
 		return
 	}
+	// Degradation state rides along for operators but does not flip
+	// readiness: degraded answers are still exact, and pulling a
+	// degraded instance out of rotation would only concentrate the load
+	// on its peers.
 	body := map[string]any{
-		"pending_repairs": st.PendingRepairs,
-		"threshold":       s.opts.ReadyMaxPendingRepairs,
+		"pending_repairs":   st.PendingRepairs,
+		"threshold":         s.opts.ReadyMaxPendingRepairs,
+		"degradation_level": st.DegradationLevel,
+		"degradation_mode":  st.DegradationMode,
 	}
 	if st.PendingRepairs > s.opts.ReadyMaxPendingRepairs {
 		body["ready"] = false
@@ -294,10 +303,31 @@ func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
 }
 
 func statusOf(err error) int {
-	if err == ErrClosed {
+	switch {
+	case err == ErrClosed:
 		return http.StatusServiceUnavailable
+	case IsOverload(err):
+		return http.StatusTooManyRequests
+	case isCancel(err):
+		return http.StatusGatewayTimeout
 	}
 	return http.StatusInternalServerError
+}
+
+func isCancel(err error) bool {
+	var ce *core.CancelError
+	return errors.As(err, &ce)
+}
+
+// writeErr maps err to its status and writes the JSON error body,
+// adding the Retry-After header on admission sheds — the one failure
+// mode where immediate retry is both safe and useful.
+func writeErr(w http.ResponseWriter, err error, format string, args ...any) {
+	status := statusOf(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	httpError(w, status, format, args...)
 }
 
 // bodyErrorStatus maps a request-body read/decode failure to a status:

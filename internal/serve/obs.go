@@ -49,6 +49,19 @@ type serverObs struct {
 	snapshotsWritten *obs.Counter
 	lastSnapEpoch    *obs.Gauge
 
+	// Resilience instruments (mirrored from Stats like the rest).
+	// degradedSeconds is a monotone float, hence a Gauge instrument
+	// despite the _total name.
+	degradeLevel    *obs.Gauge
+	degradedSeconds *obs.Gauge
+	shedQueries     *obs.Counter
+	shedUpdates     *obs.Counter
+	durableEpoch    *obs.Gauge
+	walVolatile     *obs.Gauge
+	// deadlineStage maps the deadlineCounters stages to their labeled
+	// series; the label set is fixed at registration.
+	deadlineStage map[string]*obs.Counter
+
 	// Per-shard instruments, indexed by shard id.
 	shardQueries       []*obs.Counter
 	shardLiveGraphs    []*obs.Gauge
@@ -101,6 +114,25 @@ func (s *Server) initObs() {
 		"Snapshot generations written by this process.", nil)
 	o.lastSnapEpoch = r.Gauge("gcplus_last_snapshot_epoch",
 		"Epoch of the newest durable snapshot generation.", nil)
+
+	o.degradeLevel = r.Gauge("gcplus_degradation_level",
+		"Active degradation rung (0 none, 1 capped-verify, 2 cache-bypass).", nil)
+	o.degradedSeconds = r.Gauge("gcplus_degraded_seconds_total",
+		"Total wall seconds spent at a degradation level above none.", nil)
+	o.shedQueries = r.Counter("gcplus_shed_total",
+		"Requests fast-failed by admission control.", obs.Labels{"kind": "query"})
+	o.shedUpdates = r.Counter("gcplus_shed_total",
+		"Requests fast-failed by admission control.", obs.Labels{"kind": "update"})
+	o.durableEpoch = r.Gauge("gcplus_durable_epoch",
+		"Newest epoch the server can currently prove durable (0 without persistence).", nil)
+	o.walVolatile = r.Gauge("gcplus_wal_volatile_shards",
+		"Shards whose WAL has an open durability gap awaiting snapshot rotation.", nil)
+	o.deadlineStage = make(map[string]*obs.Counter)
+	for _, stage := range []string{"queue", "sync", "hit", "verify", "wait", "update", "other"} {
+		o.deadlineStage[stage] = r.Counter("gcplus_deadline_exceeded_total",
+			"Requests that expired their deadline, by the stage they gave up in.",
+			obs.Labels{"stage": stage})
+	}
 
 	n := len(s.shards)
 	o.shardQueries = make([]*obs.Counter, n)
@@ -174,6 +206,17 @@ func (o *serverObs) mirror(st *Stats) {
 	o.walAppendErrs.Set(st.WALAppendErrors)
 	o.snapshotsWritten.Set(st.SnapshotsWritten)
 	o.lastSnapEpoch.Set(float64(st.LastSnapshotEpoch))
+	o.degradeLevel.Set(float64(st.DegradationLevel))
+	o.degradedSeconds.Set(st.DegradedSeconds)
+	o.shedQueries.Set(st.ShedQueries)
+	o.shedUpdates.Set(st.ShedUpdates)
+	o.durableEpoch.Set(float64(st.DurableEpoch))
+	o.walVolatile.Set(float64(st.WALVolatileShards))
+	for stage, n := range st.deadlineByStage {
+		if c := o.deadlineStage[stage]; c != nil {
+			c.Set(n)
+		}
+	}
 	var entries, window, capacity int
 	for _, ss := range st.PerShard {
 		if ss.Shard < 0 || ss.Shard >= len(o.shardQueries) {

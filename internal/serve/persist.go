@@ -2,8 +2,8 @@ package serve
 
 import (
 	"fmt"
-	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"gcplus/internal/dataset"
@@ -34,23 +34,101 @@ func (s *Server) enqueueWALAppends(epoch uint64) []<-chan error {
 				ch <- fmt.Errorf("serve: shard %d has no open WAL segment", sh.id)
 				return
 			}
+			if sh.volatileWAL.Load() {
+				// A durability gap is already open: recovery replays only
+				// a contiguous epoch chain, so frames appended past the
+				// gap can never prove anything durable. Don't pretend —
+				// resolve per policy and wait for rotation to heal.
+				sh.walAppendErrors.Add(1)
+				if s.opts.WALPolicy == WALPolicyDegradeToVolatile {
+					ch <- nil
+					return
+				}
+				ch <- fmt.Errorf("serve: shard %d WAL has a durability gap since batch %d; awaiting snapshot rotation", sh.id, sh.walGapEpoch)
+				return
+			}
 			at := time.Now()
 			payload, err := persist.EncodeWALBatch(&batch)
 			if err == nil {
 				err = sh.wal.Append(payload)
+				// Bounded in-place retries: a retryable failure means the
+				// appender rolled the segment back to the previous frame
+				// boundary, so the same frame can simply be written again
+				// after an exponential backoff. The jitter is derived
+				// deterministically from (epoch, shard, attempt) so chaos
+				// runs replay bit-identically from their seed.
+				for attempt := 0; err != nil && persist.IsRetryableAppend(err) && attempt < walAppendRetries; attempt++ {
+					d := walRetryBase << attempt
+					d += time.Duration((epoch*2654435761 + uint64(sh.id)*7919 + uint64(attempt)*104729) % uint64(walRetryBase))
+					time.Sleep(d)
+					err = sh.wal.Append(payload)
+				}
 			}
 			// The append latency is dominated by the fsync (unless
 			// NoSync) — the per-batch durability price the histogram
 			// exists to expose.
 			sh.walAppend.Observe(time.Since(at))
 			sh.walAppends.Add(1)
-			if err != nil {
-				sh.walAppendErrors.Add(1)
+			if err == nil {
+				storeMax(&sh.durableEpoch, epoch)
+				ch <- nil
+				return
+			}
+			sh.walAppendErrors.Add(1)
+			s.noteWALGap(sh, epoch, err)
+			if s.opts.WALPolicy == WALPolicyDegradeToVolatile {
+				ch <- nil
+				return
 			}
 			ch <- err
 		})
 	}
 	return acks
+}
+
+// storeMax monotonically raises a to at least v.
+func storeMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// noteWALGap latches shard sh's durability gap after a final (post-
+// retry) append failure: an edge-triggered alarm fires once, the
+// shard's durable-epoch claim freezes, and a healing snapshot is
+// scheduled — rotation anchors a fresh segment past the gap. Runs on
+// the owner goroutine (walGapEpoch is owner state).
+func (s *Server) noteWALGap(sh *shard, epoch uint64, cause error) {
+	if !sh.volatileWAL.Swap(true) {
+		sh.walGapEpoch = epoch
+		s.log.Error("WAL durability gap opened",
+			"shard", sh.id, "epoch", epoch, "policy", s.opts.WALPolicy, "err", cause)
+	}
+	s.scheduleSnapshotRetry()
+}
+
+// scheduleSnapshotRetry arranges a background snapshot attempt after a
+// backoff that doubles with consecutive generation failures, instead of
+// waiting for the next SnapshotEvery trigger. At most one retry is
+// pending at a time; a failed attempt re-schedules itself through the
+// collector's failure path.
+func (s *Server) scheduleSnapshotRetry() {
+	if s.store == nil || !s.snapRetryPending.CompareAndSwap(false, true) {
+		return
+	}
+	d := snapRetryCap
+	if n := s.snapFailures.Load(); n < 6 {
+		d = snapRetryBase << n
+	}
+	time.AfterFunc(d, func() {
+		s.snapRetryPending.Store(false)
+		// ErrClosed and repeat failures need no handling here: the
+		// collector's failure path schedules the next retry.
+		_ = s.Snapshot()
+	})
 }
 
 // Snapshot forces a snapshot generation at the current epoch and waits
@@ -122,12 +200,16 @@ func (s *Server) enqueueSnapshotLocked(epoch uint64) <-chan error {
 				// generation retries, so a transient disk error does
 				// not disable logging for the process's lifetime.
 				if sh.wal != nil {
-					if err := sh.wal.Close(); err != nil {
+					if err := sh.wal.Close(); err != nil && !sh.volatileWAL.Load() {
+						// A clean segment must flush before rotation; a
+						// gapped one is already useless for replay, so its
+						// close failure must not fail the generation that
+						// exists to heal it.
 						rotateErrs[i] = err
 					}
 					sh.wal = nil
 				}
-				w, err := persist.CreateWAL(s.store.WALPath(sh.id, epoch), sh.id, epoch, !s.opts.NoSync)
+				w, err := persist.CreateWALFS(s.store.FS(), s.store.WALPath(sh.id, epoch), sh.id, epoch, !s.opts.NoSync)
 				if err != nil {
 					// Fail loudly on the next Update rather than drop
 					// batches silently: enqueueWALAppends errors on a
@@ -156,7 +238,7 @@ func (s *Server) enqueueSnapshotLocked(epoch uint64) <-chan error {
 			}
 			payload, err := persist.EncodeShardSnapshot(ex)
 			if err == nil {
-				err = persist.WriteSnapshotFile(s.store.SnapshotPath(i, epoch), i, payload)
+				err = persist.WriteSnapshotFileFS(s.store.FS(), s.store.SnapshotPath(i, epoch), i, payload)
 			}
 			if err != nil {
 				firstErr = fmt.Errorf("serve: snapshot shard %d: %w", i, err)
@@ -166,6 +248,17 @@ func (s *Server) enqueueSnapshotLocked(epoch uint64) <-chan error {
 			s.store.RemoveObsolete(epoch)
 			s.lastSnapshotEpoch.Store(epoch)
 			s.snapshotsWritten.Add(1)
+			s.snapFailures.Store(0)
+			for _, sh := range s.shards {
+				// The generation itself proves everything ≤ epoch
+				// durable, and the rotation anchored a fresh segment —
+				// any open durability gap is healed.
+				storeMax(&sh.durableEpoch, epoch)
+				if sh.volatileWAL.CompareAndSwap(true, false) {
+					s.log.Warn("WAL durability gap healed by snapshot rotation",
+						"shard", sh.id, "epoch", epoch)
+				}
+			}
 			if s.snapHist != nil {
 				s.snapHist.Observe(time.Since(start))
 			}
@@ -178,9 +271,12 @@ func (s *Server) enqueueSnapshotLocked(epoch uint64) <-chan error {
 			// different attempt's files at the same epoch and
 			// masquerade as a complete generation.
 			for i := range s.shards {
-				os.Remove(s.store.SnapshotPath(i, epoch))
+				s.store.FS().Remove(s.store.SnapshotPath(i, epoch))
 			}
-			s.log.Error("snapshot generation failed", "epoch", epoch, "err", firstErr)
+			s.snapFailures.Add(1)
+			s.log.Error("snapshot generation failed", "epoch", epoch,
+				"consecutive_failures", s.snapFailures.Load(), "err", firstErr)
+			s.scheduleSnapshotRetry()
 		}
 		done <- firstErr
 	}()
@@ -290,6 +386,11 @@ func (s *Server) recover() error {
 	s.recoveredEpoch = safe
 	s.recovered = true
 	s.lastSnapshotEpoch.Store(snapEpoch)
+	for _, sh := range s.shards {
+		// Everything replayed is durable by definition — it was read
+		// back from disk.
+		sh.durableEpoch.Store(safe)
+	}
 	// Purge partial debris of generations newer than the recovery
 	// point, so it can never pair up with a future generation attempt
 	// at the same epoch.
@@ -312,7 +413,7 @@ func (s *Server) loadSnapshots() ([]*persist.ShardSnapshot, error) {
 	epoch := gens[0]
 	snaps := make([]*persist.ShardSnapshot, s.opts.Shards)
 	for i := range snaps {
-		payload, err := persist.ReadSnapshotFile(s.store.SnapshotPath(i, epoch), i)
+		payload, err := persist.ReadSnapshotFileFS(s.store.FS(), s.store.SnapshotPath(i, epoch), i)
 		if err == nil {
 			snaps[i], err = persist.DecodeShardSnapshot(payload)
 		}
@@ -338,7 +439,7 @@ func (s *Server) readChain(i int, snapEpoch uint64) ([]replayFrame, error) {
 		if base < snapEpoch {
 			continue // pre-generation segment awaiting cleanup
 		}
-		baseEpoch, frames, _, _, err := persist.ReadWALFile(s.store.WALPath(i, base), i)
+		baseEpoch, frames, _, _, err := persist.ReadWALFileFS(s.store.FS(), s.store.WALPath(i, base), i)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d, segment %d: %w", i, base, err)
 		}
@@ -409,21 +510,21 @@ func (s *Server) resetShardWAL(sh *shard, chain []replayFrame, snapEpoch, safe u
 	}
 	for _, base := range s.store.WALSegments(sh.id) {
 		if base > keepBase {
-			os.Remove(s.store.WALPath(sh.id, base))
+			s.store.FS().Remove(s.store.WALPath(sh.id, base))
 		}
 	}
 	path := s.store.WALPath(sh.id, keepBase)
 	if keepEnd < 0 {
 		// No replayed frame lives in a segment: start the base segment
 		// afresh (it may not exist, or hold only discarded frames).
-		w, err := persist.CreateWAL(path, sh.id, keepBase, !s.opts.NoSync)
+		w, err := persist.CreateWALFS(s.store.FS(), path, sh.id, keepBase, !s.opts.NoSync)
 		if err != nil {
 			return err
 		}
 		sh.wal = w
 		return nil
 	}
-	w, err := persist.OpenWALAppend(path, sh.id, keepEnd, !s.opts.NoSync)
+	w, err := persist.OpenWALAppendFS(s.store.FS(), path, sh.id, keepEnd, !s.opts.NoSync)
 	if err != nil {
 		return err
 	}

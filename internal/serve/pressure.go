@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// The pressure controller implements graceful degradation: when the
+// server is overloaded it sheds *work quality* stepwise instead of
+// falling over, and steps back up when the pressure clears. Every
+// degraded answer is still exact — the ladder only trades cache
+// effectiveness and verification parallelism for responsiveness.
+//
+// Signals (all lock-free reads of state the shards already publish):
+//
+//   - queue depth: the deepest shard job queue, relative to its bound.
+//     A deep queue means owner goroutines cannot keep up and queue wait
+//     is about to dominate latency.
+//   - repair backlog: invalidated (entry, graph) pairs awaiting repair,
+//     summed over shards. A growing backlog means update churn is
+//     outpacing repair and the cache's pruning power is bleeding away —
+//     queries pay ever more verification for ever fewer skips.
+//
+// Ladder:
+//
+//	level 0 (none)          — normal serving.
+//	level 1 (capped-verify) — per-query verification parallelism capped
+//	                          at 1, freeing cores for throughput over
+//	                          single-query latency.
+//	level 2 (cache-bypass)  — queries skip the cache entirely (pure
+//	                          Method M): no hit discovery, no admission,
+//	                          no repair traffic. Sound by construction,
+//	                          so answers remain exact while the repair
+//	                          pipeline drains.
+//
+// Escalation is immediate; de-escalation requires pressureDwell
+// consecutive calm evaluations below the (lower) exit thresholds, so
+// the controller cannot flap on a sawtooth load.
+
+// DegradeLevel is a rung on the degradation ladder.
+type DegradeLevel int32
+
+const (
+	DegradeNone         DegradeLevel = 0
+	DegradeCappedVerify DegradeLevel = 1
+	DegradeCacheBypass  DegradeLevel = 2
+)
+
+func (l DegradeLevel) String() string {
+	switch l {
+	case DegradeNone:
+		return "none"
+	case DegradeCappedVerify:
+		return "capped-verify"
+	case DegradeCacheBypass:
+		return "cache-bypass"
+	default:
+		return "unknown"
+	}
+}
+
+const (
+	// pressureInterval is how often the controller re-evaluates.
+	defaultPressureInterval = 50 * time.Millisecond
+	// pressureDwell is how many consecutive calm evaluations must pass
+	// before stepping down one level.
+	pressureDwell = 4
+)
+
+// pressureSignals is one evaluation's view of the load.
+type pressureSignals struct {
+	MaxQueueDepth  int // deepest shard job queue
+	PendingRepairs int // repair backlog summed over shards
+}
+
+type pressure struct {
+	s *Server
+
+	level       atomic.Int32 // DegradeLevel, read on every query
+	activeSince atomic.Int64 // unix nanos when level left 0; 0 = not degraded
+	degradedNS  atomic.Int64 // accumulated nanos of completed degraded periods
+	transitions atomic.Int64
+
+	// Entry thresholds (exit thresholds are derived fractions).
+	queueHigh, queueCrit   int
+	repairHigh, repairCrit int
+
+	// ticker-goroutine state
+	calm    int
+	started bool
+	quit    chan struct{}
+	done    chan struct{}
+}
+
+func newPressure(s *Server) *pressure {
+	p := &pressure{
+		s:         s,
+		queueHigh: jobQueueDepth / 2,
+		queueCrit: jobQueueDepth * 7 / 8,
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	// Repair thresholds scale with the configured per-shard repair
+	// queue; when repair is disabled the backlog signal is always 0.
+	bound := 0
+	if s.opts.Cache != nil {
+		bound = s.opts.Cache.RepairQueue
+	}
+	p.repairHigh = len(s.shards) * bound / 2
+	p.repairCrit = len(s.shards) * bound * 7 / 8
+	if p.repairHigh < 1 {
+		p.repairHigh = 1
+	}
+	if p.repairCrit <= p.repairHigh {
+		p.repairCrit = p.repairHigh + 1
+	}
+	return p
+}
+
+func (p *pressure) start(interval time.Duration) {
+	p.started = true
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.quit:
+				return
+			case <-t.C:
+				p.evaluate(time.Now())
+			}
+		}
+	}()
+}
+
+func (p *pressure) stop() {
+	if p.started {
+		close(p.quit)
+		<-p.done
+	}
+	// Close out an active degraded period so DegradedSeconds is final.
+	p.settle(time.Now())
+}
+
+// Level is the rung queries consult; lock-free.
+func (p *pressure) Level() DegradeLevel { return DegradeLevel(p.level.Load()) }
+
+// degradedSeconds is total wall time spent at level > 0.
+func (p *pressure) degradedSeconds(now time.Time) float64 {
+	ns := p.degradedNS.Load()
+	if since := p.activeSince.Load(); since != 0 {
+		if d := now.UnixNano() - since; d > 0 {
+			ns += d
+		}
+	}
+	return time.Duration(ns).Seconds()
+}
+
+// sample gathers the current signals. Queue depth reads channel
+// lengths; the repair backlog reads the per-shard published atomics.
+func (p *pressure) sample() pressureSignals {
+	var sig pressureSignals
+	for _, sh := range p.s.shards {
+		if d := len(sh.jobs); d > sig.MaxQueueDepth {
+			sig.MaxQueueDepth = d
+		}
+		sig.PendingRepairs += int(sh.pendingRepairs.Load())
+	}
+	return sig
+}
+
+// evaluate runs one controller step: escalate immediately to the level
+// the signals demand, de-escalate one rung after pressureDwell calm
+// steps. Called from the ticker goroutine (and directly from tests —
+// with the ticker disabled via Options.pressureInterval < 0).
+func (p *pressure) evaluate(now time.Time) {
+	sig := p.sample()
+	cur := p.Level()
+	want := cur
+	switch {
+	case sig.MaxQueueDepth >= p.queueCrit || sig.PendingRepairs >= p.repairCrit:
+		want = DegradeCacheBypass
+	case sig.MaxQueueDepth >= p.queueHigh || sig.PendingRepairs >= p.repairHigh:
+		if want < DegradeCappedVerify {
+			want = DegradeCappedVerify
+		}
+	}
+	if want > cur {
+		p.setLevel(cur, want, now, sig)
+		p.calm = 0
+		return
+	}
+	// De-escalation: calm means comfortably below the *entry*
+	// thresholds (hysteresis), sustained for pressureDwell steps.
+	if cur > DegradeNone &&
+		sig.MaxQueueDepth < p.queueHigh/4 &&
+		sig.PendingRepairs < p.repairHigh/2 {
+		p.calm++
+		if p.calm >= pressureDwell {
+			p.setLevel(cur, cur-1, now, sig)
+			p.calm = 0
+		}
+	} else {
+		p.calm = 0
+	}
+}
+
+// setLevel applies a transition and keeps the degraded-time books.
+func (p *pressure) setLevel(from, to DegradeLevel, now time.Time, sig pressureSignals) {
+	p.level.Store(int32(to))
+	p.transitions.Add(1)
+	if from == DegradeNone && to > DegradeNone {
+		p.activeSince.Store(now.UnixNano())
+	} else if from > DegradeNone && to == DegradeNone {
+		p.settle(now)
+	}
+	p.s.log.Warn("degradation level changed",
+		"from", from.String(), "to", to.String(),
+		"max_queue_depth", sig.MaxQueueDepth, "pending_repairs", sig.PendingRepairs)
+}
+
+// settle folds an active degraded period into the accumulator.
+func (p *pressure) settle(now time.Time) {
+	if since := p.activeSince.Swap(0); since != 0 {
+		if d := now.UnixNano() - since; d > 0 {
+			p.degradedNS.Add(d)
+		}
+	}
+}

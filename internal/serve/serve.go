@@ -37,9 +37,11 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -143,6 +145,67 @@ type Options struct {
 	// snapshot generations, WAL errors, repair-queue drops, shutdown).
 	// Nil discards them.
 	Logger *slog.Logger
+
+	// QueryTimeout bounds each query end to end: queue wait, cache sync,
+	// hit discovery and verification all count against it. An expired
+	// query returns a core.CancelError (HTTP 504) and its shard jobs
+	// abort at their next cooperative checkpoint. 0 disables the
+	// per-request deadline (callers can still pass their own context).
+	QueryTimeout time.Duration
+	// UpdateTimeout bounds the admission of an update batch: the
+	// deadline is checked up to the moment the batch is enqueued, after
+	// which it runs to completion (batches are atomic — a half-applied
+	// batch would tear the epoch). 0 disables it.
+	UpdateTimeout time.Duration
+	// MaxInFlightQueries bounds concurrently admitted queries. Beyond
+	// the bound new queries fast-fail with OverloadError (HTTP 429 +
+	// Retry-After) instead of convoying on the sequence lock. 0 means
+	// DefaultMaxInFlightQueries; negative disables admission control.
+	MaxInFlightQueries int
+	// MaxInFlightUpdates bounds concurrently admitted update batches
+	// the same way. 0 means DefaultMaxInFlightUpdates; negative
+	// disables the bound.
+	MaxInFlightUpdates int
+	// WALPolicy selects what a WAL append failure (after the bounded
+	// in-place retries) means: WALPolicyFailUpdate (default) or
+	// WALPolicyDegradeToVolatile. See the constants for the contract.
+	WALPolicy string
+	// DisableDegradation turns the pressure controller off: the server
+	// never caps verification or bypasses the cache under load, only
+	// sheds at the admission bound.
+	DisableDegradation bool
+	// Faults installs the chaos harness's fault-injection hooks (nil in
+	// production). Deliberately not surfaced on the public facade.
+	Faults *FaultInjection
+
+	// pressureInterval overrides the controller's evaluation cadence in
+	// in-package tests: 0 means defaultPressureInterval, negative means
+	// "create the controller but do not start its ticker" so tests can
+	// drive evaluate() deterministically.
+	pressureInterval time.Duration
+}
+
+// Admission-control defaults. The query bound is sized well above the
+// shard fan-out's useful concurrency (a query occupies every shard, so
+// beyond a few dozen in flight extra admissions only deepen queue wait)
+// and above typical benchmark client counts, so fault-free throughput
+// is unaffected; the update bound is tighter because updates serialize
+// on the single-writer path anyway.
+const (
+	DefaultMaxInFlightQueries = 64
+	DefaultMaxInFlightUpdates = 16
+)
+
+// resolveLimit maps an Options in-flight bound to the semaphore size:
+// 0 picks the default, negative disables (returns 0).
+func resolveLimit(v, def int) int {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
 }
 
 // DefaultSnapshotEvery is the default number of update batches between
@@ -182,6 +245,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	if o.WALPolicy == "" {
+		o.WALPolicy = WALPolicyFailUpdate
 	}
 	return o
 }
@@ -284,6 +350,62 @@ type Server struct {
 	obs      *serverObs
 	slow     *slowLog
 	snapHist *obs.Histogram // snapshot-generation wall time (nil without persistence)
+
+	// Resilience state. The semaphores are nil when the corresponding
+	// admission bound is disabled; press is nil when degradation is off.
+	querySem                 chan struct{}
+	updateSem                chan struct{}
+	press                    *pressure
+	now                      func() time.Time // time.Now, or the clock-skew hook
+	shedQueries, shedUpdates atomic.Int64
+	deadlines                deadlineCounters
+	// snapRetry tracks the snapshot-retry backoff: pending latches while
+	// a retry is scheduled, failures counts consecutive failed
+	// generations (doubling the delay) and resets on success.
+	snapRetryPending atomic.Bool
+	snapFailures     atomic.Int64
+}
+
+// deadlineCounters tallies deadline expiries by the stage the request
+// was in when it gave up, mirrored to
+// gcplus_deadline_exceeded_total{stage}. "wait" is the front-end
+// abandoning still-running shard jobs; "queue" is a shard job finding
+// the deadline already expired before it started; the rest are the
+// runtime's cooperative checkpoint stages.
+type deadlineCounters struct {
+	queue, syncStage, hit, verify, wait, update, other atomic.Int64
+}
+
+func (d *deadlineCounters) bucket(stage string) *atomic.Int64 {
+	switch stage {
+	case "queue":
+		return &d.queue
+	case "sync":
+		return &d.syncStage
+	case "hit":
+		return &d.hit
+	case "verify":
+		return &d.verify
+	case "wait":
+		return &d.wait
+	case "update":
+		return &d.update
+	}
+	return &d.other
+}
+
+func (d *deadlineCounters) total() int64 {
+	return d.queue.Load() + d.syncStage.Load() + d.hit.Load() +
+		d.verify.Load() + d.wait.Load() + d.update.Load() + d.other.Load()
+}
+
+// noteDeadline records a deadline expiry if err is one (first-error-wins
+// means each expired request is counted exactly once).
+func (s *Server) noteDeadline(err error) {
+	var ce *core.CancelError
+	if errors.As(err, &ce) {
+		s.deadlines.bucket(ce.Stage).Add(1)
+	}
 }
 
 // buildVersion is the module version baked into the binary, surfaced on
@@ -323,10 +445,28 @@ var buildVersion = func() string {
 // generation (anchoring the WAL chain) before returning.
 func New(initial []*graph.Graph, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	s := &Server{opts: opts, started: time.Now(), log: opts.Logger}
+	if !validWALPolicy(opts.WALPolicy) {
+		return nil, fmt.Errorf("serve: unknown WAL policy %q (want %q or %q)",
+			opts.WALPolicy, WALPolicyFailUpdate, WALPolicyDegradeToVolatile)
+	}
+	s := &Server{opts: opts, log: opts.Logger, now: time.Now}
+	if opts.Faults != nil && opts.Faults.Now != nil {
+		s.now = opts.Faults.Now
+	}
+	s.started = s.now()
+	if n := resolveLimit(opts.MaxInFlightQueries, DefaultMaxInFlightQueries); n > 0 {
+		s.querySem = make(chan struct{}, n)
+	}
+	if n := resolveLimit(opts.MaxInFlightUpdates, DefaultMaxInFlightUpdates); n > 0 {
+		s.updateSem = make(chan struct{}, n)
+	}
 	s.slow = newSlowLog(opts.SlowLogSize)
 	if opts.DataDir != "" {
-		store, err := persist.OpenStore(opts.DataDir, opts.Shards)
+		fsys := persist.OSFS
+		if opts.Faults != nil && opts.Faults.FS != nil {
+			fsys = opts.Faults.FS
+		}
+		store, err := persist.OpenStoreFS(fsys, opts.DataDir, opts.Shards)
 		if err != nil {
 			return nil, err
 		}
@@ -352,10 +492,24 @@ func New(initial []*graph.Graph, opts Options) (*Server, error) {
 	} else if err := s.buildCold(initial); err != nil {
 		return fail(err)
 	}
+	if !opts.DisableDegradation {
+		s.press = newPressure(s)
+	}
 	s.initObs()
 	for _, sh := range s.shards {
 		sh.log = s.log
+		sh.now = s.now
+		if opts.Faults != nil {
+			sh.stall = opts.Faults.ShardStall
+		}
 		sh.start(opts.RepairParallelism)
+	}
+	if s.press != nil && opts.pressureInterval >= 0 {
+		iv := opts.pressureInterval
+		if iv == 0 {
+			iv = defaultPressureInterval
+		}
+		s.press.start(iv)
 	}
 	if s.recovered {
 		s.log.Info("warm restart complete",
@@ -485,6 +639,9 @@ func (s *Server) closeImpl(flush bool) error {
 	}
 	s.closed = true
 	s.seqMu.Unlock()
+	if s.press != nil {
+		s.press.stop()
+	}
 	var flushErr error
 	if snapDone != nil {
 		// On failure the previous generation plus the WAL chain remain
@@ -561,20 +718,65 @@ type QueryResult struct {
 // SubgraphQuery answers "which live dataset graphs contain q?" across all
 // shards.
 func (s *Server) SubgraphQuery(q *graph.Graph) (*QueryResult, error) {
-	return s.query(q, cache.KindSub)
+	return s.query(context.Background(), q, cache.KindSub)
 }
 
 // SupergraphQuery answers "which live dataset graphs are contained in q?"
 // across all shards.
 func (s *Server) SupergraphQuery(q *graph.Graph) (*QueryResult, error) {
-	return s.query(q, cache.KindSuper)
+	return s.query(context.Background(), q, cache.KindSuper)
 }
 
-func (s *Server) query(q *graph.Graph, kind cache.Kind) (*QueryResult, error) {
+// SubgraphQueryCtx is SubgraphQuery under a caller deadline: when ctx
+// (or the server's QueryTimeout, whichever is sooner) expires, the
+// front-end returns a core.CancelError immediately and the per-shard
+// work aborts at its next cooperative checkpoint.
+func (s *Server) SubgraphQueryCtx(ctx context.Context, q *graph.Graph) (*QueryResult, error) {
+	return s.query(ctx, q, cache.KindSub)
+}
+
+// SupergraphQueryCtx is SupergraphQuery under a caller deadline.
+func (s *Server) SupergraphQueryCtx(ctx context.Context, q *graph.Graph) (*QueryResult, error) {
+	return s.query(ctx, q, cache.KindSuper)
+}
+
+func (s *Server) query(ctx context.Context, q *graph.Graph, kind cache.Kind) (*QueryResult, error) {
 	if q == nil {
 		return nil, errors.New("serve: nil query graph")
 	}
-	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if t := s.opts.QueryTimeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	// Admission control: fast-fail instead of convoying on the sequence
+	// lock when the in-flight bound is saturated.
+	if s.querySem != nil {
+		select {
+		case s.querySem <- struct{}{}:
+			defer func() { <-s.querySem }()
+		default:
+			s.shedQueries.Add(1)
+			return nil, &OverloadError{Kind: "query", Limit: cap(s.querySem)}
+		}
+	}
+	// Apply the active degradation rung. Both rungs keep answers exact:
+	// capping verification only slows this query, and bypassing the
+	// cache is pure Method M — sound by construction.
+	var qopt core.QueryOptions
+	if s.press != nil {
+		switch lvl := s.press.Level(); {
+		case lvl >= DegradeCacheBypass:
+			qopt.BypassCache = true
+			qopt.MaxVerifyParallelism = 1
+		case lvl >= DegradeCappedVerify:
+			qopt.MaxVerifyParallelism = 1
+		}
+	}
+	start := s.now()
 	type shardAnswer struct {
 		ids []int
 		st  core.QueryStats
@@ -582,6 +784,7 @@ func (s *Server) query(q *graph.Graph, kind cache.Kind) (*QueryResult, error) {
 	}
 	answers := make([]shardAnswer, len(s.shards))
 	var wg sync.WaitGroup
+	done := ctx.Done() // nil for Background: the whole ctx plumbing is then free
 
 	// Enqueue one job per shard atomically w.r.t. update batches; the
 	// epoch read here is exactly the dataset version every shard will
@@ -596,12 +799,21 @@ func (s *Server) query(q *graph.Graph, kind cache.Kind) (*QueryResult, error) {
 	for i, sh := range s.shards {
 		sh.enqueue(func() {
 			defer wg.Done()
+			if done != nil {
+				select {
+				case <-done:
+					// Expired while waiting in the shard queue.
+					answers[i].err = &core.CancelError{Stage: "queue", Err: ctx.Err()}
+					return
+				default:
+				}
+			}
 			var res *core.Result
 			var err error
 			if kind == cache.KindSub {
-				res, err = sh.rt.SubgraphQuery(q)
+				res, err = sh.rt.SubgraphQueryCtx(ctx, q, qopt)
 			} else {
-				res, err = sh.rt.SupergraphQuery(q)
+				res, err = sh.rt.SupergraphQueryCtx(ctx, q, qopt)
 			}
 			if err != nil {
 				answers[i].err = err
@@ -616,12 +828,29 @@ func (s *Server) query(q *graph.Graph, kind cache.Kind) (*QueryResult, error) {
 		})
 	}
 	s.seqMu.RUnlock()
-	wg.Wait()
+	if done == nil {
+		wg.Wait()
+	} else {
+		// Deadline-bounded wait: give up the moment ctx expires instead
+		// of riding out a stalled shard. The abandoned jobs abort at
+		// their next checkpoint and only touch answers/wg, which stay
+		// alive until they finish — the error path never reads answers.
+		finished := make(chan struct{})
+		go func() { wg.Wait(); close(finished) }()
+		select {
+		case <-finished:
+		case <-done:
+			err := &core.CancelError{Stage: "wait", Err: ctx.Err()}
+			s.noteDeadline(err)
+			return nil, err
+		}
+	}
 
 	out := &QueryResult{Epoch: epoch, Kind: kind.String(), PerShard: make([]core.QueryStats, len(s.shards))}
 	total := 0
 	for _, a := range answers {
 		if a.err != nil {
+			s.noteDeadline(a.err)
 			return nil, a.err
 		}
 		total += len(a.ids)
@@ -638,7 +867,9 @@ func (s *Server) query(q *graph.Graph, kind cache.Kind) (*QueryResult, error) {
 		}
 	}
 	out.IDs = mergeSorted(lists, total)
-	out.Wall = time.Since(start)
+	if d := s.now().Sub(start); d > 0 { // clamp: clock-skew injection must not corrupt stats
+		out.Wall = d
+	}
 	if t := s.opts.SlowLogThreshold; t > 0 && out.Wall >= t {
 		s.slow.record(q, out)
 	}
@@ -686,14 +917,56 @@ type UpdateResult struct {
 // keeps per-shard epochs dense and crash recovery's cross-shard
 // consistency point computable), and Update does not return before the
 // frames are durable: an acknowledged batch survives a crash. A WAL
-// append failure is returned as an error alongside the result — the
-// batch is applied in memory but may not be durable.
+// append failure — after the appender's bounded in-place retries — is
+// handled per Options.WALPolicy: under WALPolicyFailUpdate it is
+// returned as an error alongside the result (the batch is applied in
+// memory but may not be durable, and the durable-epoch claim in Stats
+// stops advancing); under WALPolicyDegradeToVolatile the batch is
+// acknowledged and the shard latches volatile until a snapshot
+// rotation heals it.
 func (s *Server) Update(ops []changeplan.Op) (*UpdateResult, error) {
+	return s.UpdateCtx(context.Background(), ops)
+}
+
+// UpdateCtx is Update under a caller deadline. The deadline (combined
+// with Options.UpdateTimeout) governs *admission*: it is checked up to
+// the moment the batch is enqueued, after which the batch runs to
+// completion — update batches are atomic, and aborting one halfway
+// would tear the epoch.
+func (s *Server) UpdateCtx(ctx context.Context, ops []changeplan.Op) (*UpdateResult, error) {
 	if len(ops) == 0 {
 		return nil, errors.New("serve: empty update batch")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if t := s.opts.UpdateTimeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	if s.updateSem != nil {
+		select {
+		case s.updateSem <- struct{}{}:
+			defer func() { <-s.updateSem }()
+		default:
+			s.shedUpdates.Add(1)
+			return nil, &OverloadError{Kind: "update", Limit: cap(s.updateSem)}
+		}
+	}
 	s.writerMu.Lock()
 	defer s.writerMu.Unlock()
+	if done := ctx.Done(); done != nil {
+		// Last admission checkpoint: the wait for the writer lock may
+		// have consumed the deadline; past this point we commit.
+		select {
+		case <-done:
+			err := &core.CancelError{Stage: "update", Err: ctx.Err()}
+			s.noteDeadline(err)
+			return nil, err
+		default:
+		}
+	}
 
 	s.seqMu.Lock()
 	if s.closed {
@@ -735,11 +1008,19 @@ func (s *Server) Update(ops []changeplan.Op) (*UpdateResult, error) {
 			res.Applied++
 		}
 	}
-	for _, ch := range walAcks {
-		if err := <-ch; err != nil {
-			s.log.Error("WAL append failed, batch not durable", "epoch", epoch, "err", err)
-			return res, fmt.Errorf("serve: WAL append for batch %d failed (applied in memory, may not be durable): %w", epoch, err)
+	var walErr error
+	for i, ch := range walAcks {
+		// Drain every ack even after a failure: the per-shard appenders
+		// must not be left blocking on their result channels.
+		if err := <-ch; err != nil && walErr == nil {
+			s.log.Error("WAL append failed, batch not durable",
+				"epoch", epoch, "shard", i, "policy", s.opts.WALPolicy, "err", err)
+			walErr = fmt.Errorf("serve: WAL append for batch %d failed on shard %d (applied in memory, may not be durable): %w",
+				epoch, i, err)
 		}
+	}
+	if walErr != nil {
+		return res, walErr
 	}
 	return res, nil
 }
@@ -888,6 +1169,27 @@ type Stats struct {
 	// the bounded ring has since overwritten.
 	SlowQueries int64 `json:"slow_queries"`
 
+	// Overload and degradation state.
+
+	// DegradationLevel is the pressure controller's active rung (0 =
+	// none, 1 = capped-verify, 2 = cache-bypass); DegradationMode is its
+	// name. Always 0/"none" when degradation is disabled.
+	DegradationLevel int    `json:"degradation_level"`
+	DegradationMode  string `json:"degradation_mode"`
+	// DegradedSeconds is the total wall time this process has spent at a
+	// degradation level above none.
+	DegradedSeconds float64 `json:"degraded_seconds"`
+	// ShedQueries/ShedUpdates count requests fast-failed by admission
+	// control (HTTP 429) over the process lifetime.
+	ShedQueries int64 `json:"shed_queries"`
+	ShedUpdates int64 `json:"shed_updates"`
+	// DeadlineExceeded counts requests that expired their deadline (HTTP
+	// 504); the per-stage split is on /metrics.
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	// deadlineByStage feeds the labeled /metrics series (not part of the
+	// JSON surface; the total above is).
+	deadlineByStage map[string]int64
+
 	// UptimeSec is the seconds since this process built the server —
 	// monotonic (measured on the runtime's monotonic clock), so ops
 	// dashboards can tell a restarted instance from a long-running one
@@ -921,6 +1223,20 @@ type Stats struct {
 	// epoch recovery reached after WAL replay.
 	RecoveredEntries int    `json:"recovered_entries"`
 	RecoveredEpoch   uint64 `json:"recovered_epoch"`
+	// DurableEpoch is the newest epoch the server can currently prove
+	// durable: the last snapshot generation, advanced by the WAL to the
+	// minimum per-shard epoch whose frames were acknowledged by a
+	// successful append. It stops advancing the moment any shard's
+	// appends fail — under either WAL policy — so "epoch minus
+	// durable_epoch" is exactly the window a crash would lose.
+	DurableEpoch uint64 `json:"durable_epoch"`
+	// WALPolicy is the configured append-failure policy, and
+	// WALVolatileShards counts shards with an open WAL durability gap
+	// (an append failure survived its retries, so later appends into
+	// the same segment cannot prove durability); both policies latch
+	// the gap, which heals on the next complete snapshot generation.
+	WALPolicy         string `json:"wal_policy,omitempty"`
+	WALVolatileShards int    `json:"wal_volatile_shards"`
 
 	// PerShard holds the shard breakdown.
 	PerShard []ShardStats `json:"per_shard"`
@@ -963,13 +1279,35 @@ func (s *Server) Stats() (*Stats, error) {
 	s.seqMu.RUnlock()
 	wg.Wait()
 
+	now := s.now()
 	out := &Stats{
-		Epoch:         epoch,
-		Shards:        len(s.shards),
-		PerShard:      per,
-		UptimeSec:     time.Since(s.started).Seconds(),
-		GoVersion:     runtime.Version(),
-		ModuleVersion: buildVersion,
+		Epoch:            epoch,
+		Shards:           len(s.shards),
+		PerShard:         per,
+		GoVersion:        runtime.Version(),
+		ModuleVersion:    buildVersion,
+		DegradationMode:  DegradeNone.String(),
+		ShedQueries:      s.shedQueries.Load(),
+		ShedUpdates:      s.shedUpdates.Load(),
+		DeadlineExceeded: s.deadlines.total(),
+		deadlineByStage: map[string]int64{
+			"queue":  s.deadlines.queue.Load(),
+			"sync":   s.deadlines.syncStage.Load(),
+			"hit":    s.deadlines.hit.Load(),
+			"verify": s.deadlines.verify.Load(),
+			"wait":   s.deadlines.wait.Load(),
+			"update": s.deadlines.update.Load(),
+			"other":  s.deadlines.other.Load(),
+		},
+	}
+	if d := now.Sub(s.started); d > 0 { // clamp under clock-skew injection
+		out.UptimeSec = d.Seconds()
+	}
+	if s.press != nil {
+		lvl := s.press.Level()
+		out.DegradationLevel = int(lvl)
+		out.DegradationMode = lvl.String()
+		out.DegradedSeconds = s.press.degradedSeconds(now)
 	}
 	if s.store != nil {
 		out.PersistEnabled = true
@@ -977,6 +1315,22 @@ func (s *Server) Stats() (*Stats, error) {
 		out.SnapshotsWritten = s.snapshotsWritten.Load()
 		out.RecoveredEntries = s.recoveredEntries
 		out.RecoveredEpoch = s.recoveredEpoch
+		out.WALPolicy = s.opts.WALPolicy
+		out.DurableEpoch = s.lastSnapshotEpoch.Load()
+		if s.walWanted() {
+			minWAL := uint64(math.MaxUint64)
+			for _, sh := range s.shards {
+				if e := sh.durableEpoch.Load(); e < minWAL {
+					minWAL = e
+				}
+				if sh.volatileWAL.Load() {
+					out.WALVolatileShards++
+				}
+			}
+			if minWAL != math.MaxUint64 && minWAL > out.DurableEpoch {
+				out.DurableEpoch = minWAL
+			}
+		}
 	}
 	out.SlowQueries = s.slow.captured()
 	for _, ss := range per {

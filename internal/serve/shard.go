@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"log/slog"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,16 @@ type shard struct {
 	wal        *persist.WAL
 	walPending []persist.WALOp
 
+	// durableEpoch is the newest epoch this shard can prove durable
+	// (last successful WAL append or snapshot covering it); stats reads
+	// it lock-free and the server's durable-epoch claim is the minimum
+	// over shards. volatileWAL latches when the degrade-to-volatile
+	// policy swallows an append failure; cleared when a snapshot
+	// rotation installs a fresh healthy segment.
+	durableEpoch atomic.Uint64
+	volatileWAL  atomic.Bool
+	walGapEpoch  uint64 // first epoch lost to the open gap (owner state)
+
 	// localToGlobal translates shard-local graph ids to global ids. It
 	// is appended to by ADD jobs and read by query jobs — both run on
 	// the worker goroutine, so no locking is needed.
@@ -74,6 +85,23 @@ type shard struct {
 	// state backing the drop-detection edge trigger.
 	log               *slog.Logger
 	lastRepairDropped int64
+
+	// pendingRepairs mirrors the runtime's repair backlog for lock-free
+	// reads by the pressure controller; the owner goroutine publishes it
+	// after every job (PendingRepairs itself is owner-context only).
+	pendingRepairs atomic.Int64
+
+	// Fault-injection and clock hooks, set by the Server before start.
+	// stall (nil in production) runs at the start of every job; now
+	// replaces time.Now for queue-wait bookkeeping.
+	stall func(int)
+	now   func() time.Time
+
+	// repairCtx is cancelled by stop so an in-flight repair verification
+	// exits at its next cooperative checkpoint instead of finishing the
+	// whole batch.
+	repairCtx    context.Context
+	repairCancel context.CancelFunc
 }
 
 // newShard builds a shard over its partition. gids lists the global ids
@@ -101,16 +129,27 @@ func newShardOver(id int, ds *dataset.Dataset, gids []int, opts core.Options) (*
 		nextLocal:     len(gids),
 		queueWait:     obs.NewHistogram(),
 		walAppend:     obs.NewHistogram(),
+		now:           time.Now,
 	}, nil
 }
 
 // enqueue submits a job to the shard worker, recording how long it
 // waited in the queue before running. Every job producer goes through
-// here so the queue-wait histogram covers the shard's whole workload.
+// here so the queue-wait histogram covers the shard's whole workload
+// and the stall hook covers every job. The wait is clamped at zero:
+// under clock-skew injection sh.now may step backwards, and a skewed
+// clock must only distort metrics, never state.
 func (sh *shard) enqueue(fn func()) {
-	at := time.Now()
+	at := sh.now()
 	sh.jobs <- func() {
-		sh.queueWait.Observe(time.Since(at))
+		if sh.stall != nil {
+			sh.stall(sh.id)
+		}
+		if d := sh.now().Sub(at); d > 0 {
+			sh.queueWait.Observe(d)
+		} else {
+			sh.queueWait.Observe(0)
+		}
 		fn()
 	}
 }
@@ -122,6 +161,7 @@ func (sh *shard) start(repairPar int) {
 		sh.repairKick = make(chan struct{}, 1)
 		sh.repairQuit = make(chan struct{})
 		sh.repairDone = make(chan struct{})
+		sh.repairCtx, sh.repairCancel = context.WithCancel(context.Background())
 		go sh.repairLoop(repairPar)
 	}
 	go sh.loop()
@@ -134,6 +174,11 @@ func (sh *shard) loop() {
 	defer close(sh.done)
 	for job := range sh.jobs {
 		job()
+		if sh.rt.CacheEnabled() {
+			// Publish the repair backlog for the pressure controller's
+			// lock-free sampling (owner-context read, atomic publish).
+			sh.pendingRepairs.Store(int64(sh.rt.PendingRepairs()))
+		}
 		if sh.repairKick != nil {
 			if sh.log != nil {
 				// Edge-triggered drop warning: the cache counts pairs it
@@ -188,7 +233,7 @@ func (sh *shard) repairLoop(parallelism int) {
 			if len(jobs) == 0 {
 				break
 			}
-			results := sh.rt.VerifyRepairs(jobs, parallelism)
+			results := sh.rt.VerifyRepairsCtx(sh.repairCtx, jobs, parallelism)
 			committed := make(chan struct{})
 			sh.enqueue(func() {
 				sh.rt.CommitRepairs(results)
@@ -206,6 +251,7 @@ func (sh *shard) repairLoop(parallelism int) {
 func (sh *shard) stop() {
 	if sh.repairQuit != nil {
 		close(sh.repairQuit)
+		sh.repairCancel() // abort an in-flight verification batch early
 		<-sh.repairDone
 	}
 	close(sh.jobs)
