@@ -14,6 +14,8 @@
 //	gcbench -throughput -update-kind churn -update-every 10 -eager -norepair  # baseline
 //	gcbench -throughput -cache 2000 -queries 5000 -update-every 0             # large cache, query index on
 //	gcbench -throughput -cache 2000 -queries 5000 -update-every 0 -hit-index=false  # linear-scan baseline
+//	gcbench -throughput -planner                 # cost-based planner + plan cache on
+//	gcbench -throughput -planner -plan-cache -1  # planning on, plan caching off
 //	gcbench -warm-restart -scale smoke           # durability: recovery vs cold start
 //	gcbench -throughput -burst 32 -max-inflight-queries 8   # flash crowd vs admission control
 //	gcbench -chaos -scale smoke                  # fault-injected soak + crash + warm restart
@@ -89,6 +91,8 @@ func main() {
 		hitIndex    = flag.Bool("hit-index", true, "throughput: maintain the cache query index for sub-linear hit discovery (false = linear scan baseline)")
 		burst       = flag.Int("burst", 0, "throughput: flash-crowd mode — N extra query clients for the middle third of the run (0 disables)")
 		maxInflight = flag.Int("max-inflight-queries", 0, "throughput: server admission limit on concurrent queries (0 = serving default, negative = unlimited)")
+		planner     = flag.Bool("planner", false, "throughput: enable the cost-based query planner + compiled-plan cache (answers stay bit-identical to -planner=false)")
+		planCache   = flag.Int("plan-cache", 0, "throughput: per-shard compiled-plan cache size (0 = default of 256, negative = planning without plan caching; needs -planner)")
 
 		chaos     = flag.Bool("chaos", false, "run the chaos benchmark: fault-injected WAL/snapshot I/O under load, abrupt kill, warm restart, differential answer check (JSON output)")
 		walPolicy = flag.String("wal-policy", "", "chaos: WAL append-failure policy: fail-update (default) or degrade-to-volatile")
@@ -145,6 +149,8 @@ func main() {
 			DisableHitIndex:    !*hitIndex,
 			BurstClients:       *burst,
 			MaxInFlightQueries: *maxInflight,
+			EnablePlanner:      *planner,
+			PlanCacheSize:      *planCache,
 			Seed:               *seed,
 		}, progress)
 		if err != nil {

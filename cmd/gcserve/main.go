@@ -24,6 +24,8 @@
 //
 //	POST /query?kind=sub|super    body: one graph in the text codec
 //	     &trace=1                 include the per-shard stage trace
+//	     &limit=N                 return the N smallest answer ids (exact
+//	                              prefix; "truncated" marks a cut)
 //	POST /update                  body: {"ops":[{"op":"ADD","graph":"..."},
 //	                                            {"op":"DEL","id":3},
 //	                                            {"op":"UA","id":2,"u":0,"v":1}]}
@@ -88,6 +90,8 @@ func main() {
 		eager     = flag.Bool("eager", false, "validate caches at update time instead of lazily at query time")
 		verifyPar = flag.Int("verify-parallelism", 0, "per-shard intra-query verification workers (0 = auto: GOMAXPROCS/shards, 1 = sequential)")
 		hitIndex  = flag.Bool("hit-index", true, "maintain the cache query index for sub-linear hit discovery (false = linear scan reference)")
+		planner   = flag.Bool("planner", false, "enable the cost-based query planner + compiled-plan cache (per-query algorithm choice; answers unchanged)")
+		planCache = flag.Int("plan-cache", 0, "per-shard compiled-plan cache size (0 = default of 256, negative = planning without plan caching; needs -planner)")
 		repairPar = flag.Int("repair-parallelism", 0, "per-shard background cache-repair workers (0 = default of 1)")
 		norepair  = flag.Bool("norepair", false, "disable background cache repair (invalidated bits stay dead until a query re-verifies them)")
 		dataDir   = flag.String("data-dir", "", "durability directory: WAL + snapshots for crash-safe warm restarts (empty = no persistence)")
@@ -134,6 +138,8 @@ func main() {
 	opts.RepairParallelism = *repairPar
 	opts.DisableRepair = *norepair
 	opts.DisableHitIndex = !*hitIndex
+	opts.EnablePlanner = *planner
+	opts.PlanCacheSize = *planCache
 	opts.DataDir = *dataDir
 	opts.SnapshotEvery = *snapEvery
 	opts.DisableWAL = *nowal
@@ -174,7 +180,7 @@ func main() {
 		"addr", *addr, "graphs", st.LiveGraphs, "shards", srv.Shards(),
 		"method", *method, "model", *modelName, "policy", *policy,
 		"cache", *cacheCap, "eager", *eager, "repair", repairOn,
-		"hit_index", hitIndexOn, "durable", *dataDir != "",
+		"hit_index", hitIndexOn, "planner", *planner, "durable", *dataDir != "",
 		"wal_policy", *walPolicy, "query_timeout", queryTimeout.String(),
 		"max_inflight_queries", *maxQueries,
 		"slowlog_threshold", slowThr.String())

@@ -115,6 +115,28 @@
 // selectivity. The index is what makes per-shard cache capacities in
 // the thousands serve without hit discovery becoming the bottleneck.
 //
+// # Cost-based query planner and streaming verification
+//
+// With Options.EnablePlanner (serving: ServeOptions.EnablePlanner,
+// gcserve -planner), each query executes under a compiled plan: the
+// Method M algorithm is chosen per query kind from measured per-test
+// cost moments (all candidates are exact, so the choice affects cost,
+// never answers), verification is forced sequential when the measured
+// cost says a worker pool would only add fan-out latency, and the
+// compiled artifacts — matchers, feature fingerprint, hit-discovery
+// verdict memo, path signatures — are cached per shard under an O(V+E)
+// structural digest confirmed by an exact equality check, so repeated
+// queries skip compilation, planning and the per-query signature
+// extraction entirely (PlanCacheSize bounds the cache; the
+// gcplus_plan_cache_hits_total metric counts the reuse). Server
+// queries can additionally stream: SubgraphQueryLimit /
+// SupergraphQueryLimit (HTTP: ?limit=N) verify in ascending-id order
+// and return exactly the N smallest answer ids with a Truncated flag,
+// leaving exact-answer mode and cache contents untouched — a truncated
+// answer is never admitted to the cache. The differential oracle runs
+// planner-on, plan-cache-on and streaming runtimes against cache-
+// disabled ground truth to pin bit-identical answers.
+//
 // # Durability and warm restart
 //
 // With ServeOptions.DataDir set, the Server persists its state: every

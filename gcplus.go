@@ -112,6 +112,19 @@ type Options struct {
 	// capacities in the thousands the index is what keeps hit discovery
 	// off the critical path).
 	DisableHitIndex bool
+	// EnablePlanner turns on the cost-based query planner: each query's
+	// Method M algorithm and verification parallelism are chosen from
+	// measured per-algorithm cost moments, and compiled plans (matchers,
+	// fingerprints, containment memos) are cached keyed by a canonical
+	// form of the query so isomorphic repeats skip compilation. Answers
+	// are bit-identical with the planner off — every candidate algorithm
+	// is exact.
+	EnablePlanner bool
+	// PlanCacheSize bounds the compiled-plan cache per runtime (0 = the
+	// default of 256 plans; negative disables plan caching while keeping
+	// cost-based algorithm selection). Only meaningful with
+	// EnablePlanner.
+	PlanCacheSize int
 }
 
 // System is a GC+ instance: an evolving dataset plus the semantic cache
@@ -133,7 +146,12 @@ func Open(initial []*Graph, opts Options) (*System, error) {
 		return nil, err
 	}
 	ds := dataset.New(initial)
-	coreOpts := core.Options{Algorithm: algo, VerifyParallelism: opts.VerifyParallelism}
+	coreOpts := core.Options{
+		Algorithm:         algo,
+		VerifyParallelism: opts.VerifyParallelism,
+		EnablePlanner:     opts.EnablePlanner,
+		PlanCacheSize:     opts.PlanCacheSize,
+	}
 	if !opts.DisableCache {
 		coreOpts.Cache = &cache.Config{
 			Capacity:        opts.CacheSize,
@@ -402,6 +420,8 @@ func NewServer(initial []*Graph, opts ServeOptions) (*Server, error) {
 		NoSync:            opts.NoSync,
 		SlowLogThreshold:  opts.SlowLogThreshold,
 		SlowLogSize:       opts.SlowLogSize,
+		EnablePlanner:     opts.EnablePlanner,
+		PlanCacheSize:     opts.PlanCacheSize,
 
 		ReadyMaxPendingRepairs: opts.ReadyMaxPendingRepairs,
 		QueryTimeout:           opts.QueryTimeout,
@@ -448,6 +468,20 @@ func (s *Server) SubgraphQueryCtx(ctx context.Context, q *Graph) (*ServerAnswer,
 // SupergraphQueryCtx is SupergraphQuery bounded by ctx.
 func (s *Server) SupergraphQueryCtx(ctx context.Context, q *Graph) (*ServerAnswer, error) {
 	return s.srv.SupergraphQueryCtx(ctx, q)
+}
+
+// SubgraphQueryLimit streams: it returns the limit smallest answer ids
+// (an exact prefix of the full ascending answer set), stopping
+// verification early once each shard has enough. The result's Truncated
+// field reports whether answers were cut; truncated results are never
+// admitted into the cache. limit <= 0 means no limit.
+func (s *Server) SubgraphQueryLimit(ctx context.Context, q *Graph, limit int) (*ServerAnswer, error) {
+	return s.srv.SubgraphQueryLimitCtx(ctx, q, limit)
+}
+
+// SupergraphQueryLimit is SubgraphQueryLimit for supergraph queries.
+func (s *Server) SupergraphQueryLimit(ctx context.Context, q *Graph, limit int) (*ServerAnswer, error) {
+	return s.srv.SupergraphQueryLimitCtx(ctx, q, limit)
 }
 
 // UpdateCtx is Update bounded by ctx; a deadline that expires before the

@@ -87,6 +87,14 @@ type ThroughputConfig struct {
 	// (0 = the serving default, negative = unlimited) — the admission
 	// limit the burst slams into.
 	MaxInFlightQueries int
+	// EnablePlanner turns on each shard's cost-based query planner and
+	// compiled-plan cache. Answers are bit-identical to a planner-off run
+	// on the same seed — the planner ablation's invariant.
+	EnablePlanner bool
+	// PlanCacheSize bounds the per-shard compiled-plan cache (0 =
+	// default; negative disables plan caching but keeps cost-based
+	// algorithm selection). Only meaningful with EnablePlanner.
+	PlanCacheSize int
 	// Seed drives dataset, workload and update generation.
 	Seed int64
 }
@@ -145,6 +153,7 @@ type ThroughputResult struct {
 	RepairPar     int     `json:"repair_parallelism"`
 	CacheCapacity int     `json:"cache_capacity"`
 	HitIndex      bool    `json:"hit_index"`
+	Planner       bool    `json:"planner"`
 	Seed          int64   `json:"seed"`
 	Queries       int     `json:"queries"`
 	UpdateBatches int     `json:"update_batches"`
@@ -174,6 +183,11 @@ type ThroughputResult struct {
 	// workload with updates disabled must report the same digest —
 	// the bit-identical-answers check for index-on vs index-off runs.
 	AnswersFNV string `json:"answers_fnv"`
+	// PlanCacheHits and PlanCacheMisses summarize the compiled-plan
+	// cache across shards (both zero with the planner off): hits are the
+	// queries whose compilation and planning were skipped entirely.
+	PlanCacheHits   int64 `json:"plan_cache_hits,omitempty"`
+	PlanCacheMisses int64 `json:"plan_cache_misses,omitempty"`
 	// ValidityRatio is the final mean per-shard cache validity ratio —
 	// the health metric background repair recovers under churn.
 	ValidityRatio float64 `json:"validity_ratio"`
@@ -231,6 +245,8 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		RepairParallelism:  cfg.RepairParallelism,
 		DisableRepair:      cfg.DisableRepair,
 		MaxInFlightQueries: cfg.MaxInFlightQueries,
+		EnablePlanner:      cfg.EnablePlanner,
+		PlanCacheSize:      cfg.PlanCacheSize,
 	}
 	capacity := cfg.Scale.CacheCapacity
 	if cfg.CacheCapacity > 0 {
@@ -486,6 +502,7 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		RepairPar:      serve.ResolveRepairParallelism(cfg.RepairParallelism, !cfg.DisableRepair && !cfg.DisableCache),
 		CacheCapacity:  capacity,
 		HitIndex:       !cfg.DisableHitIndex && !cfg.DisableCache,
+		Planner:        cfg.EnablePlanner,
 		Seed:           cfg.Seed,
 		Queries:        int(hist.Count()),
 		UpdateBatches:  updateBatches,
@@ -501,6 +518,9 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		ValidityRatio:  st.ValidityRatio,
 		RepairedBits:   st.RepairedBits,
 		PendingRepairs: st.PendingRepairs,
+
+		PlanCacheHits:   st.PlanCacheHits,
+		PlanCacheMisses: st.PlanCacheMisses,
 	}
 	if wall > 0 {
 		res.QPS = float64(res.Queries) / wall.Seconds()

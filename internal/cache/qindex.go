@@ -410,6 +410,31 @@ func cutBucketsAbove(out *bitset.Set, buckets []*bitset.Set, b int) {
 // for hit discovery.
 func (c *Cache) QueryIndexEnabled() bool { return c.qidx != nil }
 
+// QuerySigPathLen returns the path-signature length the query index
+// extracts per probe query (0 when the index is off or path postings
+// are disabled). Callers holding pre-extracted signatures at this
+// length can seed them with PrimeQuerySigs.
+func (c *Cache) QuerySigPathLen() int {
+	if c.qidx == nil {
+		return 0
+	}
+	return c.qidx.pathLen
+}
+
+// PrimeQuerySigs seeds the query-index signature memo for q with
+// signatures previously extracted — at QuerySigPathLen — from q or any
+// structurally equal graph (path signatures are a pure function of
+// structure). Hit discovery for q then skips its extraction, the
+// dominant per-probe cost. A nil or foreign-length sigs is simply not
+// seeded; correctness never depends on priming.
+func (c *Cache) PrimeQuerySigs(q *graph.Graph, sigs []string) {
+	if c.qidx == nil || c.qidx.pathLen <= 0 || sigs == nil {
+		return
+	}
+	c.qidx.sigMemoGraph = q
+	c.qidx.sigMemo = sigs
+}
+
 // ForEachIsoCandidate visits the entries of the given kind whose
 // indexed features exactly match query q's — equal size and max-degree
 // buckets, equal (capped) per-label counts, and containing all of q's

@@ -30,6 +30,10 @@ type StageHists struct {
 	// RepairVerify is the off-owner verification time of one repair
 	// result (recorded at commit, one observation per repaired pair).
 	RepairVerify *obs.Histogram
+	// Plan is the planner's share of query time: plan-cache lookup plus,
+	// on a miss, compilation and algorithm choice. All zeros when the
+	// planner is off.
+	Plan *obs.Histogram
 }
 
 func newStageHists() *StageHists {
@@ -41,6 +45,7 @@ func newStageHists() *StageHists {
 		Overhead:     obs.NewHistogram(),
 		Consistency:  obs.NewHistogram(),
 		RepairVerify: obs.NewHistogram(),
+		Plan:         obs.NewHistogram(),
 	}
 }
 
@@ -52,6 +57,7 @@ func (s *StageHists) observe(st *QueryStats) {
 	s.VerifyCPU.Observe(st.VerifyCPUTime)
 	s.Overhead.Observe(st.Overhead)
 	s.Consistency.Observe(st.ConsistencyTime)
+	s.Plan.Observe(st.PlanTime)
 }
 
 // StageHists returns the runtime's per-stage latency histograms. The

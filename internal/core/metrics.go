@@ -42,6 +42,8 @@ type Metrics struct {
 	// HitScanned aggregates the per-query cache+window size at hit
 	// discovery; HitCandidates/HitScanned is the index's selectivity.
 	HitScanned stats.Running
+	// PlanTime aggregates the planner's per-query share (zero when off).
+	PlanTime stats.Running
 
 	// Hit-type counters (§7.2 insight metrics).
 
@@ -59,6 +61,14 @@ type Metrics struct {
 	ContainedHits int64
 	// ZeroTestQueries counts queries answered without any sub-iso test.
 	ZeroTestQueries int64
+	// PlanCacheHits/PlanCacheMisses count compiled-plan cache outcomes
+	// for planner-enabled queries (both zero when the planner is off; a
+	// planner with plan caching disabled counts every query a miss).
+	PlanCacheHits   int64
+	PlanCacheMisses int64
+	// TruncatedQueries counts streaming queries that stopped early
+	// (Limit reached or OnAnswer returned false).
+	TruncatedQueries int64
 
 	// Repair-pipeline counters (updated by the repair phases, which run
 	// on the owner goroutine like query processing).
@@ -88,6 +98,17 @@ func (m *Metrics) fold(st *QueryStats) {
 	m.TestsSaved.Add(float64(st.TestsSaved))
 	m.HitCandidates.Add(float64(st.HitCandidates))
 	m.HitScanned.Add(float64(st.HitScanned))
+	m.PlanTime.AddDuration(st.PlanTime)
+	if st.PlanAlgorithm != "" {
+		if st.PlanCached {
+			m.PlanCacheHits++
+		} else {
+			m.PlanCacheMisses++
+		}
+	}
+	if st.Truncated {
+		m.TruncatedQueries++
+	}
 	if st.IsoHits > 0 {
 		m.IsoHitQueries++
 	}
@@ -165,13 +186,17 @@ type MetricsSnapshot struct {
 	TestsSaved         RunningSnapshot `json:"tests_saved"`
 	HitCandidates      RunningSnapshot `json:"hit_candidates"`
 	HitScanned         RunningSnapshot `json:"hit_scanned"`
+	PlanTimeSec        RunningSnapshot `json:"plan_time_sec"`
 
-	IsoHitQueries   int64 `json:"iso_hit_queries"`
-	ExactHits       int64 `json:"exact_hits"`
-	EmptyShortcuts  int64 `json:"empty_shortcuts"`
-	ContainingHits  int64 `json:"containing_hits"`
-	ContainedHits   int64 `json:"contained_hits"`
-	ZeroTestQueries int64 `json:"zero_test_queries"`
+	IsoHitQueries    int64 `json:"iso_hit_queries"`
+	ExactHits        int64 `json:"exact_hits"`
+	EmptyShortcuts   int64 `json:"empty_shortcuts"`
+	ContainingHits   int64 `json:"containing_hits"`
+	ContainedHits    int64 `json:"contained_hits"`
+	ZeroTestQueries  int64 `json:"zero_test_queries"`
+	PlanCacheHits    int64 `json:"plan_cache_hits"`
+	PlanCacheMisses  int64 `json:"plan_cache_misses"`
+	TruncatedQueries int64 `json:"truncated_queries"`
 
 	RepairPlanned int64   `json:"repair_planned"`
 	RepairedBits  int64   `json:"repaired_bits"`
@@ -194,12 +219,16 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		TestsSaved:         snap(m.TestsSaved),
 		HitCandidates:      snap(m.HitCandidates),
 		HitScanned:         snap(m.HitScanned),
+		PlanTimeSec:        snap(m.PlanTime),
 		IsoHitQueries:      m.IsoHitQueries,
 		ExactHits:          m.ExactHits,
 		EmptyShortcuts:     m.EmptyShortcuts,
 		ContainingHits:     m.ContainingHits,
 		ContainedHits:      m.ContainedHits,
 		ZeroTestQueries:    m.ZeroTestQueries,
+		PlanCacheHits:      m.PlanCacheHits,
+		PlanCacheMisses:    m.PlanCacheMisses,
+		TruncatedQueries:   m.TruncatedQueries,
 		RepairPlanned:      m.RepairPlanned,
 		RepairedBits:       m.RepairedBits,
 		RepairStale:        m.RepairStale,

@@ -13,6 +13,7 @@ package core_test
 // -race it also proves the repair pipeline is data-race free.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -39,19 +40,24 @@ type oracleSystem struct {
 	ds     *dataset.Dataset
 	rt     *core.Runtime
 	repair bool // drive the repair pipeline between steps
+	stream bool // run every query through the OnAnswer streaming path
 }
 
 // newOracleSystems builds the ground-truth runtime plus every cache
 // configuration over identical private copies of the initial graphs.
 func newOracleSystems(t *testing.T, initial []*graph.Graph) (gt *oracleSystem, systems []*oracleSystem) {
 	t.Helper()
-	build := func(name string, cfg *cache.Config, repair bool) *oracleSystem {
+	build := func(name string, cfg *cache.Config, repair bool, custom func(*core.Options)) *oracleSystem {
 		cloned := make([]*graph.Graph, len(initial))
 		for i, g := range initial {
 			cloned[i] = g.Clone()
 		}
 		ds := dataset.New(cloned)
-		rt, err := core.NewRuntime(ds, core.Options{Algorithm: subiso.VF2{}, Cache: cfg})
+		opts := core.Options{Algorithm: subiso.VF2{}, Cache: cfg}
+		if custom != nil {
+			custom(&opts)
+		}
+		rt, err := core.NewRuntime(ds, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,23 +70,37 @@ func newOracleSystems(t *testing.T, initial []*graph.Graph) (gt *oracleSystem, s
 		}
 		return cfg
 	}
-	gt = build("ground-truth", nil, false)
+	planner := func(o *core.Options) { o.EnablePlanner = true }
+	plannerNoCache := func(o *core.Options) { o.EnablePlanner = true; o.PlanCacheSize = -1 }
+	gt = build("ground-truth", nil, false, nil)
 	systems = []*oracleSystem{
 		// The query index is on by default, so plain "CON" doubles as
 		// the hit-index-on variant; "CON+noindex" pins the linear-scan
 		// discovery path and "CON+nopaths" the index without its
 		// path-signature postings.
-		build("CON", small(nil), false),
-		build("CON+noindex", small(func(c *cache.Config) { c.DisableHitIndex = true }), false),
-		build("CON+nopaths", small(func(c *cache.Config) { c.HitIndexPathLen = -1 }), false),
-		build("CON+repair", small(func(c *cache.Config) { c.RepairQueue = 4096 }), true),
-		build("EVI", small(func(c *cache.Config) { c.Model = cache.ModelEVI }), false),
-		build("strict", small(func(c *cache.Config) { c.StrictInvalidation = true }), false),
+		build("CON", small(nil), false, nil),
+		build("CON+noindex", small(func(c *cache.Config) { c.DisableHitIndex = true }), false, nil),
+		build("CON+nopaths", small(func(c *cache.Config) { c.HitIndexPathLen = -1 }), false, nil),
+		build("CON+repair", small(func(c *cache.Config) { c.RepairQueue = 4096 }), true, nil),
+		build("EVI", small(func(c *cache.Config) { c.Model = cache.ModelEVI }), false, nil),
+		build("strict", small(func(c *cache.Config) { c.StrictInvalidation = true }), false, nil),
 		build("strict+repair", small(func(c *cache.Config) {
 			c.StrictInvalidation = true
 			c.RepairQueue = 4096
-		}), true),
+		}), true, nil),
+		// Planner variants: cost-based algorithm choice with and without
+		// the compiled-plan cache must be answer-invisible.
+		build("CON+planner", small(nil), false, planner),
+		build("CON+planner+noplancache", small(nil), false, plannerNoCache),
 	}
+	// Streaming variants answer every query through the OnAnswer path
+	// (full stream, never stopping): the emitted sequence must be the
+	// ascending answer set, bit-identical to the exact path.
+	stream := build("CON+stream", small(nil), false, nil)
+	stream.stream = true
+	streamPlan := build("CON+planner+stream", small(nil), false, planner)
+	streamPlan.stream = true
+	systems = append(systems, stream, streamPlan)
 	return gt, systems
 }
 
@@ -194,13 +214,30 @@ func TestDifferentialConsistencyOracle(t *testing.T) {
 				run := func(sys *oracleSystem) *bitset.Set {
 					var res *core.Result
 					var err error
+					var streamed []int
+					var opt core.QueryOptions
+					if sys.stream {
+						opt.OnAnswer = func(id int) bool {
+							streamed = append(streamed, id)
+							return true
+						}
+					}
 					if super {
-						res, err = sys.rt.SupergraphQuery(q)
+						res, err = sys.rt.SupergraphQueryCtx(context.Background(), q, opt)
 					} else {
-						res, err = sys.rt.SubgraphQuery(q)
+						res, err = sys.rt.SubgraphQueryCtx(context.Background(), q, opt)
 					}
 					if err != nil {
 						t.Fatalf("step %d: %s query failed: %v", step, sys.name, err)
+					}
+					if sys.stream {
+						if res.Stats.Truncated {
+							t.Fatalf("step %d: %s full stream reported Truncated", step, sys.name)
+						}
+						if !equalIntSlices(streamed, res.Answer.Indices()) {
+							t.Fatalf("step %d: %s streamed %v but answered %v",
+								step, sys.name, streamed, res.Answer.Indices())
+						}
 					}
 					return res.Answer
 				}
@@ -231,6 +268,13 @@ func TestDifferentialConsistencyOracle(t *testing.T) {
 			if repaired == 0 {
 				t.Fatal("repair pipeline never restored a bit; oracle exercised nothing")
 			}
+			// Same for the planner: the 40%-repeat query stream must have
+			// hit the compiled-plan cache, or the variant proved nothing.
+			for _, sys := range systems {
+				if sys.name == "CON+planner" && sys.rt.Metrics().PlanCacheHits == 0 {
+					t.Fatal("CON+planner never hit the plan cache; oracle exercised nothing")
+				}
+			}
 		})
 	}
 }
@@ -245,12 +289,24 @@ func TestOracleConcurrentRepair(t *testing.T) {
 	for _, seed := range oracleSeeds {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			concurrentOracleRound(t, seed)
+			concurrentOracleRound(t, seed, false)
 		})
 	}
 }
 
-func concurrentOracleRound(t *testing.T, seed int64) {
+// TestOracleConcurrentPlanner is the same -race property with every
+// shard's planner and plan cache on: concurrent plan reuse across
+// repeated queries must never bend an answer.
+func TestOracleConcurrentPlanner(t *testing.T) {
+	for _, seed := range oracleSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			concurrentOracleRound(t, seed, true)
+		})
+	}
+}
+
+func concurrentOracleRound(t *testing.T, seed int64, planner bool) {
 	const (
 		shards  = 3
 		readers = 4
@@ -267,6 +323,7 @@ func concurrentOracleRound(t *testing.T, seed int64) {
 		Method:            "VF2",
 		EagerValidate:     true, // invalidations (and hence repair) fire right at update time
 		RepairParallelism: 2,
+		EnablePlanner:     planner,
 		Cache:             &cache.Config{Capacity: 20, WindowSize: 4},
 	})
 	if err != nil {
@@ -395,8 +452,11 @@ func concurrentOracleRound(t *testing.T, seed int64) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("seed %d: verified %d concurrent answers across %d epochs; repaired_bits=%d pending=%d validity=%.3f",
-		seed, total, batches+1, st.RepairedBits, st.PendingRepairs, st.ValidityRatio)
+	if planner && st.PlanCacheHits == 0 {
+		t.Fatal("planner round never hit the plan cache; property exercised nothing")
+	}
+	t.Logf("seed %d: verified %d concurrent answers across %d epochs; repaired_bits=%d pending=%d validity=%.3f plan_hits=%d",
+		seed, total, batches+1, st.RepairedBits, st.PendingRepairs, st.ValidityRatio, st.PlanCacheHits)
 }
 
 func equalIntSlices(a, b []int) bool {

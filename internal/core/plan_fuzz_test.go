@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"gcplus/internal/cache"
+	"gcplus/internal/graph"
+)
+
+// fuzzPlanGraph decodes arbitrary bytes into a small labelled graph:
+// byte 0 picks the vertex count, the next n bytes pick labels, and the
+// remaining byte pairs propose edges (self loops and duplicates are
+// skipped so Build always succeeds).
+func fuzzPlanGraph(data []byte) *graph.Graph {
+	if len(data) == 0 {
+		return graph.NewBuilder().MustBuild()
+	}
+	n := int(data[0])%8 + 1
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		lbl := graph.Label(0)
+		if 1+i < len(data) {
+			lbl = graph.Label(data[1+i] % 6)
+		}
+		b.AddVertex(lbl)
+	}
+	seen := map[[2]int]bool{}
+	for i := 1 + n; i+1 < len(data); i += 2 {
+		u, v := int(data[i])%n, int(data[i+1])%n
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// FuzzPlanKey pins the canonical plan-cache key's contract on arbitrary
+// graphs: deterministic; equal on structurally equal graphs (the set a
+// cached plan may serve); separated by query kind; and discriminating
+// under the cheap structural edits a digest must not blur (a relabelled
+// vertex, an extra vertex, an extra edge). graphsEqual — the arbitration
+// that makes a key hit safe — is fuzzed alongside: it must agree with
+// itself under argument order and accept exactly clones here.
+func FuzzPlanKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 2, 3, 0, 1, 1, 2, 0, 2})
+	f.Add([]byte{6, 0, 0, 0, 0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 0})
+	f.Add([]byte{1, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := fuzzPlanGraph(data)
+		key := planKey(g, cache.KindSub)
+		if again := planKey(g, cache.KindSub); again != key {
+			t.Fatalf("non-deterministic key: %d vs %d", key, again)
+		}
+		c := g.Clone()
+		if !graphsEqual(g, c) || !graphsEqual(c, g) {
+			t.Fatal("graphsEqual rejects a clone")
+		}
+		if ck := planKey(c, cache.KindSub); ck != key {
+			t.Fatalf("clone key %d != %d", ck, key)
+		}
+		if sk := planKey(g, cache.KindSuper); sk == key {
+			t.Fatalf("sub and super share key %d", key)
+		}
+		if g.NumVertices() == 0 {
+			return
+		}
+		// Relabel vertex 0: no longer equal, and the key must notice —
+		// a blurred digest would hand the relabelled query a plan whose
+		// matchers test the wrong labels (caught by graphsEqual, but at
+		// the cost of evicting the resident plan every repeat).
+		relabelled := relabelVertex0(g)
+		if graphsEqual(g, relabelled) {
+			t.Fatal("relabelled graph compares equal")
+		}
+		if rk := planKey(relabelled, cache.KindSub); rk == key {
+			t.Fatalf("relabelled graph shares key %d", key)
+		}
+		// One extra isolated vertex: structurally distinct, distinct key.
+		grown := buildCopy(g, true)
+		if graphsEqual(g, grown) {
+			t.Fatal("grown graph compares equal")
+		}
+		if gk := planKey(grown, cache.KindSub); gk == key {
+			t.Fatalf("grown graph shares key %d", key)
+		}
+	})
+}
+
+// buildCopy rebuilds g vertex-for-vertex, optionally appending one extra
+// isolated vertex.
+func buildCopy(g *graph.Graph, extraVertex bool) *graph.Graph {
+	b := graph.NewBuilder()
+	for v := 0; v < g.NumVertices(); v++ {
+		b.AddVertex(g.Label(v))
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if int(w) > v {
+				b.AddEdge(v, int(w))
+			}
+		}
+	}
+	if extraVertex {
+		b.AddVertex(graph.Label(7))
+	}
+	return b.MustBuild()
+}
+
+// relabelVertex0 rebuilds g with vertex 0's label bumped, so the copy is
+// structurally distinct from g in exactly one vertex label.
+func relabelVertex0(g *graph.Graph) *graph.Graph {
+	b := graph.NewBuilder()
+	for v := 0; v < g.NumVertices(); v++ {
+		l := g.Label(v)
+		if v == 0 {
+			l++
+		}
+		b.AddVertex(l)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if int(w) > v {
+				b.AddEdge(v, int(w))
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gcplus/internal/cache"
+	"gcplus/internal/dataset"
+	"gcplus/internal/graph"
+	"gcplus/internal/subiso"
+	"gcplus/internal/testutil"
+)
+
+// TestAvgTestCostGating pins the cost-estimator sampling gate: bypassed
+// queries and tiny candidate sets must not feed avgTestCost. Pre-fix,
+// every query with at least one test polluted the estimator — a bypassed
+// query runs outside the cache books, and a 3-test query's per-test
+// "cost" is mostly matcher compilation, so both skewed the costEst used
+// by HD/PINC admission scoring and the planner's algorithm choice.
+func TestAvgTestCostGating(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pool := make([]*graph.Graph, 12)
+	for i := range pool {
+		pool[i] = testutil.RandomConnectedGraph(rng, 8+rng.Intn(8), 4, 0.15)
+	}
+	cfg := &cache.Config{Capacity: 30, WindowSize: 5}
+	r, err := NewRuntime(dataset.New(pool), Options{Algorithm: subiso.VF2{}, Cache: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testutil.BFSExtract(rng, pool[0], 0, 3)
+
+	// Bypassed query over >= minCostSampleTests candidates: no sample.
+	res, err := r.SubgraphQueryCtx(context.Background(), q, QueryOptions{BypassCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SubIsoTests < minCostSampleTests {
+		t.Fatalf("fixture too small: %d tests, want >= %d", res.Stats.SubIsoTests, minCostSampleTests)
+	}
+	if !res.Stats.CacheBypassed {
+		t.Fatal("expected CacheBypassed")
+	}
+	if n := r.avgTestCost.N(); n != 0 {
+		t.Fatalf("bypassed query polluted avgTestCost: N = %d, want 0", n)
+	}
+
+	// Tiny candidate set (below the sample floor): no sample either.
+	rSmall, err := NewRuntime(dataset.New(pool[:4]), Options{Algorithm: subiso.VF2{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = rSmall.SubgraphQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SubIsoTests >= minCostSampleTests {
+		t.Fatalf("fixture too large: %d tests", res.Stats.SubIsoTests)
+	}
+	if n := rSmall.avgTestCost.N(); n != 0 {
+		t.Fatalf("tiny candidate set polluted avgTestCost: N = %d, want 0", n)
+	}
+
+	// A normal query over a big enough set is a sample.
+	if _, err := r.SubgraphQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.avgTestCost.N(); n < 1 {
+		t.Fatalf("normal query not sampled: N = %d, want >= 1", n)
+	}
+}
+
+// TestParallelVerifyCancelAccounting pins the cancellation accounting of
+// the verification pool: a cancelled parallel verify must book every
+// worker's busy time into VerifyCPUTime (not bail at the first cancelled
+// worker) and report the fan-out width, so verify_cpu_sec stays honest
+// exactly when operators read it — under deadline pressure.
+func TestParallelVerifyCancelAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pool := make([]*graph.Graph, 256)
+	for i := range pool {
+		pool[i] = testutil.RandomConnectedGraph(rng, 8+rng.Intn(10), 4, 0.15)
+	}
+	r, err := NewRuntime(dataset.New(pool), Options{Algorithm: subiso.VF2{}, VerifyParallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testutil.BFSExtract(rng, pool[0], 0, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // every worker hits its first checkpoint already cancelled
+
+	live := r.ds.LiveSnapshot()
+	csm := live.Clone()
+	st := QueryStats{Kind: cache.KindSub, CandidatesBefore: csm.Count()}
+	_, err = r.verify(ctx, q, cache.KindSub, csm, &st, 0)
+	var ce *CancelError
+	if !errors.As(err, &ce) || ce.Stage != "verify" {
+		t.Fatalf("want *CancelError at stage verify, got %v", err)
+	}
+	if st.VerifyWorkers != 4 {
+		t.Fatalf("VerifyWorkers = %d, want 4", st.VerifyWorkers)
+	}
+	if st.VerifyCPUTime <= 0 {
+		t.Fatalf("cancelled parallel verify dropped worker busy time: VerifyCPUTime = %v", st.VerifyCPUTime)
+	}
+	if st.VerifyTime <= 0 {
+		t.Fatalf("VerifyTime = %v, want > 0", st.VerifyTime)
+	}
+
+	// Sequential path: the busy time up to the checkpoint is booked too.
+	csm2 := live.Clone()
+	st2 := QueryStats{Kind: cache.KindSub, CandidatesBefore: csm2.Count()}
+	_, err = r.verify(ctx, q, cache.KindSub, csm2, &st2, 1)
+	if !errors.As(err, &ce) || ce.Stage != "verify" {
+		t.Fatalf("want *CancelError at stage verify, got %v", err)
+	}
+	if st2.VerifyWorkers != 1 {
+		t.Fatalf("VerifyWorkers = %d, want 1", st2.VerifyWorkers)
+	}
+	if st2.VerifyCPUTime <= 0 {
+		t.Fatalf("cancelled sequential verify dropped busy time: VerifyCPUTime = %v", st2.VerifyCPUTime)
+	}
+}
+
+// TestPlanCacheReuse exercises the compiled-plan cache's three reuse
+// tiers: pointer-identical repeat, structurally equal repeat (clone), and
+// the isomorphic-but-renumbered case, which must be a miss — its compiled
+// matchers would test against the wrong vertex numbering — while still
+// producing bit-identical answers to a planner-off runtime.
+func TestPlanCacheReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pool := make([]*graph.Graph, 40)
+	for i := range pool {
+		pool[i] = testutil.RandomConnectedGraph(rng, 8+rng.Intn(10), 4, 0.15)
+	}
+	rPlan, err := NewRuntime(dataset.New(pool), Options{Algorithm: subiso.VF2{}, EnablePlanner: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBase, err := NewRuntime(dataset.New(pool), Options{Algorithm: subiso.VF2{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(q *graph.Graph, wantCached bool, what string) *Result {
+		t.Helper()
+		got, err := rPlan.SubgraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := rBase.SubgraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Answer.Equal(want.Answer) {
+			t.Fatalf("%s: planner answer %v != baseline %v", what, got.AnswerIDs(), want.AnswerIDs())
+		}
+		if got.Stats.PlanAlgorithm == "" {
+			t.Fatalf("%s: PlanAlgorithm empty with planner on", what)
+		}
+		if got.Stats.PlanCached != wantCached {
+			t.Fatalf("%s: PlanCached = %v, want %v", what, got.Stats.PlanCached, wantCached)
+		}
+		return got
+	}
+
+	q := testutil.BFSExtract(rng, pool[0], 0, 4)
+	check(q, false, "first execution")
+	check(q, true, "pointer repeat")
+	check(q.Clone(), true, "structural clone")
+
+	// Same canonical key, different vertex numbering: a confirmed miss.
+	a := graph.Path(1, 2, 3)
+	b := graph.Path(3, 2, 1)
+	check(a, false, "path 1-2-3")
+	check(b, false, "renumbered isomorph 3-2-1")
+
+	if hits := rPlan.Metrics().PlanCacheHits; hits < 2 {
+		t.Fatalf("PlanCacheHits = %d, want >= 2", hits)
+	}
+
+	// Plan caching disabled (negative size): planning still runs, every
+	// query is a miss, answers unchanged.
+	rNoCache, err := NewRuntime(dataset.New(pool), Options{Algorithm: subiso.VF2{}, EnablePlanner: true, PlanCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := rNoCache.SubgraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.PlanCached {
+			t.Fatal("PlanCached with plan caching disabled")
+		}
+		want, err := rBase.SubgraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Answer.Equal(want.Answer) {
+			t.Fatalf("no-plan-cache answer diverged: %v != %v", res.AnswerIDs(), want.AnswerIDs())
+		}
+	}
+	if m := rNoCache.Metrics(); m.PlanCacheHits != 0 || m.PlanCacheMisses != 2 {
+		t.Fatalf("plan-cache-off metrics = %d hits / %d misses, want 0/2", m.PlanCacheHits, m.PlanCacheMisses)
+	}
+}
+
+// TestStreamingVerify pins the streaming contract: with Limit k the
+// answer is exactly the k smallest ids of the full answer set, OnAnswer
+// sees ids ascending, a full stream is bit-identical to the exact path,
+// and a truncated answer is never admitted to the cache.
+func TestStreamingVerify(t *testing.T) {
+	// Even ids contain the query path, odd ids do not: the full answer is
+	// the 15 even ids, interleaved with non-answers so streaming has to
+	// skip candidates between emissions.
+	var pool []*graph.Graph
+	for i := 0; i < 30; i++ {
+		if i%2 == 0 {
+			pool = append(pool, graph.Path(1, 2, 3))
+		} else {
+			pool = append(pool, graph.Path(4, 5, 6))
+		}
+	}
+	q := graph.Path(1, 2)
+	ctx := context.Background()
+
+	r, err := NewRuntime(dataset.New(pool), Options{Algorithm: subiso.VF2{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.SubgraphQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullIDs := full.AnswerIDs()
+	if len(fullIDs) != 15 {
+		t.Fatalf("fixture: full answer has %d ids, want 15", len(fullIDs))
+	}
+
+	// Limit below the answer size: exact prefix, truncated.
+	res, err := r.SubgraphQueryCtx(ctx, q, QueryOptions{Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.AnswerIDs(); len(got) != 5 {
+		t.Fatalf("Limit=5 returned %d ids", len(got))
+	} else {
+		for i, id := range got {
+			if id != fullIDs[i] {
+				t.Fatalf("Limit=5 ids %v are not the smallest-5 prefix of %v", got, fullIDs[:5])
+			}
+		}
+	}
+	if !res.Stats.Truncated {
+		t.Fatal("Limit=5 over 15 answers: Truncated not set")
+	}
+
+	// Limit above the answer size: complete and not truncated.
+	res, err = r.SubgraphQueryCtx(ctx, q, QueryOptions{Limit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answer.Equal(full.Answer) || res.Stats.Truncated {
+		t.Fatalf("Limit=100: answer %v truncated=%v, want full answer untruncated",
+			res.AnswerIDs(), res.Stats.Truncated)
+	}
+
+	// OnAnswer full stream: ids arrive ascending and the final answer is
+	// bit-identical to the exact path.
+	var seen []int
+	res, err = r.SubgraphQueryCtx(ctx, q, QueryOptions{OnAnswer: func(id int) bool {
+		seen = append(seen, id)
+		return true
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answer.Equal(full.Answer) || res.Stats.Truncated {
+		t.Fatal("full OnAnswer stream diverged from the exact answer")
+	}
+	if len(seen) != len(fullIDs) {
+		t.Fatalf("OnAnswer saw %d ids, want %d", len(seen), len(fullIDs))
+	}
+	for i, id := range seen {
+		if id != fullIDs[i] {
+			t.Fatalf("OnAnswer order %v != ascending %v", seen, fullIDs)
+		}
+	}
+
+	// OnAnswer early stop: truncated after exactly 3 emissions.
+	seen = seen[:0]
+	res, err = r.SubgraphQueryCtx(ctx, q, QueryOptions{OnAnswer: func(id int) bool {
+		seen = append(seen, id)
+		return len(seen) < 3
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || !res.Stats.Truncated {
+		t.Fatalf("early stop: saw %d ids, truncated=%v", len(seen), res.Stats.Truncated)
+	}
+
+	// Cache interaction: a truncated answer must never be admitted; the
+	// following exact query is, and an iso-hit repeat streams through the
+	// §6.3 shortcut.
+	rc, err := NewRuntime(dataset.New(pool), Options{
+		Algorithm: subiso.VF2{},
+		Cache:     &cache.Config{Capacity: 30, WindowSize: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.SubgraphQueryCtx(ctx, q, QueryOptions{Limit: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if n := rc.cache.Size() + rc.cache.WindowLen(); n != 0 {
+		t.Fatalf("truncated answer admitted: %d cache/window entries", n)
+	}
+	if _, err := rc.SubgraphQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	if n := rc.cache.Size() + rc.cache.WindowLen(); n == 0 {
+		t.Fatal("exact query not admitted")
+	}
+	res, err = rc.SubgraphQueryCtx(ctx, q.Clone(), QueryOptions{Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.ExactHit {
+		t.Fatal("iso repeat with Limit did not take the exact-hit shortcut")
+	}
+	if got := res.AnswerIDs(); len(got) != 3 || got[0] != fullIDs[0] || got[2] != fullIDs[2] {
+		t.Fatalf("iso-hit Limit=3 ids = %v, want %v", got, fullIDs[:3])
+	}
+	if !res.Stats.Truncated {
+		t.Fatal("iso-hit clipped answer: Truncated not set")
+	}
+}
+
+// TestPlannerStreamingEquivalence cross-checks the planner and streaming
+// paths against the default pipeline on a randomized workload: same
+// answers, in every combination, with the dataset evolving between
+// queries.
+func TestPlannerStreamingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pool := make([]*graph.Graph, 80)
+	for i := range pool {
+		pool[i] = testutil.RandomConnectedGraph(rng, 6+rng.Intn(16), 4, 0.12)
+	}
+	cfg := func() *cache.Config { return &cache.Config{Capacity: 30, WindowSize: 5} }
+	newRT := func(o Options) *Runtime {
+		t.Helper()
+		r, err := NewRuntime(dataset.New(pool), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := newRT(Options{Algorithm: subiso.VF2{}, Cache: cfg()})
+	plan := newRT(Options{Algorithm: subiso.VF2{}, Cache: cfg(), EnablePlanner: true})
+	ctx := context.Background()
+	var issued []*graph.Graph
+	for step := 0; step < 60; step++ {
+		var q *graph.Graph
+		if len(issued) > 0 && rng.Float64() < 0.4 {
+			// Repeat an earlier query as a fresh clone — the Zipf-repeat
+			// shape the plan cache exists for.
+			q = issued[rng.Intn(len(issued))].Clone()
+		} else {
+			src := pool[rng.Intn(len(pool))]
+			q = testutil.BFSExtract(rng, src, rng.Intn(src.NumVertices()), 2+rng.Intn(6))
+		}
+		issued = append(issued, q)
+		kind := cache.KindSub
+		if step%3 == 0 {
+			kind = cache.KindSuper
+		}
+		run := func(r *Runtime, opt QueryOptions) *Result {
+			t.Helper()
+			var res *Result
+			var err error
+			if kind == cache.KindSub {
+				res, err = r.SubgraphQueryCtx(ctx, q, opt)
+			} else {
+				res, err = r.SupergraphQueryCtx(ctx, q, opt)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		want := run(base, QueryOptions{})
+		if got := run(plan, QueryOptions{}); !got.Answer.Equal(want.Answer) {
+			t.Fatalf("step %d: planner answer %v != baseline %v", step, got.AnswerIDs(), want.AnswerIDs())
+		}
+		// Streaming with a generous limit must reproduce the full answer
+		// on a *fresh* runtime (streaming against warm runtimes is pinned
+		// by the oracle; here the point is the stream/exact equivalence).
+		if step%10 == 0 {
+			fresh := newRT(Options{Algorithm: subiso.VF2{}, EnablePlanner: true})
+			if got := run(fresh, QueryOptions{Limit: len(pool) + 1}); !got.Answer.Equal(want.Answer) {
+				t.Fatalf("step %d: streamed answer %v != baseline %v", step, got.AnswerIDs(), want.AnswerIDs())
+			}
+		}
+	}
+	if plan.Metrics().PlanCacheHits == 0 {
+		t.Fatal("randomized repeat workload produced zero plan-cache hits")
+	}
+}

@@ -50,6 +50,19 @@ type Options struct {
 	// scratch, and the per-worker answer bitsets are merged. 0 (the
 	// default) means GOMAXPROCS; 1 keeps verification sequential.
 	VerifyParallelism int
+	// EnablePlanner turns on the cost-based per-query planner: each query
+	// gets a plan choosing the Method M algorithm (VF2/VF2+/GQL) and the
+	// verification parallelism from measured per-kind cost moments, and
+	// compiled plans (matchers, fingerprint, hit-classification memo) are
+	// cached under the query's canonical key so isomorphic repeats skip
+	// compilation and planning entirely. Off by default; answers are
+	// bit-identical either way (every candidate algorithm is exact).
+	EnablePlanner bool
+	// PlanCacheSize bounds the compiled-plan cache (entries, per kind
+	// combined). 0 means DefaultPlanCacheSize when the planner is on;
+	// negative disables plan caching while keeping the planner's
+	// algorithm and parallelism choices.
+	PlanCacheSize int
 }
 
 // Runtime executes subgraph/supergraph queries against a dataset,
@@ -69,6 +82,13 @@ type Runtime struct {
 	// avgTestCost tracks the observed mean cost of one Method M sub-iso
 	// test; it seeds cost estimates for entries admitted with zero tests.
 	avgTestCost stats.Running
+
+	// planner is the cost-based per-query planner plus its compiled-plan
+	// cache (nil unless Options.EnablePlanner). plan is the current
+	// query's plan, set at the top of process; the runtime is
+	// single-threaded per query, so one field suffices.
+	planner *planner
+	plan    *queryPlan
 
 	m     Metrics
 	hists *StageHists
@@ -94,6 +114,16 @@ func NewRuntime(ds *dataset.Dataset, opts Options) (*Runtime, error) {
 	}
 	if r.verifyPar <= 0 {
 		r.verifyPar = runtime.GOMAXPROCS(0)
+	}
+	if opts.EnablePlanner {
+		size := opts.PlanCacheSize
+		if size == 0 {
+			size = DefaultPlanCacheSize
+		}
+		if size < 0 {
+			size = 0
+		}
+		r.planner = newPlanner(r.algo, r.hitAlgo, size)
 	}
 	if opts.Cache != nil {
 		// Fail loudly and gracefully on a mistyped policy or model
@@ -193,6 +223,21 @@ type QueryStats struct {
 	// BypassCache while a cache was configured — pure Method M, no
 	// admission (degraded-mode serving).
 	CacheBypassed bool
+	// PlanTime is the planner's share of QueryTime: plan-cache lookup
+	// plus, on a miss, compilation and algorithm choice. Zero when the
+	// planner is off.
+	PlanTime time.Duration
+	// PlanAlgorithm names the Method M algorithm the planner chose for
+	// this query (empty when the planner is off).
+	PlanAlgorithm string
+	// PlanCached reports that the query reused a cached compiled plan
+	// (pointer-identical or structurally equal repeat).
+	PlanCached bool
+	// Truncated reports a streaming query stopped early — by
+	// QueryOptions.Limit or an OnAnswer callback returning false — so
+	// the answer may be a proper prefix of the full answer set. Truncated
+	// answers are never admitted to (or refreshed into) the cache.
+	Truncated bool
 }
 
 // QueryOptions tunes one query execution. The zero value is the
@@ -208,7 +253,26 @@ type QueryOptions struct {
 	// below the runtime's configured parallelism — the pressure
 	// controller's first degradation step.
 	MaxVerifyParallelism int
+	// Limit, when > 0, streams verification: candidates are examined in
+	// ascending id order, interleaved with the sure positives of formula
+	// (1), and the query returns as soon as Limit answers are known —
+	// the answer is then exactly the Limit smallest ids of the full
+	// answer set. Stats.Truncated reports whether anything was cut; a
+	// truncated answer is not admitted to the cache. 0 keeps the default
+	// exact-answer mode.
+	Limit int
+	// OnAnswer, when non-nil, also streams: it is invoked with each
+	// answer id, in ascending order, the moment the id is known to be an
+	// answer (before verification of the remaining candidates).
+	// Returning false stops the query early, like hitting Limit. The
+	// callback runs on the query's goroutine and must not call back into
+	// the Runtime. Streaming verification is sequential: Limit/OnAnswer
+	// disable the intra-query worker pool for this query.
+	OnAnswer func(id int) bool
 }
+
+// streaming reports whether the options request streaming verification.
+func (o QueryOptions) streaming() bool { return o.Limit > 0 || o.OnAnswer != nil }
 
 // CancelError reports a query abandoned at a cooperative cancellation
 // checkpoint, naming the stage that observed the cancelled context.
@@ -266,6 +330,26 @@ func (r *Runtime) process(ctx context.Context, g *graph.Graph, kind cache.Kind, 
 	useCache := r.cache != nil && !opt.BypassCache
 	st.CacheBypassed = r.cache != nil && opt.BypassCache
 
+	// Planning: resolve (or reuse) the compiled plan for this query. The
+	// plan carries the verify matcher for the chosen algorithm plus the
+	// hit-discovery artifacts (fingerprint, both query-to-query matchers,
+	// relation memo), so a plan-cache hit skips every per-query
+	// compilation below. Sound for bypassed queries too: plan artifacts
+	// are pure compile state, independent of cache contents.
+	r.plan = nil
+	if r.planner != nil {
+		pt0 := time.Now()
+		r.plan = r.planner.planFor(g, kind, &st)
+		st.PlanTime = time.Since(pt0)
+		st.PlanAlgorithm = r.plan.verify.Name()
+		if r.cache != nil {
+			// Seed the query index with the plan's memoized path
+			// signatures: on a plan hit, indexed hit discovery then skips
+			// the signature extraction — its dominant per-query cost.
+			r.cache.PrimeQuerySigs(g, r.plan.sigsFor(r.cache.QuerySigPathLen()))
+		}
+	}
+
 	// Consistency point: reconcile cache with the dataset log (§4: the
 	// Dataset Manager first identifies whether the dataset has changed;
 	// if so the Cache Validator is triggered). A bypassed query skips
@@ -299,6 +383,9 @@ func (r *Runtime) process(ctx context.Context, g *graph.Graph, kind cache.Kind, 
 			iso.Credit(st.CandidatesBefore, r.cache.Tick())
 			ans := iso.Answer.Clone()
 			ans.And(live)
+			if opt.streaming() {
+				ans = streamClip(ans, opt, &st)
+			}
 			st.TestsSaved = st.CandidatesBefore
 			return r.finish(g, kind, ans, live, iso, direct, restrict, true, start, &st)
 		}
@@ -356,13 +443,42 @@ func (r *Runtime) process(ctx context.Context, g *graph.Graph, kind cache.Kind, 
 
 	// Verification: Method M sub-iso tests over the pruned candidate set,
 	// through the compiled matcher and (when configured) the intra-query
-	// worker pool.
-	verified, err := r.verify(ctx, g, kind, csm, &st, opt.MaxVerifyParallelism)
+	// worker pool. The planner may cap the pool further: when the
+	// measured per-test cost says the whole candidate set verifies in
+	// less than the fan-out/join overhead, parallelism only adds latency.
+	maxPar := opt.MaxVerifyParallelism
+	if r.plan != nil {
+		if c := r.planner.parallelCap(kind, r.plan.algoIdx, csm.Count()); c > 0 && (maxPar == 0 || c < maxPar) {
+			maxPar = c
+		}
+	}
+	var (
+		verified *bitset.Set
+		err      error
+	)
+	if opt.streaming() {
+		// Streaming folds formula (3) into the emission loop (sure
+		// positives interleave with verified candidates in id order).
+		verified, err = r.streamVerify(ctx, g, kind, answerSure, csm, &st, opt)
+		answerSure = nil
+	} else {
+		verified, err = r.verify(ctx, g, kind, csm, &st, maxPar)
+	}
 	if err != nil {
 		return nil, err
 	}
-	if st.SubIsoTests > 0 {
-		r.avgTestCost.Add(st.VerifyCPUTime.Seconds() / float64(st.SubIsoTests))
+	// Feed the per-test cost estimator only from samples that measure
+	// what it models: bypassed queries run outside the cache books, and
+	// tiny candidate sets are dominated by fixed per-query overhead
+	// (matcher compile, pool fan-out), so both would skew the costEst
+	// used for HD/PINC admission scoring and the planner's algorithm
+	// choice.
+	if !st.CacheBypassed && st.SubIsoTests >= minCostSampleTests {
+		perTest := st.VerifyCPUTime.Seconds() / float64(st.SubIsoTests)
+		r.avgTestCost.Add(perTest)
+		if r.plan != nil {
+			r.planner.note(kind, r.plan.algoIdx, perTest)
+		}
 	}
 
 	// Formula (3): final answer = verified ∪ sure positives.
@@ -397,6 +513,13 @@ func (r *Runtime) verify(ctx context.Context, g *graph.Graph, kind cache.Kind, c
 		return verified, nil
 	}
 	compile := func() *subiso.Matcher {
+		if p := r.plan; p != nil {
+			// The plan already compiled the matcher for the chosen
+			// algorithm and direction (and caches it across isomorphic
+			// repeats). Sequential use and Fork() are both fine: the
+			// runtime is single-threaded per query.
+			return p.verify
+		}
 		if kind == cache.KindSub {
 			// "which graphs contain g": g is the pattern, candidates the targets.
 			return subiso.CompileSub(g, r.algo)
@@ -434,12 +557,12 @@ func (r *Runtime) verify(ctx context.Context, g *graph.Graph, kind cache.Kind, c
 			}
 			return true
 		})
-		if cancelled {
-			return nil, &CancelError{Stage: "verify", Err: ctx.Err()}
-		}
 		st.VerifyTime = time.Since(vt0)
 		st.VerifyCPUTime = st.VerifyTime
 		st.VerifyWorkers = 1
+		if cancelled {
+			return nil, &CancelError{Stage: "verify", Err: ctx.Err()}
+		}
 		return verified, nil
 	}
 	ids := csm.Indices()
@@ -475,16 +598,126 @@ func (r *Runtime) verify(ctx context.Context, g *graph.Graph, kind cache.Kind, c
 		}(w, ids[lo:hi])
 	}
 	wg.Wait()
+	// Book every worker's busy time before deciding the outcome: a
+	// cancelled worker still burned CPU up to its checkpoint, and
+	// verify_cpu_sec must account for all of it — under deadline
+	// pressure (exactly when operators read this gauge) returning at
+	// the first cancelled worker would silently drop the busy time of
+	// every worker after it.
+	anyCancelled := false
 	for w := 0; w < workers; w++ {
-		if cancelled[w] {
-			return nil, &CancelError{Stage: "verify", Err: ctx.Err()}
-		}
-		verified.Or(parts[w])
 		st.VerifyCPUTime += busy[w]
+		anyCancelled = anyCancelled || cancelled[w]
 	}
 	st.VerifyTime = time.Since(vt0)
 	st.VerifyWorkers = workers
+	if anyCancelled {
+		return nil, &CancelError{Stage: "verify", Err: ctx.Err()}
+	}
+	for w := 0; w < workers; w++ {
+		verified.Or(parts[w])
+	}
 	return verified, nil
+}
+
+// streamVerify is the streaming counterpart of verify plus formula (3):
+// it walks the union of the sure positives (formula (1)) and the pruned
+// candidate set in ascending id order, emitting each answer the moment
+// it is known — sure positives without a test, candidates right after
+// their Method M test — and stops once opt.Limit answers are out or an
+// OnAnswer callback returns false. Ids are visited in ascending order,
+// so an early-stopped answer is exactly the smallest |answer| ids of the
+// full answer set. Streaming is sequential by construction (answers must
+// come out in order), so it ignores the worker pool.
+func (r *Runtime) streamVerify(ctx context.Context, g *graph.Graph, kind cache.Kind, sure, csm *bitset.Set, st *QueryStats, opt QueryOptions) (*bitset.Set, error) {
+	st.TestsSaved = st.CandidatesBefore - csm.Count()
+	union := csm.Clone()
+	if sure != nil {
+		union.Or(sure) // disjoint: the pruner removed sure ids from csm
+	}
+	var m *subiso.Matcher
+	if p := r.plan; p != nil {
+		m = p.verify
+	} else if kind == cache.KindSub {
+		m = subiso.CompileSub(g, r.algo)
+	} else {
+		m = subiso.CompileSuper(g, r.algo)
+	}
+	out := bitset.New(st.CandidatesBefore)
+	done := ctx.Done()
+	vt0 := time.Now()
+	tests, emitted := 0, 0
+	stopped, cancelled := false, false
+	union.ForEach(func(id int) bool {
+		if sure == nil || !sure.Get(id) {
+			if tests++; tests%cancelCheckInterval == 0 {
+				select {
+				case <-done:
+					cancelled = true
+					return false
+				default:
+				}
+			}
+			if !m.Contains(r.ds.Graph(id)) {
+				return true
+			}
+		}
+		out.Set(id)
+		emitted++
+		if opt.OnAnswer != nil && !opt.OnAnswer(id) {
+			stopped = true
+			return false
+		}
+		if opt.Limit > 0 && emitted >= opt.Limit {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	// SubIsoTests counts tests actually executed: a streaming query may
+	// stop before exhausting the candidate set, so the exact identity
+	// CandidatesBefore = SubIsoTests + TestsSaved of the full
+	// verification path does not hold for truncated queries.
+	st.SubIsoTests = tests
+	st.VerifyTime = time.Since(vt0)
+	st.VerifyCPUTime = st.VerifyTime
+	st.VerifyWorkers = 1
+	if cancelled {
+		return nil, &CancelError{Stage: "verify", Err: ctx.Err()}
+	}
+	if stopped {
+		// Conservative: stopping at the very last candidate could still
+		// have produced the complete answer, but proving that would mean
+		// testing the remainder — exactly what streaming avoids.
+		st.Truncated = true
+	}
+	return out, nil
+}
+
+// streamClip applies streaming semantics to an answer already known in
+// full (the §6.3 isomorphic-hit shortcut): emit ascending, honoring
+// OnAnswer and Limit. Truncated is set only when ids were actually
+// withheld, so a limit landing exactly on the final answer stays
+// complete — and therefore cache-refresh eligible.
+func streamClip(ans *bitset.Set, opt QueryOptions, st *QueryStats) *bitset.Set {
+	total := ans.Count()
+	out := bitset.New(st.CandidatesBefore)
+	emitted := 0
+	ans.ForEach(func(id int) bool {
+		out.Set(id)
+		emitted++
+		if opt.OnAnswer != nil && !opt.OnAnswer(id) {
+			return false
+		}
+		if opt.Limit > 0 && emitted >= opt.Limit {
+			return false
+		}
+		return true
+	})
+	if emitted < total {
+		st.Truncated = true
+	}
+	return out
 }
 
 // finish feeds the executed query back to the Cache Manager (overhead),
@@ -498,9 +731,11 @@ func (r *Runtime) verify(ctx context.Context, g *graph.Graph, kind cache.Kind, c
 // A bypassed query (admit == false) skips the Cache Manager entirely:
 // its answer was computed without consulting cache state, so neither
 // refreshing an entry nor admitting a new one would be justified by a
-// classification that never ran.
+// classification that never ran. A truncated streaming answer is
+// likewise never admitted or refreshed: it may be a proper prefix of the
+// true answer set, and the cache must only ever hold exact facts.
 func (r *Runtime) finish(g *graph.Graph, kind cache.Kind, answer, live *bitset.Set, iso *cache.Entry, direct, restrict []*cache.Entry, admit bool, start time.Time, st *QueryStats) (*Result, error) {
-	if admit && r.cache != nil {
+	if admit && r.cache != nil && !st.Truncated {
 		at0 := time.Now()
 		if iso != nil {
 			// Through the cache so the invalidation index follows the
@@ -633,31 +868,108 @@ type hitClassifier struct {
 	// the whole pass exactly as in the verification loop.
 	gAsPattern *subiso.Matcher // g ⊆ cached query?
 	gAsTarget  *subiso.Matcher // cached query ⊆ g?
-	st         *QueryStats
+	// memo, when a compiled plan carries one, caches query-to-query
+	// containment verdicts keyed by the cached query's graph pointer.
+	// Sound forever: graphs are immutable, and whether one contains
+	// another is a dataset-independent fact, so an isomorphic repeat
+	// replays hit classification with zero query-to-query tests.
+	memo map[*graph.Graph]uint8
+	st   *QueryStats
 
 	direct, restrict []*cache.Entry
 	iso              *cache.Entry
 }
 
+// memo bits: the *Known bit marks a computed verdict, the *True bit its
+// value. "contain" is g ⊆ e.Query (fingerprint prefilter included),
+// "contained" is e.Query ⊆ g.
+const (
+	memoContainKnown uint8 = 1 << iota
+	memoContainTrue
+	memoContainedKnown
+	memoContainedTrue
+)
+
 func (r *Runtime) newHitClassifier(g *graph.Graph, kind cache.Kind, st *QueryStats) *hitClassifier {
-	return &hitClassifier{
-		kind:       kind,
-		qf:         feature.Of(g),
-		gAsPattern: subiso.CompileSub(g, r.hitAlgo),
-		gAsTarget:  subiso.CompileSuper(g, r.hitAlgo),
-		st:         st,
+	h := &hitClassifier{kind: kind, st: st}
+	if p := r.plan; p != nil {
+		h.qf = p.qf
+		h.gAsPattern = p.gAsPattern
+		h.gAsTarget = p.gAsTarget
+		h.memo = p.ensureMemo()
+		return h
 	}
+	h.qf = feature.Of(g)
+	h.gAsPattern = subiso.CompileSub(g, r.hitAlgo)
+	h.gAsTarget = subiso.CompileSuper(g, r.hitAlgo)
+	return h
 }
 
 func (h *hitClassifier) visit(e *cache.Entry, mayContain, mayBeContained bool) {
 	// Fingerprint prefilters in both directions, then the decisive
 	// query-to-query tests. An isomorphic entry is *both* a containing
 	// and a contained hit (and the second test is skipped: same size
-	// plus one-directional containment forces isomorphism).
-	isContaining := mayContain && h.qf.SubsumedBy(e.Fp) && h.gAsPattern.Contains(e.Query)
-	isContained := mayBeContained && e.Fp.SubsumedBy(h.qf) &&
-		((isContaining && e.Fp.SameSize(h.qf)) || h.gAsTarget.Contains(e.Query))
+	// plus one-directional containment forces isomorphism). When the
+	// plan memo already knows a verdict the test is skipped; a computed
+	// verdict is stored for the next repeat. A false prefilter verdict
+	// means the relation is guaranteed absent, so nothing needs to be
+	// computed or memoized on that side.
+	var bits uint8
+	if h.memo != nil {
+		bits = h.memo[e.Query]
+	}
+	isContaining := false
+	if mayContain {
+		if bits&memoContainKnown != 0 {
+			isContaining = bits&memoContainTrue != 0
+		} else {
+			isContaining = h.qf.SubsumedBy(e.Fp) && h.gAsPattern.Contains(e.Query)
+			bits |= memoContainKnown
+			if isContaining {
+				bits |= memoContainTrue
+			}
+		}
+	}
+	isContained := false
+	if mayBeContained {
+		if bits&memoContainedKnown != 0 {
+			isContained = bits&memoContainedTrue != 0
+		} else {
+			isContained = e.Fp.SubsumedBy(h.qf) &&
+				((isContaining && e.Fp.SameSize(h.qf)) || h.gAsTarget.Contains(e.Query))
+			bits |= memoContainedKnown
+			if isContained {
+				bits |= memoContainedTrue
+			}
+		}
+	}
+	if h.memo != nil {
+		h.memo[e.Query] = bits
+	}
 	h.record(e, isContaining, isContained)
+}
+
+// isoProbe reports whether e.Query is isomorphic to g: exact feature
+// match plus one-directional containment. The containment verdict is
+// read from (and recorded into) the plan memo when one is attached.
+func (h *hitClassifier) isoProbe(e *cache.Entry) bool {
+	if !h.qf.SubsumedBy(e.Fp) || !e.Fp.SubsumedBy(h.qf) {
+		return false
+	}
+	if h.memo != nil {
+		if bits := h.memo[e.Query]; bits&memoContainKnown != 0 {
+			return bits&memoContainTrue != 0
+		}
+	}
+	v := h.gAsPattern.Contains(e.Query)
+	if h.memo != nil {
+		bits := h.memo[e.Query] | memoContainKnown
+		if v {
+			bits |= memoContainTrue
+		}
+		h.memo[e.Query] = bits
+	}
+	return v
 }
 
 // record books one classified entry; the relation fast path calls it
@@ -723,7 +1035,7 @@ func (r *Runtime) findHitsIndexed(g *graph.Graph, kind cache.Kind, st *QueryStat
 	var isoBase *cache.Entry
 	r.cache.ForEachIsoCandidate(kind, g, func(e *cache.Entry) bool {
 		probed++
-		if h.qf.SubsumedBy(e.Fp) && e.Fp.SubsumedBy(h.qf) && h.gAsPattern.Contains(e.Query) {
+		if h.isoProbe(e) {
 			isoBase = e
 			return false
 		}

@@ -1,0 +1,128 @@
+package ftv
+
+import (
+	"math/rand"
+	"testing"
+
+	"gcplus/internal/graph"
+)
+
+// permuteGraph rebuilds g with vertex v renamed to perm[v]. The result is
+// isomorphic to g by construction — the relabelled copies CanonicalKey
+// must treat as equal.
+func permuteGraph(g *graph.Graph, perm []int) *graph.Graph {
+	inv := make([]int, len(perm))
+	for old, nw := range perm {
+		inv[nw] = old
+	}
+	b := graph.NewBuilder()
+	for nw := 0; nw < len(perm); nw++ {
+		b.AddVertex(g.Label(inv[nw]))
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if int(w) > v {
+				b.AddEdge(perm[v], perm[int(w)])
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func randPerm(rng *rand.Rand, n int) []int { return rng.Perm(n) }
+
+// TestCanonicalKeyInvariance pins the plan-cache key contract: the key is
+// deterministic, ignores vertex numbering and graph names, and separates
+// the structurally distinct fixtures below.
+func TestCanonicalKeyInvariance(t *testing.T) {
+	fixtures := []*graph.Graph{
+		graph.Path(1, 2, 3),
+		graph.Path(3, 2, 1), // same key as above: path read in either direction
+		graph.Cycle(1, 2, 3),
+		graph.Star(0, 1, 1, 2),
+		graph.Clique(4, 4, 4),
+		graph.Path(1, 2, 3, 4, 5),
+		graph.NewBuilder().MustBuild(), // empty graph
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i, g := range fixtures {
+		key := CanonicalKey(g, 0)
+		if again := CanonicalKey(g, 0); again != key {
+			t.Fatalf("fixture %d: key not deterministic: %q vs %q", i, key, again)
+		}
+		if ck := CanonicalKey(g.Clone(), 0); ck != key {
+			t.Fatalf("fixture %d: clone key %q != %q", i, ck, key)
+		}
+		if def := CanonicalKey(g, DefaultMaxLen); def != key {
+			t.Fatalf("fixture %d: maxLen 0 does not default to DefaultMaxLen", i)
+		}
+		named := g.Clone()
+		named.SetName("renamed-for-test")
+		if nk := CanonicalKey(named, 0); nk != key {
+			t.Fatalf("fixture %d: key depends on graph name", i)
+		}
+		for trial := 0; trial < 5; trial++ {
+			p := permuteGraph(g, randPerm(rng, g.NumVertices()))
+			if pk := CanonicalKey(p, 0); pk != key {
+				t.Fatalf("fixture %d trial %d: permuted key %q != %q", i, trial, pk, key)
+			}
+		}
+	}
+	// Path(1,2,3) and Path(3,2,1) are the same undirected labelled path;
+	// everything else in the fixture set must have a distinct key.
+	keys := make(map[string]int)
+	for i, g := range fixtures {
+		k := CanonicalKey(g, 0)
+		if j, dup := keys[k]; dup {
+			if !(i == 1 && j == 0) {
+				t.Fatalf("fixtures %d and %d collide on key %q", j, i, k)
+			}
+			continue
+		}
+		keys[k] = i
+	}
+	if CanonicalKey(fixtures[0], 0) != CanonicalKey(fixtures[1], 0) {
+		t.Fatal("Path(1,2,3) and Path(3,2,1) must share a canonical key")
+	}
+}
+
+// FuzzCanonicalKey feeds arbitrary graphs through the plan-cache key:
+// the key must be deterministic, invariant under vertex renumbering, and
+// must always disagree when cheap isomorphism witnesses (vertex count,
+// edge count, label multiset) disagree.
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{3, 1, 2, 3, 0, 1, 1, 2, 0, 2}, uint8(1))
+	f.Add([]byte{6, 0, 0, 0, 0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 0}, uint8(7))
+	f.Add([]byte{1, 4}, uint8(255))
+	f.Fuzz(func(t *testing.T, data []byte, permSeed uint8) {
+		g := fuzzGraph(data)
+		key := CanonicalKey(g, 0)
+		if again := CanonicalKey(g, 0); again != key {
+			t.Fatalf("non-deterministic key: %q vs %q", key, again)
+		}
+		rng := rand.New(rand.NewSource(int64(permSeed)))
+		p := permuteGraph(g, randPerm(rng, g.NumVertices()))
+		if pk := CanonicalKey(p, 0); pk != key {
+			t.Fatalf("permuted graph key %q != original %q", pk, key)
+		}
+		// A one-vertex extension is never isomorphic to g, so its key must
+		// differ — the plan cache would otherwise serve a plan compiled
+		// for a different query shape.
+		b := graph.NewBuilder()
+		for v := 0; v < g.NumVertices(); v++ {
+			b.AddVertex(g.Label(v))
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, w := range g.Neighbors(v) {
+				if int(w) > v {
+					b.AddEdge(v, int(w))
+				}
+			}
+		}
+		b.AddVertex(graph.Label(9))
+		if ek := CanonicalKey(b.MustBuild(), 0); ek == key {
+			t.Fatalf("graph and its one-vertex extension share key %q", key)
+		}
+	})
+}

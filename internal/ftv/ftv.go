@@ -210,6 +210,60 @@ func PathSignatures(g *graph.Graph, maxLen int) []string {
 	return out
 }
 
+// CanonicalKey renders a deterministic, isomorphism-invariant key for g:
+// vertex and edge counts, the sorted degree sequence, the sorted
+// (label, count) multiset, and the canonical path signatures up to
+// maxLen (≤ 0 means DefaultMaxLen). Isomorphic graphs always produce
+// equal keys, so distinct keys prove non-isomorphism; equal keys are
+// strong but not conclusive evidence, and callers needing exactness
+// (like the query planner's plan cache) confirm with a structural or
+// sub-iso check.
+func CanonicalKey(g *graph.Graph, maxLen int) string {
+	if maxLen <= 0 {
+		maxLen = DefaultMaxLen
+	}
+	var b bytes.Buffer
+	b.WriteByte('v')
+	b.WriteString(strconv.Itoa(g.NumVertices()))
+	b.WriteString(";e")
+	b.WriteString(strconv.Itoa(g.NumEdges()))
+	degs := make([]int, g.NumVertices())
+	for v := range degs {
+		degs[v] = g.Degree(v)
+	}
+	sort.Ints(degs)
+	b.WriteString(";d")
+	for i, d := range degs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(d))
+	}
+	counts := g.LabelCounts()
+	labels := make([]int, 0, len(counts))
+	for l := range counts {
+		labels = append(labels, int(l))
+	}
+	sort.Ints(labels)
+	b.WriteString(";l")
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(l))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(counts[graph.Label(l)]))
+	}
+	b.WriteString(";p")
+	for i, sig := range PathSignatures(g, maxLen) {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(sig)
+	}
+	return b.String()
+}
+
 // canonicalAppend renders the label sequence into fwd and its reversal
 // into bwd ("17-3-42" style, byte-identical to the historical
 // fmt-formatted signatures), returning the grown buffers.

@@ -13,6 +13,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -82,8 +83,21 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sumNS.Add(ns)
 }
 
-// ObserveSeconds records one duration given in seconds.
+// ObserveSeconds records one duration given in seconds. Hostile floats
+// are tamed before the int64 conversion (whose result is otherwise
+// implementation-defined in Go): NaN and negatives record as 0, values
+// beyond the int64 nanosecond range saturate at the top bucket. The
+// histogram therefore never holds a count in an undefined bucket no
+// matter what arithmetic produced s.
 func (h *Histogram) ObserveSeconds(s float64) {
+	if math.IsNaN(s) || s <= 0 {
+		h.Observe(0)
+		return
+	}
+	if s >= float64(math.MaxInt64)/float64(time.Second) {
+		h.Observe(time.Duration(math.MaxInt64))
+		return
+	}
 	h.Observe(time.Duration(s * float64(time.Second)))
 }
 
@@ -108,7 +122,13 @@ func (h *Histogram) MeanSeconds() float64 {
 // exact bucket bound: the true quantile value v satisfies
 // lower(bucket) ≤ v ≤ returned bound, so the reported figure is never
 // below the true value by more than one bucket width (≤ 12.5% of the
-// value). Empty histograms yield 0.
+// value).
+//
+// Edge cases are pinned: an empty histogram yields 0 for every q; q
+// outside (0, 1) clamps (q ≤ 0 → minimum observation's bound, q ≥ 1 →
+// maximum's); a NaN q reads as 1 (the max) — the result is always a
+// finite, non-negative bucket bound, so no caller can leak NaN into
+// /stats JSON or the Prometheus exposition through this path.
 func (h *Histogram) Quantile(q float64) float64 {
 	// Rank against the sum of bucket counts, not h.count: under
 	// concurrent recording the two can differ transiently, and ranking
@@ -122,11 +142,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if total == 0 {
 		return 0
 	}
+	// NaN fails every comparison, so test it explicitly — a bare
+	// clamp pair would let it through to the int64 conversion below,
+	// whose result for NaN is implementation-defined.
+	if math.IsNaN(q) || q > 1 {
+		q = 1
+	}
 	if q < 0 {
 		q = 0
-	}
-	if q > 1 {
-		q = 1
 	}
 	rank := int64(q*float64(total) + 0.9999999999)
 	if rank < 1 {

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"regexp"
 	"sort"
@@ -99,6 +100,105 @@ func TestQuantileEdgeCases(t *testing.T) {
 	}
 	if got := h.Quantile(0); got > 0 {
 		t.Fatalf("q=0 = %v, want bucket 0 bound", got)
+	}
+}
+
+// TestQuantileHostileInputs pins Quantile against inputs outside (0, 1):
+// whatever q a caller computes — including NaN from a 0/0 upstream — the
+// result must be a finite, non-negative bucket bound.
+func TestQuantileHostileInputs(t *testing.T) {
+	h := NewHistogram()
+	// Empty histogram: every q, however hostile, reads 0.
+	for _, q := range []float64{math.NaN(), -1, 0, 0.5, 1, 2, math.Inf(1), math.Inf(-1)} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	h.Observe(time.Microsecond)
+	h.Observe(time.Millisecond)
+	h.Observe(time.Second)
+	lo, hi := h.Quantile(0), h.Quantile(1)
+	for _, q := range []float64{math.NaN(), -1, -0.001, 2, 1000, math.Inf(1), math.Inf(-1)} {
+		got := h.Quantile(q)
+		if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+			t.Fatalf("Quantile(%v) = %v, want finite non-negative", q, got)
+		}
+		if got < lo || got > hi {
+			t.Fatalf("Quantile(%v) = %v outside observed bound range [%v, %v]", q, got, lo, hi)
+		}
+	}
+	// NaN and +Inf clamp to the max, negatives to the min.
+	for _, q := range []float64{math.NaN(), 2, math.Inf(1)} {
+		if got := h.Quantile(q); got != hi {
+			t.Fatalf("Quantile(%v) = %v, want max bound %v", q, got, hi)
+		}
+	}
+	for _, q := range []float64{-1, math.Inf(-1)} {
+		if got := h.Quantile(q); got != lo {
+			t.Fatalf("Quantile(%v) = %v, want min bound %v", q, got, lo)
+		}
+	}
+}
+
+// TestObserveSecondsHostileFloats: whatever float arithmetic produced,
+// recording it must leave the histogram internally consistent — counts
+// land in real buckets and SumSeconds stays finite.
+func TestObserveSecondsHostileFloats(t *testing.T) {
+	h := NewHistogram()
+	hostile := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -5, 0, 1e300, 1e-12, 0.002}
+	for _, s := range hostile {
+		h.ObserveSeconds(s)
+	}
+	if h.Count() != int64(len(hostile)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(hostile))
+	}
+	var bucketSum int64
+	h.ForEachBucket(func(upper float64, c int64) {
+		if math.IsNaN(upper) || upper < 0 {
+			t.Fatalf("bucket bound %v invalid", upper)
+		}
+		bucketSum += c
+	})
+	// ForEachBucket skips the zero bucket only if empty; NaN/-Inf/-5/0
+	// all clamp into bucket 0, which is non-empty here, so the walk must
+	// account for every observation.
+	if bucketSum != h.Count() {
+		t.Fatalf("bucket sum %d != count %d: an observation landed outside the bucket range", bucketSum, h.Count())
+	}
+	if s := h.SumSeconds(); math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+		t.Fatalf("SumSeconds = %v, want finite non-negative", s)
+	}
+	if m := h.MeanSeconds(); math.IsNaN(m) || math.IsInf(m, 0) || m < 0 {
+		t.Fatalf("MeanSeconds = %v, want finite non-negative", m)
+	}
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if v := h.Quantile(q); math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("Quantile(%v) = %v after hostile observations", q, v)
+		}
+	}
+}
+
+// TestExpositionNoNaN: the grammar regexp in validateExposition accepts a
+// literal NaN sample value (Prometheus allows it), so absence of NaN from
+// histogram-derived series is asserted explicitly. Histograms fed hostile
+// floats must never render NaN into the exposition.
+func TestExpositionNoNaN(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("gc_hostile_seconds", "Hostile inputs.", nil)
+	for _, s := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1, 1e300, 0.004} {
+		h.ObserveSeconds(s)
+	}
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	validateExposition(t, out)
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("exposition contains NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "gc_hostile_seconds_count 6") {
+		t.Fatalf("exposition lost hostile observations:\n%s", out)
 	}
 }
 

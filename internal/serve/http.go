@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"gcplus/internal/changeplan"
@@ -27,6 +28,8 @@ const (
 //
 //	POST /query?kind=sub|super   body: one graph in the text codec
 //	     &trace=1                include the per-shard stage trace
+//	     &limit=N                stream: return the N smallest answer ids
+//	                             (exact prefix); "truncated" reports a cut
 //	POST /update                 body: JSON update batch (see updateRequest)
 //	GET  /stats                  JSON server + per-shard statistics
 //	GET  /metrics                Prometheus text exposition
@@ -63,6 +66,7 @@ type queryResponse struct {
 	SubIsoTests    int         `json:"subiso_tests"`
 	TestsSaved     int         `json:"tests_saved"`
 	ZeroTestShards int         `json:"zero_test_shards"`
+	Truncated      bool        `json:"truncated,omitempty"`
 	Trace          *QueryTrace `json:"trace,omitempty"`
 }
 
@@ -75,6 +79,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "kind must be sub or super, got %q", kind)
 		return
 	}
+	limit := 0
+	if l := r.URL.Query().Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "limit must be a positive integer, got %q", l)
+			return
+		}
+		limit = n
+	}
 	graphs, err := graph.Parse(http.MaxBytesReader(w, r.Body, maxQueryBodyBytes))
 	if err != nil {
 		httpError(w, bodyErrorStatus(err), "bad query graph: %v", err)
@@ -86,9 +99,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var res *QueryResult
 	if kind == "sub" {
-		res, err = s.SubgraphQueryCtx(r.Context(), graphs[0])
+		res, err = s.SubgraphQueryLimitCtx(r.Context(), graphs[0], limit)
 	} else {
-		res, err = s.SupergraphQueryCtx(r.Context(), graphs[0])
+		res, err = s.SupergraphQueryLimitCtx(r.Context(), graphs[0], limit)
 	}
 	if err != nil {
 		writeErr(w, err, "query failed: %v", err)
@@ -108,6 +121,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		SubIsoTests:    res.SubIsoTests,
 		TestsSaved:     res.TestsSaved,
 		ZeroTestShards: res.ZeroTestShards,
+		Truncated:      res.Truncated,
 	}
 	if t := r.URL.Query().Get("trace"); t == "1" || t == "true" {
 		out.Trace = res.Trace()

@@ -48,6 +48,8 @@ type serverObs struct {
 	walAppendErrs    *obs.Counter
 	snapshotsWritten *obs.Counter
 	lastSnapEpoch    *obs.Gauge
+	planCacheHits    *obs.Counter
+	planCacheMisses  *obs.Counter
 
 	// Resilience instruments (mirrored from Stats like the rest).
 	// degradedSeconds is a monotone float, hence a Gauge instrument
@@ -76,7 +78,7 @@ type serverObs struct {
 // stageHistNames orders the per-stage histogram series; the stage label
 // values match the Metrics field vocabulary of the paper's evaluation.
 var stageHistNames = []string{
-	"query", "hit", "verify", "verify_cpu", "overhead", "consistency", "repair_verify",
+	"query", "hit", "verify", "verify_cpu", "overhead", "consistency", "repair_verify", "plan",
 }
 
 // initObs builds the registry over the constructed shards. Called from
@@ -114,6 +116,10 @@ func (s *Server) initObs() {
 		"Snapshot generations written by this process.", nil)
 	o.lastSnapEpoch = r.Gauge("gcplus_last_snapshot_epoch",
 		"Epoch of the newest durable snapshot generation.", nil)
+	o.planCacheHits = r.Counter("gcplus_plan_cache_hits_total",
+		"Compiled-plan cache hits across shards (0 unless the planner is on).", nil)
+	o.planCacheMisses = r.Counter("gcplus_plan_cache_misses_total",
+		"Compiled-plan cache misses across shards (0 unless the planner is on).", nil)
 
 	o.degradeLevel = r.Gauge("gcplus_degradation_level",
 		"Active degradation rung (0 none, 1 capped-verify, 2 cache-bypass).", nil)
@@ -148,7 +154,7 @@ func (s *Server) initObs() {
 		hists := sh.rt.StageHists()
 		for i, h := range []*obs.Histogram{
 			hists.Query, hists.Hit, hists.Verify, hists.VerifyCPU,
-			hists.Overhead, hists.Consistency, hists.RepairVerify,
+			hists.Overhead, hists.Consistency, hists.RepairVerify, hists.Plan,
 		} {
 			r.RegisterHistogram("gcplus_stage_duration_seconds",
 				"Per-stage query processing latency, by shard and stage.",
@@ -206,6 +212,8 @@ func (o *serverObs) mirror(st *Stats) {
 	o.walAppendErrs.Set(st.WALAppendErrors)
 	o.snapshotsWritten.Set(st.SnapshotsWritten)
 	o.lastSnapEpoch.Set(float64(st.LastSnapshotEpoch))
+	o.planCacheHits.Set(st.PlanCacheHits)
+	o.planCacheMisses.Set(st.PlanCacheMisses)
 	o.degradeLevel.Set(float64(st.DegradationLevel))
 	o.degradedSeconds.Set(st.DegradedSeconds)
 	o.shedQueries.Set(st.ShedQueries)

@@ -93,6 +93,17 @@ type Options struct {
 	// latency-sensitive deployments where single queries face large
 	// candidate sets.
 	VerifyParallelism int
+	// EnablePlanner turns on each shard runtime's cost-based query
+	// planner and compiled-plan cache (core.Options.EnablePlanner):
+	// per-query algorithm and parallelism choice from measured cost
+	// moments, with plans cached under the canonical query key so
+	// isomorphic repeats skip compilation. Answers are bit-identical
+	// either way.
+	EnablePlanner bool
+	// PlanCacheSize bounds each shard's compiled-plan cache; 0 means the
+	// core default, negative disables plan caching while keeping the
+	// planner's choices. Only meaningful with EnablePlanner.
+	PlanCacheSize int
 	// RepairParallelism bounds each shard's background repair worker:
 	// validity bits cleared by CON validation are re-verified off the
 	// query path by up to this many goroutines and restored when the
@@ -576,7 +587,12 @@ func (s *Server) shardCoreOptions() (core.Options, error) {
 	if err != nil {
 		return core.Options{}, err
 	}
-	coreOpts := core.Options{Algorithm: algo, VerifyParallelism: s.opts.VerifyParallelism}
+	coreOpts := core.Options{
+		Algorithm:         algo,
+		VerifyParallelism: s.opts.VerifyParallelism,
+		EnablePlanner:     s.opts.EnablePlanner,
+		PlanCacheSize:     s.opts.PlanCacheSize,
+	}
 	if !s.opts.DisableCache {
 		cfg := *s.opts.Cache
 		coreOpts.Cache = &cfg
@@ -711,6 +727,11 @@ type QueryResult struct {
 	// ZeroTestShards counts shards that answered without any sub-iso
 	// test (§6.3 optimal cases or a fully pruned candidate set).
 	ZeroTestShards int `json:"zero_test_shards"`
+	// Truncated reports that a limited query's answer may be a proper
+	// prefix of the full answer set: the merged IDs were cut to the
+	// limit, or at least one shard stopped verification early. The IDs
+	// present are still exact — the smallest len(IDs) answers.
+	Truncated bool `json:"truncated,omitempty"`
 	// PerShard holds the raw per-shard execution stats, shard order.
 	PerShard []core.QueryStats `json:"-"`
 }
@@ -718,13 +739,13 @@ type QueryResult struct {
 // SubgraphQuery answers "which live dataset graphs contain q?" across all
 // shards.
 func (s *Server) SubgraphQuery(q *graph.Graph) (*QueryResult, error) {
-	return s.query(context.Background(), q, cache.KindSub)
+	return s.query(context.Background(), q, cache.KindSub, 0)
 }
 
 // SupergraphQuery answers "which live dataset graphs are contained in q?"
 // across all shards.
 func (s *Server) SupergraphQuery(q *graph.Graph) (*QueryResult, error) {
-	return s.query(context.Background(), q, cache.KindSuper)
+	return s.query(context.Background(), q, cache.KindSuper, 0)
 }
 
 // SubgraphQueryCtx is SubgraphQuery under a caller deadline: when ctx
@@ -732,15 +753,33 @@ func (s *Server) SupergraphQuery(q *graph.Graph) (*QueryResult, error) {
 // front-end returns a core.CancelError immediately and the per-shard
 // work aborts at its next cooperative checkpoint.
 func (s *Server) SubgraphQueryCtx(ctx context.Context, q *graph.Graph) (*QueryResult, error) {
-	return s.query(ctx, q, cache.KindSub)
+	return s.query(ctx, q, cache.KindSub, 0)
 }
 
 // SupergraphQueryCtx is SupergraphQuery under a caller deadline.
 func (s *Server) SupergraphQueryCtx(ctx context.Context, q *graph.Graph) (*QueryResult, error) {
-	return s.query(ctx, q, cache.KindSuper)
+	return s.query(ctx, q, cache.KindSuper, 0)
 }
 
-func (s *Server) query(ctx context.Context, q *graph.Graph, kind cache.Kind) (*QueryResult, error) {
+// SubgraphQueryLimitCtx is SubgraphQueryCtx returning at most limit
+// answers — exactly the limit smallest global ids of the full answer
+// set. Each shard streams its verification in ascending id order and
+// stops after limit local answers; any global top-limit id has fewer
+// than limit predecessors overall, hence fewer than limit within its
+// own shard, so the per-shard prefixes always cover the global prefix
+// and the merged-and-cut result is exact. QueryResult.Truncated reports
+// whether anything was cut. limit <= 0 means unlimited.
+func (s *Server) SubgraphQueryLimitCtx(ctx context.Context, q *graph.Graph, limit int) (*QueryResult, error) {
+	return s.query(ctx, q, cache.KindSub, limit)
+}
+
+// SupergraphQueryLimitCtx is SupergraphQueryCtx with an answer limit;
+// see SubgraphQueryLimitCtx for the exactness argument.
+func (s *Server) SupergraphQueryLimitCtx(ctx context.Context, q *graph.Graph, limit int) (*QueryResult, error) {
+	return s.query(ctx, q, cache.KindSuper, limit)
+}
+
+func (s *Server) query(ctx context.Context, q *graph.Graph, kind cache.Kind, limit int) (*QueryResult, error) {
 	if q == nil {
 		return nil, errors.New("serve: nil query graph")
 	}
@@ -767,6 +806,9 @@ func (s *Server) query(ctx context.Context, q *graph.Graph, kind cache.Kind) (*Q
 	// capping verification only slows this query, and bypassing the
 	// cache is pure Method M — sound by construction.
 	var qopt core.QueryOptions
+	if limit > 0 {
+		qopt.Limit = limit
+	}
 	if s.press != nil {
 		switch lvl := s.press.Level(); {
 		case lvl >= DegradeCacheBypass:
@@ -865,8 +907,17 @@ func (s *Server) query(ctx context.Context, q *graph.Graph, kind cache.Kind) (*Q
 		if a.st.SubIsoTests == 0 {
 			out.ZeroTestShards++
 		}
+		if a.st.Truncated {
+			out.Truncated = true
+		}
 	}
 	out.IDs = mergeSorted(lists, total)
+	if limit > 0 && len(out.IDs) > limit {
+		// Exact cut: every shard contributed its limit smallest local
+		// answers, which always covers the global top-limit prefix.
+		out.IDs = out.IDs[:limit]
+		out.Truncated = true
+	}
 	if d := s.now().Sub(start); d > 0 { // clamp: clock-skew injection must not corrupt stats
 		out.Wall = d
 	}
@@ -1168,6 +1219,10 @@ type Stats struct {
 	// process lifetime (0 when the log is disabled), including entries
 	// the bounded ring has since overwritten.
 	SlowQueries int64 `json:"slow_queries"`
+	// PlanCacheHits/PlanCacheMisses sum the shards' compiled-plan cache
+	// outcomes (both zero unless Options.EnablePlanner).
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
 
 	// Overload and degradation state.
 
@@ -1343,6 +1398,8 @@ func (s *Server) Stats() (*Stats, error) {
 		out.RepairedBits += ss.Cache.RepairedBits
 		out.PendingRepairs += ss.Cache.PendingRepairs
 		out.RepairDropped += ss.Cache.RepairDropped
+		out.PlanCacheHits += ss.Metrics.PlanCacheHits
+		out.PlanCacheMisses += ss.Metrics.PlanCacheMisses
 		if ss.Metrics.Queries > out.Queries {
 			out.Queries = ss.Metrics.Queries
 		}

@@ -23,12 +23,20 @@ type ShardTrace struct {
 	VerifyCPUMicros   int64 `json:"verify_cpu_us"`
 	OverheadMicros    int64 `json:"overhead_us"`
 	ConsistencyMicros int64 `json:"consistency_us"`
+	PlanMicros        int64 `json:"plan_us"`
 	// Work counters explaining where the time went.
 	SubIsoTests   int  `json:"subiso_tests"`
 	TestsSaved    int  `json:"tests_saved"`
 	HitCandidates int  `json:"hit_candidates"`
 	ExactHit      bool `json:"exact_hit,omitempty"`
 	EmptyShortcut bool `json:"empty_shortcut,omitempty"`
+	// Planner outcome for this shard's execution (planner-enabled
+	// servers only): the chosen Method M algorithm, whether the compiled
+	// plan came from the plan cache, and whether streaming stopped
+	// verification early.
+	PlanAlgo   string `json:"plan_algo,omitempty"`
+	PlanCached bool   `json:"plan_cached,omitempty"`
+	Truncated  bool   `json:"truncated,omitempty"`
 }
 
 // QueryTrace is a query's full execution trace: the front-end wall time
@@ -48,11 +56,15 @@ func shardTrace(i int, st core.QueryStats) ShardTrace {
 		VerifyCPUMicros:   st.VerifyCPUTime.Microseconds(),
 		OverheadMicros:    st.Overhead.Microseconds(),
 		ConsistencyMicros: st.ConsistencyTime.Microseconds(),
+		PlanMicros:        st.PlanTime.Microseconds(),
 		SubIsoTests:       st.SubIsoTests,
 		TestsSaved:        st.TestsSaved,
 		HitCandidates:     st.HitCandidates,
 		ExactHit:          st.ExactHit,
 		EmptyShortcut:     st.EmptyShortcut,
+		PlanAlgo:          st.PlanAlgorithm,
+		PlanCached:        st.PlanCached,
+		Truncated:         st.Truncated,
 	}
 }
 

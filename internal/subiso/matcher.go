@@ -138,6 +138,9 @@ func (m *Matcher) Fork() *Matcher {
 // Name returns the compiled algorithm's name.
 func (m *Matcher) Name() string { return m.algo.Name() }
 
+// Algorithm returns the algorithm the matcher was compiled for.
+func (m *Matcher) Algorithm() Algorithm { return m.algo }
+
 // Contains runs one containment test against the compiled side: with
 // CompileSub it reports fixedPattern ⊆ other, with CompileSuper it
 // reports other ⊆ fixedTarget.

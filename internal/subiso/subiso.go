@@ -51,6 +51,14 @@ func New(name string) (Algorithm, error) {
 // Names lists the production algorithm names in the paper's order.
 func Names() []string { return []string{"VF2", "VF2+", "GQL"} }
 
+// PlannerAlgorithms returns the algorithms a cost-based planner may
+// choose among — the paper's three Method M implementations, all exact,
+// so choosing among them can never change an answer. Brute is excluded:
+// it exists as a test oracle, never a production choice.
+func PlannerAlgorithms() []Algorithm {
+	return []Algorithm{VF2{}, VF2Plus{}, GraphQL{}}
+}
+
 // legacyContains dispatches to the pre-compilation per-call
 // implementations — the baseline the compiled Matcher engine is
 // property-tested and benchmarked against. Unknown algorithms fall back
