@@ -93,6 +93,7 @@ func main() {
 		maxInflight = flag.Int("max-inflight-queries", 0, "throughput: server admission limit on concurrent queries (0 = serving default, negative = unlimited)")
 		planner     = flag.Bool("planner", false, "throughput: enable the cost-based query planner + compiled-plan cache (answers stay bit-identical to -planner=false)")
 		planCache   = flag.Int("plan-cache", 0, "throughput: per-shard compiled-plan cache size (0 = default of 256, negative = planning without plan caching; needs -planner)")
+		transport   = flag.String("transport", "local", "throughput/chaos/warm-restart: router→shard transport: local (in-process) or loopback (full wire path over 127.0.0.1 TCP)")
 
 		chaos     = flag.Bool("chaos", false, "run the chaos benchmark: fault-injected WAL/snapshot I/O under load, abrupt kill, warm restart, differential answer check (JSON output)")
 		walPolicy = flag.String("wal-policy", "", "chaos: WAL append-failure policy: fail-update (default) or degrade-to-volatile")
@@ -151,6 +152,7 @@ func main() {
 			MaxInFlightQueries: *maxInflight,
 			EnablePlanner:      *planner,
 			PlanCacheSize:      *planCache,
+			Transport:          *transport,
 			Seed:               *seed,
 		}, progress)
 		if err != nil {
@@ -175,6 +177,7 @@ func main() {
 			UpdateEvery:   *updateEvery,
 			TailBatches:   *tailBatches,
 			DataDir:       *dataDir,
+			Transport:     *transport,
 			Seed:          *seed,
 		}, progress)
 		if err != nil {
@@ -199,6 +202,7 @@ func main() {
 			UpdateEvery:   *updateEvery,
 			WALPolicy:     *walPolicy,
 			DataDir:       *dataDir,
+			Transport:     *transport,
 			Seed:          *seed,
 		}, progress)
 		if err != nil {

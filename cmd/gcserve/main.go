@@ -108,6 +108,7 @@ func main() {
 		maxQueries    = flag.Int("max-inflight-queries", 0, "admitted concurrent queries before shedding with 429 (0 = default of 64, negative = unlimited)")
 		maxUpdates    = flag.Int("max-inflight-updates", 0, "admitted concurrent update batches before shedding with 429 (0 = default of 16, negative = unlimited)")
 		walPolicy     = flag.String("wal-policy", "fail-update", "WAL append-failure policy: fail-update (503 the batch) or degrade-to-volatile (ack and raise the volatile-WAL alarm)")
+		transport     = flag.String("transport", "local", "router→shard transport: local (in-process) or loopback (each shard behind its own 127.0.0.1 TCP connection; the cluster seed)")
 		nodegrade     = flag.Bool("nodegrade", false, "disable graceful degradation under overload (no verify capping or cache bypass)")
 	)
 	flag.Parse()
@@ -152,6 +153,7 @@ func main() {
 	opts.MaxInFlightUpdates = *maxUpdates
 	opts.WALPolicy = *walPolicy
 	opts.DisableDegradation = *nodegrade
+	opts.Transport = *transport
 	opts.Logger = logger
 	if opts.Model, err = cache.ParseModel(*modelName); err != nil {
 		fatal(logger, "bad -model", err)
@@ -181,7 +183,8 @@ func main() {
 		"method", *method, "model", *modelName, "policy", *policy,
 		"cache", *cacheCap, "eager", *eager, "repair", repairOn,
 		"hit_index", hitIndexOn, "planner", *planner, "durable", *dataDir != "",
-		"wal_policy", *walPolicy, "query_timeout", queryTimeout.String(),
+		"wal_policy", *walPolicy, "transport", *transport,
+		"query_timeout", queryTimeout.String(),
 		"max_inflight_queries", *maxQueries,
 		"slowlog_threshold", slowThr.String())
 

@@ -73,10 +73,20 @@
 //	_, err = srv.Update([]gcplus.UpdateOp{gcplus.NewAddOp(g), gcplus.NewDeleteOp(3)})
 //	http.ListenAndServe(":8844", srv.Handler())  // the cmd/gcserve API
 //
+// Internally the Server is three layers: a router (placement, epoch
+// sequencing, fan-out/merge), per-shard hosts (runtime + cache + WAL
+// behind one worker goroutine), and a transport seam between them.
+// ServeOptions.Transport selects it: TransportLocal (default) makes
+// direct in-process calls; TransportLoopback puts every shard behind a
+// real TCP connection on 127.0.0.1 speaking a binary wire protocol —
+// answers, epochs and durability semantics are identical, and the wire
+// path is the seed for multi-node clustering.
+//
 // cmd/gcserve wraps the Server in a standalone HTTP daemon (POST /query,
 // POST /update, GET /stats, GET /metrics, GET /healthz, GET /readyz,
 // GET /debug/slowlog), and cmd/gcbench's -throughput mode measures its
-// queries/sec and latency percentiles under concurrent load.
+// queries/sec and latency percentiles under concurrent load (with
+// -transport selecting the shard transport on both commands).
 //
 // # Background cache repair
 //

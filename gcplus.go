@@ -13,7 +13,7 @@ import (
 	"gcplus/internal/core"
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
-	"gcplus/internal/serve"
+	"gcplus/internal/router"
 	"gcplus/internal/subiso"
 	"gcplus/internal/synthetic"
 )
@@ -345,26 +345,41 @@ type ServeOptions struct {
 	// the server never caps verify parallelism or serves cache-bypass
 	// under repair-backlog or queue pressure.
 	DisableDegradation bool
+	// Transport selects how the router reaches its shard hosts:
+	// TransportLocal (default) for direct in-process calls, or
+	// TransportLoopback to run every shard behind a real TCP connection
+	// on 127.0.0.1 — the cluster seed. Answers, epochs and durability
+	// semantics are identical over both.
+	Transport string
 	// Logger receives structured lifecycle events (recovery, snapshots,
 	// WAL failures, repair-queue pressure). Nil discards them.
 	Logger *slog.Logger
 }
+
+// Shard transports for ServeOptions.Transport.
+const (
+	// TransportLocal reaches shard hosts by direct in-process calls.
+	TransportLocal = router.TransportLocal
+	// TransportLoopback reaches each shard host over its own TCP
+	// connection on 127.0.0.1, exercising the full wire path.
+	TransportLoopback = router.TransportLoopback
+)
 
 // WAL failure policies for ServeOptions.WALPolicy.
 const (
 	// WALPolicyFailUpdate surfaces a persistent WAL append failure to
 	// the updating caller (the batch is applied in memory but reported
 	// non-durable).
-	WALPolicyFailUpdate = serve.WALPolicyFailUpdate
+	WALPolicyFailUpdate = router.WALPolicyFailUpdate
 	// WALPolicyDegradeToVolatile acks the update and raises an
 	// edge-triggered volatile-WAL alarm instead of failing it.
-	WALPolicyDegradeToVolatile = serve.WALPolicyDegradeToVolatile
+	WALPolicyDegradeToVolatile = router.WALPolicyDegradeToVolatile
 )
 
 // IsOverload reports whether err is an admission-control load-shed
 // error (HTTP 429 from the wire API); such requests were not executed
 // and are safe to retry after a backoff.
-func IsOverload(err error) bool { return serve.IsOverload(err) }
+func IsOverload(err error) bool { return router.IsOverload(err) }
 
 // UpdateOp describes one dataset change operation for Server.Update; use
 // NewAddOp, NewDeleteOp, NewAddEdgeOp and NewRemoveEdgeOp to build them.
@@ -384,29 +399,29 @@ func NewRemoveEdgeOp(id, u, v int) UpdateOp { return changeplan.RemoveEdgeOp(id,
 
 // ServerAnswer is a query outcome from a Server: the merged answer ids,
 // the epoch (dataset version) the answer reflects, and aggregate stats.
-type ServerAnswer = serve.QueryResult
+type ServerAnswer = router.QueryResult
 
 // ServerUpdateResult summarizes one update batch.
-type ServerUpdateResult = serve.UpdateResult
+type ServerUpdateResult = router.UpdateResult
 
 // ServerStats is the server-wide statistics snapshot.
-type ServerStats = serve.Stats
+type ServerStats = router.Stats
 
 // Server is the concurrent, sharded GC+ front-end: queries fan out to N
 // independent runtime shards in parallel while dataset updates flow
 // through an epoch-sequenced single-writer path, so every query observes
 // one consistent dataset version. All methods are safe for concurrent
-// use; see internal/serve for the architecture and the consistency
+// use; see internal/router for the architecture and the consistency
 // argument.
 type Server struct {
-	srv *serve.Server
+	srv *router.Server
 }
 
 // NewServer builds a concurrent Server over the initial dataset graphs,
 // which receive global ids 0..len(initial)-1 and are partitioned
 // round-robin across the shards.
 func NewServer(initial []*Graph, opts ServeOptions) (*Server, error) {
-	srvOpts := serve.Options{
+	srvOpts := router.Options{
 		Shards:            opts.Shards,
 		Method:            opts.Method,
 		DisableCache:      opts.DisableCache,
@@ -430,6 +445,7 @@ func NewServer(initial []*Graph, opts ServeOptions) (*Server, error) {
 		MaxInFlightUpdates:     opts.MaxInFlightUpdates,
 		WALPolicy:              opts.WALPolicy,
 		DisableDegradation:     opts.DisableDegradation,
+		Transport:              opts.Transport,
 		Logger:                 opts.Logger,
 	}
 	if !opts.DisableCache {
@@ -441,7 +457,7 @@ func NewServer(initial []*Graph, opts ServeOptions) (*Server, error) {
 			DisableHitIndex: opts.DisableHitIndex,
 		}
 	}
-	srv, err := serve.New(initial, srvOpts)
+	srv, err := router.New(initial, srvOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -522,7 +538,7 @@ func (s *Server) Epoch() uint64 { return s.srv.Epoch() }
 func (s *Server) Stats() (*ServerStats, error) { return s.srv.Stats() }
 
 // ServerSlowQuery is one captured slow-query log entry.
-type ServerSlowQuery = serve.SlowQuery
+type ServerSlowQuery = router.SlowQuery
 
 // SlowQueries returns the retained slow-query log entries, newest
 // first (empty unless ServeOptions.SlowLogThreshold is set).

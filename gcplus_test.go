@@ -337,3 +337,51 @@ func TestServerMatchesSystem(t *testing.T) {
 		t.Fatal("nil handler")
 	}
 }
+
+// TestServerLoopbackTransport builds the same sharded server over the
+// loopback TCP transport and demands answers identical to the default
+// in-process one — the facade-level contract that the transport seam
+// never bends a result.
+func TestServerLoopbackTransport(t *testing.T) {
+	graphs, err := GenerateAIDSLike(40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewServer(graphs, ServeOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	remote, err := NewServer(graphs, ServeOptions{Shards: 3, Transport: TransportLoopback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	base := graphs[0]
+	queries := []*Graph{
+		PathGraph(base.Label(0), base.Label(1)),
+		StarGraph(base.Label(1), base.Label(0), base.Label(2)),
+	}
+	for qi, q := range queries {
+		a, err := local.SubgraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := remote.SubgraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.IDs) != len(b.IDs) {
+			t.Fatalf("query %d: local %v loopback %v", qi, a.IDs, b.IDs)
+		}
+		for i := range a.IDs {
+			if a.IDs[i] != b.IDs[i] {
+				t.Fatalf("query %d: local %v loopback %v", qi, a.IDs, b.IDs)
+			}
+		}
+	}
+	if _, err := NewServer(graphs, ServeOptions{Shards: 2, Transport: "carrier-pigeon"}); err == nil {
+		t.Fatal("bogus transport accepted")
+	}
+}

@@ -14,7 +14,7 @@ import (
 	"gcplus/internal/faultfs"
 	"gcplus/internal/persist"
 	"gcplus/internal/randx"
-	"gcplus/internal/serve"
+	"gcplus/internal/router"
 )
 
 // The -chaos benchmark is the CI-facing slice of the fault-injection
@@ -49,11 +49,16 @@ type ChaosConfig struct {
 	// OpsPerBatch is the churn batch size (default 5).
 	OpsPerBatch int
 	// WALPolicy selects the append-failure policy under test
-	// (default serve.WALPolicyFailUpdate).
+	// (default router.WALPolicyFailUpdate).
 	WALPolicy string
 	// DataDir is the durability directory (default: a fresh temporary
 	// directory, removed when the run ends).
 	DataDir string
+	// Transport selects the router→shard transport for the system under
+	// test and its warm restart ("local" default, or "loopback" for the
+	// full wire path). The fault-free reference replica always runs
+	// local — the oracle must stay independent of the seam under test.
+	Transport string
 	// Seed drives dataset, workload, churn and the fault schedule.
 	Seed int64
 }
@@ -81,7 +86,7 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 		c.OpsPerBatch = 5
 	}
 	if c.WALPolicy == "" {
-		c.WALPolicy = serve.WALPolicyFailUpdate
+		c.WALPolicy = router.WALPolicyFailUpdate
 	}
 	return c
 }
@@ -95,6 +100,7 @@ type ChaosResult struct {
 	Shards        int    `json:"shards"`
 	Queries       int    `json:"queries"`
 	WALPolicy     string `json:"wal_policy"`
+	Transport     string `json:"transport"`
 	Seed          int64  `json:"seed"`
 	UpdateBatches int    `json:"update_batches"`
 
@@ -165,7 +171,7 @@ func RunChaos(cfg ChaosConfig, progress Progress) (*ChaosResult, error) {
 	}
 
 	// The injector boots with no rules — the initial snapshot generation
-	// must land or serve.New fails — and is armed right after New.
+	// must land or router.New fails — and is armed right after New.
 	ffs := faultfs.New(persist.OSFS, cfg.Seed)
 
 	// Clock skew (every 13th bookkeeping clock read steps 40ms back) and
@@ -184,16 +190,17 @@ func RunChaos(cfg ChaosConfig, progress Progress) (*ChaosResult, error) {
 		}
 	}
 
-	opts := serve.Options{
+	opts := router.Options{
 		Shards:        cfg.Shards,
 		Method:        cfg.Method,
 		Cache:         &cache.Config{Capacity: cfg.CacheCapacity, WindowSize: cfg.Scale.WindowSize},
 		DataDir:       dir,
 		SnapshotEvery: 3,
 		WALPolicy:     cfg.WALPolicy,
-		Faults:        &serve.FaultInjection{FS: ffs, ShardStall: stall, Now: skewedNow},
+		Transport:     cfg.Transport,
+		Faults:        &router.FaultInjection{FS: ffs, ShardStall: stall, Now: skewedNow},
 	}
-	srvA, err := serve.New(initial, opts)
+	srvA, err := router.New(initial, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +229,7 @@ func RunChaos(cfg ChaosConfig, progress Progress) (*ChaosResult, error) {
 	refOpts.SnapshotEvery = 0
 	refOpts.WALPolicy = ""
 	refOpts.Faults = nil
-	ref, err := serve.New(initial, refOpts)
+	ref, err := router.New(initial, refOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -236,6 +243,7 @@ func RunChaos(cfg ChaosConfig, progress Progress) (*ChaosResult, error) {
 		Shards:    cfg.Shards,
 		Queries:   len(queries),
 		WALPolicy: cfg.WALPolicy,
+		Transport: srvA.Transport(),
 		Seed:      cfg.Seed,
 	}
 	if progress != nil {
@@ -258,7 +266,7 @@ func RunChaos(cfg ChaosConfig, progress Progress) (*ChaosResult, error) {
 			defer readers.Done()
 			for j := r; !stop.Load(); j += 2 {
 				if _, err := srvA.SubgraphQuery(queries[j%len(queries)]); err != nil {
-					if serve.IsOverload(err) {
+					if router.IsOverload(err) {
 						continue
 					}
 					readerMu.Lock()
@@ -366,7 +374,7 @@ func RunChaos(cfg ChaosConfig, progress Progress) (*ChaosResult, error) {
 	// Warm restart, re-apply the lost tail (the client retry path), and
 	// demand convergence with the reference.
 	t0 := time.Now()
-	srvB, err := serve.New(nil, opts)
+	srvB, err := router.New(nil, opts)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: warm restart: %w", err)
 	}

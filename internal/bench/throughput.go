@@ -16,11 +16,11 @@ import (
 	"gcplus/internal/graph"
 	"gcplus/internal/obs"
 	"gcplus/internal/randx"
-	"gcplus/internal/serve"
+	"gcplus/internal/router"
 )
 
 // ThroughputConfig sizes a concurrent-serving benchmark: C client
-// goroutines drive queries against a sharded serve.Server while a writer
+// goroutines drive queries against a sharded router.Server while a writer
 // applies update batches at the paper's ops-per-query density, giving
 // future PRs a queries/sec + latency-percentile trajectory to compare
 // against.
@@ -95,6 +95,12 @@ type ThroughputConfig struct {
 	// default; negative disables plan caching but keeps cost-based
 	// algorithm selection). Only meaningful with EnablePlanner.
 	PlanCacheSize int
+	// Transport selects the router→shard transport: "local" (direct
+	// in-process dispatch, the default) or "loopback" (the full wire
+	// path — encode, TCP over 127.0.0.1, decode — on both legs).
+	// Answers are bit-identical across transports on the same seed;
+	// the per-query transport overhead is reported separately.
+	Transport string
 	// Seed drives dataset, workload and update generation.
 	Seed int64
 }
@@ -120,6 +126,9 @@ func (c ThroughputConfig) withDefaults() ThroughputConfig {
 	}
 	if c.UpdateKind == "" {
 		c.UpdateKind = UpdateKindAdd
+	}
+	if c.Transport == "" {
+		c.Transport = router.TransportLocal
 	}
 	return c
 }
@@ -154,6 +163,7 @@ type ThroughputResult struct {
 	CacheCapacity int     `json:"cache_capacity"`
 	HitIndex      bool    `json:"hit_index"`
 	Planner       bool    `json:"planner"`
+	Transport     string  `json:"transport"`
 	Seed          int64   `json:"seed"`
 	Queries       int     `json:"queries"`
 	UpdateBatches int     `json:"update_batches"`
@@ -165,9 +175,18 @@ type ThroughputResult struct {
 	P95Millis     float64 `json:"p95_ms"`
 	P99Millis     float64 `json:"p99_ms"`
 	MeanMillis    float64 `json:"mean_ms"`
-	SubIsoTests   float64 `json:"subiso_tests_per_query"`
-	HitRate       float64 `json:"hit_rate"`
-	LiveGraphs    int     `json:"live_graphs"`
+	// Transport overhead per query, microseconds: the router-observed
+	// round trip minus the host-measured service time, summed over the
+	// query's shard dispatches. Near zero over the local transport;
+	// framing + TCP + scheduling over loopback. The qps delta between a
+	// local and a loopback run on the same seed is this series' macro
+	// twin.
+	TransportMeanMicros float64 `json:"transport_mean_us"`
+	TransportP50Micros  float64 `json:"transport_p50_us"`
+	TransportP99Micros  float64 `json:"transport_p99_us"`
+	SubIsoTests         float64 `json:"subiso_tests_per_query"`
+	HitRate             float64 `json:"hit_rate"`
+	LiveGraphs          int     `json:"live_graphs"`
 	// HitMsMean is the mean hit-discovery time per front-end query,
 	// summed across shards (milliseconds) — the series the query index
 	// drives down as capacity grows.
@@ -236,7 +255,7 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 			cfg.UpdateKind, UpdateKindAdd, UpdateKindChurn)
 	}
 
-	srvOpts := serve.Options{
+	srvOpts := router.Options{
 		Shards:             cfg.Shards,
 		Method:             cfg.Method,
 		DisableCache:       cfg.DisableCache,
@@ -247,6 +266,7 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		MaxInFlightQueries: cfg.MaxInFlightQueries,
 		EnablePlanner:      cfg.EnablePlanner,
 		PlanCacheSize:      cfg.PlanCacheSize,
+		Transport:          cfg.Transport,
 	}
 	capacity := cfg.Scale.CacheCapacity
 	if cfg.CacheCapacity > 0 {
@@ -259,7 +279,7 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 			DisableHitIndex: cfg.DisableHitIndex,
 		}
 	}
-	srv, err := serve.New(initial, srvOpts)
+	srv, err := router.New(initial, srvOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -274,6 +294,10 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 	// serving layer's /metrics exposes — a p99 in a BENCH_*.json and a
 	// p99 on a dashboard can never disagree about method.
 	hist := obs.NewHistogram()
+	// Per-query transport overhead (summed across shard dispatches),
+	// recorded only for the budgeted stream so local vs loopback runs
+	// compare like for like.
+	thist := obs.NewHistogram()
 	var (
 		wg        sync.WaitGroup
 		mu        sync.Mutex
@@ -393,7 +417,7 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 					q := wl.Queries[j%len(wl.Queries)]
 					t0 := time.Now()
 					if _, err := srv.SubgraphQuery(q); err != nil {
-						if serve.IsOverload(err) {
+						if router.IsOverload(err) {
 							shed.Add(1)
 							// Brief pause, no retry of this query: sheds
 							// should track offered load, not the spin rate
@@ -426,7 +450,7 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 				t0 := time.Now()
 				res, err := srv.SubgraphQuery(q)
 				switch {
-				case err != nil && serve.IsOverload(err):
+				case err != nil && router.IsOverload(err):
 					// Admission shed: count it and move on. The query's
 					// answer hash is skipped, so a run that sheds reports
 					// a different digest than one that does not — digest
@@ -438,12 +462,17 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 				default:
 					d := time.Since(t0)
 					hist.Observe(d)
+					var tsum time.Duration
+					for _, td := range res.Transport {
+						tsum += td
+					}
+					thist.Observe(tsum)
 					if burst {
 						phaseHists[phase.Load()].Observe(d)
 					}
 					digest ^= answerHash(i, res.IDs)
 				}
-				if err != nil && !serve.IsOverload(err) {
+				if err != nil && !router.IsOverload(err) {
 					break
 				}
 				if cfg.UpdateEvery > 0 && (i+1)%cfg.UpdateEvery == 0 {
@@ -498,26 +527,30 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		// Record the resolved worker counts, not the raw config: the auto
 		// defaults (0) are machine-dependent, and trajectory entries must
 		// say what actually ran.
-		VerifyPar:      serve.ResolveVerifyParallelism(cfg.VerifyParallelism, cfg.Shards),
-		RepairPar:      serve.ResolveRepairParallelism(cfg.RepairParallelism, !cfg.DisableRepair && !cfg.DisableCache),
-		CacheCapacity:  capacity,
-		HitIndex:       !cfg.DisableHitIndex && !cfg.DisableCache,
-		Planner:        cfg.EnablePlanner,
-		Seed:           cfg.Seed,
-		Queries:        int(hist.Count()),
-		UpdateBatches:  updateBatches,
-		OpsApplied:     opsApplied,
-		Epoch:          st.Epoch,
-		WallSeconds:    wall.Seconds(),
-		P50Millis:      hist.Quantile(0.50) * 1000,
-		P95Millis:      hist.Quantile(0.95) * 1000,
-		P99Millis:      hist.Quantile(0.99) * 1000,
-		MeanMillis:     hist.MeanSeconds() * 1000,
-		HitRate:        st.HitRate,
-		LiveGraphs:     st.LiveGraphs,
-		ValidityRatio:  st.ValidityRatio,
-		RepairedBits:   st.RepairedBits,
-		PendingRepairs: st.PendingRepairs,
+		VerifyPar:           router.ResolveVerifyParallelism(cfg.VerifyParallelism, cfg.Shards),
+		RepairPar:           router.ResolveRepairParallelism(cfg.RepairParallelism, !cfg.DisableRepair && !cfg.DisableCache),
+		CacheCapacity:       capacity,
+		HitIndex:            !cfg.DisableHitIndex && !cfg.DisableCache,
+		Planner:             cfg.EnablePlanner,
+		Transport:           srv.Transport(),
+		Seed:                cfg.Seed,
+		Queries:             int(hist.Count()),
+		UpdateBatches:       updateBatches,
+		OpsApplied:          opsApplied,
+		Epoch:               st.Epoch,
+		WallSeconds:         wall.Seconds(),
+		P50Millis:           hist.Quantile(0.50) * 1000,
+		P95Millis:           hist.Quantile(0.95) * 1000,
+		P99Millis:           hist.Quantile(0.99) * 1000,
+		MeanMillis:          hist.MeanSeconds() * 1000,
+		TransportMeanMicros: thist.MeanSeconds() * 1e6,
+		TransportP50Micros:  thist.Quantile(0.50) * 1e6,
+		TransportP99Micros:  thist.Quantile(0.99) * 1e6,
+		HitRate:             st.HitRate,
+		LiveGraphs:          st.LiveGraphs,
+		ValidityRatio:       st.ValidityRatio,
+		RepairedBits:        st.RepairedBits,
+		PendingRepairs:      st.PendingRepairs,
 
 		PlanCacheHits:   st.PlanCacheHits,
 		PlanCacheMisses: st.PlanCacheMisses,

@@ -12,7 +12,7 @@ import (
 	"gcplus/internal/graph"
 	"gcplus/internal/persist"
 	"gcplus/internal/randx"
-	"gcplus/internal/serve"
+	"gcplus/internal/router"
 )
 
 // The -warm-restart benchmark measures what the durability subsystem
@@ -67,6 +67,10 @@ type WarmRestartConfig struct {
 	// DataDir is the durability directory (default: a fresh temporary
 	// directory, removed when the run ends).
 	DataDir string
+	// Transport selects the router→shard transport for every instance
+	// in the comparison — pre-restart, warm-restarted and cold baseline
+	// run the same seam ("local" default, "loopback" for the wire path).
+	Transport string
 	// Seed drives dataset, workload and churn generation.
 	Seed int64
 }
@@ -111,6 +115,7 @@ type WarmRestartResult struct {
 	Queries       int    `json:"queries"`
 	CacheCapacity int    `json:"cache_capacity"`
 	UpdateBatches int    `json:"update_batches"`
+	Transport     string `json:"transport"`
 	Seed          int64  `json:"seed"`
 
 	// PreRestartHitRate is the hit rate of the warmed pre-restart
@@ -133,7 +138,7 @@ type WarmRestartResult struct {
 	RecoveredEpoch   uint64 `json:"recovered_epoch"`
 	WarmAdmitted     int64  `json:"warm_admitted"`
 
-	// RecoveryMillis is the wall time of serve.New on the persisted
+	// RecoveryMillis is the wall time of router.New on the persisted
 	// state (snapshot load + WAL replay); TimeToFullValidityMillis adds
 	// the background repair drain until every validity bit the replay
 	// touched is re-verified.
@@ -180,7 +185,7 @@ func RunWarmRestart(cfg WarmRestartConfig, progress Progress) (*WarmRestartResul
 		// poison every metric; demand a fresh directory.
 		return nil, fmt.Errorf("bench: data dir %s already holds state; the warm-restart benchmark needs a fresh directory", dir)
 	}
-	persistOpts := serve.Options{
+	persistOpts := router.Options{
 		Shards: cfg.Shards,
 		Method: cfg.Method,
 		Cache:  &cache.Config{Capacity: cfg.CacheCapacity, WindowSize: cfg.Scale.WindowSize},
@@ -188,9 +193,10 @@ func RunWarmRestart(cfg WarmRestartConfig, progress Progress) (*WarmRestartResul
 		// TailBatches long; make the automatic trigger unreachable.
 		DataDir:       dir,
 		SnapshotEvery: 1 << 30,
+		Transport:     cfg.Transport,
 	}
 
-	srvA, err := serve.New(initial, persistOpts)
+	srvA, err := router.New(initial, persistOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +216,7 @@ func RunWarmRestart(cfg WarmRestartConfig, progress Progress) (*WarmRestartResul
 		Shards:        cfg.Shards,
 		Queries:       len(queries),
 		CacheCapacity: cfg.CacheCapacity,
+		Transport:     srvA.Transport(),
 		Seed:          cfg.Seed,
 	}
 
@@ -220,7 +227,7 @@ func RunWarmRestart(cfg WarmRestartConfig, progress Progress) (*WarmRestartResul
 	rng := randx.New(cfg.Seed + 7)
 	churn := newChurnState(initial)
 	var batches [][]changeplan.Op // every batch, replayed on the cold baseline
-	applyChurn := func(srv *serve.Server) error {
+	applyChurn := func(srv *router.Server) error {
 		ops, toggled := churn.batch(rng, cfg.OpsPerBatch)
 		if len(ops) == 0 {
 			return nil
@@ -270,7 +277,7 @@ func RunWarmRestart(cfg WarmRestartConfig, progress Progress) (*WarmRestartResul
 
 	// Phase 4: warm restart.
 	t0 := time.Now()
-	srvB, err := serve.New(nil, persistOpts)
+	srvB, err := router.New(nil, persistOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +313,7 @@ func RunWarmRestart(cfg WarmRestartConfig, progress Progress) (*WarmRestartResul
 	}
 	coldOpts := persistOpts
 	coldOpts.DataDir = ""
-	srvC, err := serve.New(initial, coldOpts)
+	srvC, err := router.New(initial, coldOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -337,7 +344,7 @@ type passStats struct {
 // (mean per-shard zero-test rate over exactly these queries), the
 // entries admitted during the pass, and the order-independent answer
 // digest.
-func measurePass(srv *serve.Server, queries []*graph.Graph) (passStats, error) {
+func measurePass(srv *router.Server, queries []*graph.Graph) (passStats, error) {
 	before, err := srv.Stats()
 	if err != nil {
 		return passStats{}, err
@@ -377,7 +384,7 @@ func measurePass(srv *serve.Server, queries []*graph.Graph) (passStats, error) {
 // drained — no pending pairs and a fully valid cache — or the timeout
 // elapses (the state reached by then is reported, not an error: a
 // lossy-but-live system is still a result).
-func awaitFullValidity(srv *serve.Server, timeout time.Duration) (*serve.Stats, error) {
+func awaitFullValidity(srv *router.Server, timeout time.Duration) (*router.Stats, error) {
 	deadline := time.Now().Add(timeout)
 	for {
 		st, err := srv.Stats()

@@ -29,7 +29,7 @@ import (
 // re-verifying the (entry.Query, graph) relation against the current
 // dataset version restores the bit without waiting for a future query
 // to rediscover the fact on the hot path. Cleared pairs are appended to
-// a bounded FIFO; the repair pipeline (internal/core + internal/serve)
+// a bounded FIFO; the repair pipeline (internal/core + internal/router)
 // drains it, re-verifies with forked compiled matchers, and calls
 // RestoreBit. When the queue is full, further pairs are dropped and
 // counted — a dropped pair simply stays invalid, which is exactly the

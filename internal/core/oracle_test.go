@@ -26,7 +26,7 @@ import (
 	"gcplus/internal/core"
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
-	"gcplus/internal/serve"
+	"gcplus/internal/router"
 	"gcplus/internal/subiso"
 	"gcplus/internal/testutil"
 )
@@ -289,9 +289,17 @@ func TestOracleConcurrentRepair(t *testing.T) {
 	for _, seed := range oracleSeeds {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			concurrentOracleRound(t, seed, false)
+			concurrentOracleRound(t, seed, false, router.TransportLocal)
 		})
 	}
+}
+
+// TestOracleConcurrentLoopback re-runs the concurrent oracle with the
+// router reaching its shards over the loopback TCP transport: the wire
+// seam must not bend a single answer even under concurrent churn and
+// repair. One seed keeps the wall-clock cost of the wire path bounded.
+func TestOracleConcurrentLoopback(t *testing.T) {
+	concurrentOracleRound(t, 42, false, router.TransportLoopback)
 }
 
 // TestOracleConcurrentPlanner is the same -race property with every
@@ -301,12 +309,12 @@ func TestOracleConcurrentPlanner(t *testing.T) {
 	for _, seed := range oracleSeeds {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
-			concurrentOracleRound(t, seed, true)
+			concurrentOracleRound(t, seed, true, router.TransportLocal)
 		})
 	}
 }
 
-func concurrentOracleRound(t *testing.T, seed int64, planner bool) {
+func concurrentOracleRound(t *testing.T, seed int64, planner bool, transport string) {
 	const (
 		shards  = 3
 		readers = 4
@@ -318,12 +326,13 @@ func concurrentOracleRound(t *testing.T, seed int64, planner bool) {
 	for i := range initial {
 		initial[i] = testutil.RandomConnectedGraph(rng, 4+rng.Intn(8), 4, 0.25)
 	}
-	srv, err := serve.New(initial, serve.Options{
+	srv, err := router.New(initial, router.Options{
 		Shards:            shards,
 		Method:            "VF2",
 		EagerValidate:     true, // invalidations (and hence repair) fire right at update time
 		RepairParallelism: 2,
 		EnablePlanner:     planner,
+		Transport:         transport,
 		Cache:             &cache.Config{Capacity: 20, WindowSize: 4},
 	})
 	if err != nil {
@@ -391,7 +400,7 @@ func concurrentOracleRound(t *testing.T, seed int64, planner bool) {
 			rng := rand.New(rand.NewSource(seed*1000 + int64(r)))
 			for !stop.Load() {
 				qi := rng.Intn(len(queries))
-				var res *serve.QueryResult
+				var res *router.QueryResult
 				var err error
 				if qi%2 == 0 {
 					res, err = srv.SubgraphQuery(queries[qi])

@@ -1,7 +1,7 @@
 // Package persist is GC+'s durability subsystem: a per-shard write-ahead
 // log of resolved dataset change operations plus periodic snapshots of
 // each shard's dataset and cache state, giving the serving layer
-// (internal/serve) crash-safe warm restarts — a rebooted server resumes
+// (internal/router) crash-safe warm restarts — a rebooted server resumes
 // with the dataset it was serving and every warmed cache entry, instead
 // of paying the full sub-iso cost from zero.
 //

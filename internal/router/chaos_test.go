@@ -1,4 +1,4 @@
-package serve
+package router
 
 import (
 	"errors"
@@ -28,11 +28,17 @@ import (
 //     lost tail converges to the reference again.
 func TestChaosSoakDifferential(t *testing.T) {
 	for _, policy := range []string{WALPolicyFailUpdate, WALPolicyDegradeToVolatile} {
-		t.Run(policy, func(t *testing.T) { chaosSoak(t, policy) })
+		t.Run(policy, func(t *testing.T) { chaosSoak(t, policy, TransportLocal) })
 	}
+	// The same soak over the loopback wire: faults, recovery and the
+	// bit-identity oracle must be transport-independent. One policy is
+	// enough — the wire path does not branch on WAL policy.
+	t.Run(WALPolicyFailUpdate+"/loopback", func(t *testing.T) {
+		chaosSoak(t, WALPolicyFailUpdate, TransportLoopback)
+	})
 }
 
-func chaosSoak(t *testing.T, policy string) {
+func chaosSoak(t *testing.T, policy, transport string) {
 	initial := genGraphs(t, 36, 21)
 	queries := testQueries(initial)
 	dir := t.TempDir()
@@ -68,6 +74,7 @@ func chaosSoak(t *testing.T, policy string) {
 		QueryTimeout:  10 * time.Second, // wired but generous: the soak should not 504
 		Cache:         &cache.Config{Capacity: 64, WindowSize: 5, Policy: cache.PolicyPIN},
 		Faults:        &FaultInjection{FS: ffs, ShardStall: stall, Now: skewedNow},
+		Transport:     transport,
 	}
 	srv, err := New(initial, opts)
 	if err != nil {

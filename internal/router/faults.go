@@ -1,37 +1,32 @@
-package serve
+package router
 
 import (
-	"fmt"
 	"time"
 
 	"gcplus/internal/persist"
+	"gcplus/internal/transport"
 )
 
 // This file holds the overload / failure-policy vocabulary of the
-// resilience layer: the typed errors the admission controller and
-// deadline enforcement return, the WAL failure policies, and the fault
-// injection hooks the chaos harness drives.
+// resilience layer: the WAL failure policies and the fault injection
+// hooks the chaos harness drives. The typed errors themselves live in
+// internal/transport (one shared table classifies them into transport
+// status codes for both the HTTP handlers and the wire protocol);
+// aliases are kept here so existing callers keep compiling.
 
 // OverloadError is returned when admission control sheds a request
 // because the in-flight limit is saturated. The HTTP layer maps it to
 // 429 with a Retry-After header; programmatic callers should back off
 // and retry — nothing was executed or enqueued.
-type OverloadError struct {
-	// Kind is "query" or "update".
-	Kind string
-	// Limit is the in-flight bound that was saturated.
-	Limit int
-}
+type OverloadError = transport.OverloadError
 
-func (e *OverloadError) Error() string {
-	return fmt.Sprintf("serve: %s load shed: %d in flight (admission limit reached)", e.Kind, e.Limit)
-}
+// DurabilityError is returned (alongside the applied result) when a WAL
+// append ultimately failed under the fail-update policy: the batch is
+// applied in memory but may not be durable.
+type DurabilityError = transport.DurabilityError
 
 // IsOverload reports whether err is an admission-control shed.
-func IsOverload(err error) bool {
-	_, ok := err.(*OverloadError)
-	return ok
-}
+func IsOverload(err error) bool { return transport.IsOverload(err) }
 
 // WAL failure policies (Options.WALPolicy). The policy decides what an
 // update batch whose WAL append ultimately failed — after the bounded
@@ -49,14 +44,6 @@ const (
 	// and the durable-epoch claim stops advancing until a snapshot
 	// rotation heals the segment. Availability over durability.
 	WALPolicyDegradeToVolatile = "degrade-to-volatile"
-)
-
-// walAppendRetries bounds the in-place retries of a rolled-back WAL
-// append before the failure policy applies; with walRetryBase doubling
-// per attempt the owner goroutine blocks at most ~2·walRetryBase·2^n.
-const (
-	walAppendRetries = 3
-	walRetryBase     = time.Millisecond
 )
 
 // snapshot retry backoff: a failed generation schedules a retry

@@ -1,4 +1,4 @@
-package serve
+package router
 
 import (
 	"encoding/json"
@@ -9,9 +9,9 @@ import (
 	"strings"
 
 	"gcplus/internal/changeplan"
-	"gcplus/internal/core"
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
+	"gcplus/internal/transport"
 )
 
 // Request-body limits. Handlers wrap bodies in http.MaxBytesReader so an
@@ -316,21 +316,12 @@ func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// statusOf maps an error to its HTTP status through the shared
+// transport status table — the same classification the wire protocol
+// uses, so an error crossing the loopback transport lands on the same
+// status code as one raised in-process.
 func statusOf(err error) int {
-	switch {
-	case err == ErrClosed:
-		return http.StatusServiceUnavailable
-	case IsOverload(err):
-		return http.StatusTooManyRequests
-	case isCancel(err):
-		return http.StatusGatewayTimeout
-	}
-	return http.StatusInternalServerError
-}
-
-func isCancel(err error) bool {
-	var ce *core.CancelError
-	return errors.As(err, &ce)
+	return transport.StatusOf(err).HTTPCode()
 }
 
 // writeErr maps err to its status and writes the JSON error body,

@@ -1,7 +1,8 @@
-package serve
+package router
 
 import (
 	"strconv"
+	"time"
 
 	"gcplus/internal/obs"
 )
@@ -64,6 +65,13 @@ type serverObs struct {
 	// series; the label set is fixed at registration.
 	deadlineStage map[string]*obs.Counter
 
+	// Transport instruments. transportReqs counts ShardClient calls by
+	// service method (incremented live at dispatch, not mirrored);
+	// shardRTT records the router-observed round trip of every query
+	// dispatch, per shard.
+	transportReqs map[string]*obs.Counter
+	shardRTT      []*obs.Histogram
+
 	// Per-shard instruments, indexed by shard id.
 	shardQueries       []*obs.Counter
 	shardLiveGraphs    []*obs.Gauge
@@ -73,6 +81,20 @@ type serverObs struct {
 	shardRepairPending []*obs.Gauge
 	shardRepairDropped []*obs.Counter
 	shardWALBytes      []*obs.Gauge
+}
+
+// noteTransport bumps the per-method transport request counter by n.
+func (o *serverObs) noteTransport(method string, n int64) {
+	if c := o.transportReqs[method]; c != nil {
+		c.Add(n)
+	}
+}
+
+// observeRTT records one query dispatch's round trip for shard i.
+func (o *serverObs) observeRTT(i int, d time.Duration) {
+	if i >= 0 && i < len(o.shardRTT) {
+		o.shardRTT[i].Observe(d)
+	}
 }
 
 // stageHistNames orders the per-stage histogram series; the stage label
@@ -140,7 +162,15 @@ func (s *Server) initObs() {
 			obs.Labels{"stage": stage})
 	}
 
-	n := len(s.shards)
+	o.transportReqs = make(map[string]*obs.Counter)
+	for _, method := range []string{"query", "apply_op", "append_wal", "sync", "snapshot", "stats"} {
+		o.transportReqs[method] = r.Counter("gcplus_transport_requests_total",
+			"ShardClient requests dispatched by the router, by service method and transport.",
+			obs.Labels{"method": method, "transport": s.transportKind})
+	}
+
+	n := len(s.hosts)
+	o.shardRTT = make([]*obs.Histogram, n)
 	o.shardQueries = make([]*obs.Counter, n)
 	o.shardLiveGraphs = make([]*obs.Gauge, n)
 	o.shardHitRate = make([]*obs.Gauge, n)
@@ -149,41 +179,44 @@ func (s *Server) initObs() {
 	o.shardRepairPending = make([]*obs.Gauge, n)
 	o.shardRepairDropped = make([]*obs.Counter, n)
 	o.shardWALBytes = make([]*obs.Gauge, n)
-	for _, sh := range s.shards {
-		lbl := strconv.Itoa(sh.id)
-		hists := sh.rt.StageHists()
-		for i, h := range []*obs.Histogram{
+	for sid, h := range s.hosts {
+		lbl := strconv.Itoa(sid)
+		hists := h.Runtime().StageHists()
+		for i, hist := range []*obs.Histogram{
 			hists.Query, hists.Hit, hists.Verify, hists.VerifyCPU,
 			hists.Overhead, hists.Consistency, hists.RepairVerify, hists.Plan,
 		} {
 			r.RegisterHistogram("gcplus_stage_duration_seconds",
 				"Per-stage query processing latency, by shard and stage.",
-				obs.Labels{"shard": lbl, "stage": stageHistNames[i]}, h)
+				obs.Labels{"shard": lbl, "stage": stageHistNames[i]}, hist)
 		}
 		r.RegisterHistogram("gcplus_queue_wait_seconds",
 			"Time jobs spend queued behind the shard owner goroutine.",
-			obs.Labels{"shard": lbl}, sh.queueWait)
+			obs.Labels{"shard": lbl}, h.QueueWaitHist())
 		if s.walWanted() {
 			r.RegisterHistogram("gcplus_wal_append_duration_seconds",
 				"WAL batch append latency (encode + write + fsync).",
-				obs.Labels{"shard": lbl}, sh.walAppend)
+				obs.Labels{"shard": lbl}, h.WALAppendHist())
 		}
-		o.shardQueries[sh.id] = r.Counter("gcplus_shard_queries_total",
+		o.shardRTT[sid] = r.Histogram("gcplus_transport_rtt_seconds",
+			"Router-observed round trip of query dispatches, by shard and transport.",
+			obs.Labels{"shard": lbl, "transport": s.transportKind})
+		o.shardQueries[sid] = r.Counter("gcplus_shard_queries_total",
 			"Queries processed by the shard runtime.", obs.Labels{"shard": lbl})
-		o.shardLiveGraphs[sh.id] = r.Gauge("gcplus_shard_live_graphs",
+		o.shardLiveGraphs[sid] = r.Gauge("gcplus_shard_live_graphs",
 			"Live graphs in the shard partition.", obs.Labels{"shard": lbl})
-		o.shardHitRate[sh.id] = r.Gauge("gcplus_shard_hit_rate",
+		o.shardHitRate[sid] = r.Gauge("gcplus_shard_hit_rate",
 			"Shard fraction of measured queries answered with zero sub-iso tests.",
 			obs.Labels{"shard": lbl})
-		o.shardValidity[sh.id] = r.Gauge("gcplus_shard_validity_ratio",
+		o.shardValidity[sid] = r.Gauge("gcplus_shard_validity_ratio",
 			"Shard fraction of validity bits currently set.", obs.Labels{"shard": lbl})
-		o.shardQueueLen[sh.id] = r.Gauge("gcplus_shard_queue_len",
+		o.shardQueueLen[sid] = r.Gauge("gcplus_shard_queue_len",
 			"Shard job-queue depth at snapshot time.", obs.Labels{"shard": lbl})
-		o.shardRepairPending[sh.id] = r.Gauge("gcplus_shard_repair_pending",
+		o.shardRepairPending[sid] = r.Gauge("gcplus_shard_repair_pending",
 			"Shard repair-queue depth.", obs.Labels{"shard": lbl})
-		o.shardRepairDropped[sh.id] = r.Counter("gcplus_shard_repair_dropped_total",
+		o.shardRepairDropped[sid] = r.Counter("gcplus_shard_repair_dropped_total",
 			"Shard invalidated pairs shed on a full repair queue.", obs.Labels{"shard": lbl})
-		o.shardWALBytes[sh.id] = r.Gauge("gcplus_shard_wal_bytes",
+		o.shardWALBytes[sid] = r.Gauge("gcplus_shard_wal_bytes",
 			"Shard current WAL segment bytes.", obs.Labels{"shard": lbl})
 	}
 	if s.store != nil {

@@ -1,4 +1,4 @@
-package serve
+package router
 
 import (
 	"context"
@@ -25,7 +25,7 @@ import (
 // the server busy deterministically.
 func blockShard(srv *Server) (release func()) {
 	gate := make(chan struct{})
-	srv.shards[0].enqueue(func() { <-gate })
+	srv.hosts[0].Enqueue(func() { <-gate })
 	var once sync.Once
 	return func() { once.Do(func() { close(gate) }) }
 }
@@ -216,10 +216,10 @@ func TestPressureLadder(t *testing.T) {
 	go func() {
 		defer close(fillDone)
 		for i := 0; i < srv.press.queueCrit; i++ {
-			srv.shards[0].enqueue(func() {})
+			srv.hosts[0].Enqueue(func() {})
 		}
 	}()
-	waitFor(t, func() bool { return len(srv.shards[0].jobs) >= srv.press.queueCrit })
+	waitFor(t, func() bool { return srv.hosts[0].QueueLen() >= srv.press.queueCrit })
 	base := time.Unix(1000, 0)
 	srv.press.evaluate(base)
 	if lvl := srv.press.Level(); lvl != DegradeCacheBypass {
@@ -250,7 +250,7 @@ func TestPressureLadder(t *testing.T) {
 
 	// De-escalation: queue empty now, but each rung needs pressureDwell
 	// consecutive calm evaluations.
-	waitFor(t, func() bool { return len(srv.shards[0].jobs) == 0 })
+	waitFor(t, func() bool { return srv.hosts[0].QueueLen() == 0 })
 	step := func(n int) {
 		for i := 0; i < n; i++ {
 			base = base.Add(time.Second)
@@ -419,9 +419,9 @@ func TestCancellationLeavesCacheConsistent(t *testing.T) {
 
 	checkCache := func() {
 		done := make(chan struct{})
-		srv.shards[0].enqueue(func() {
+		srv.hosts[0].Enqueue(func() {
 			defer close(done)
-			testutil.RequireCacheIndex(t, srv.shards[0].rt.Cache())
+			testutil.RequireCacheIndex(t, srv.hosts[0].Runtime().Cache())
 		})
 		<-done
 	}

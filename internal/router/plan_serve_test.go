@@ -1,4 +1,4 @@
-package serve
+package router
 
 import (
 	"context"

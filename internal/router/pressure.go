@@ -1,8 +1,10 @@
-package serve
+package router
 
 import (
 	"sync/atomic"
 	"time"
+
+	"gcplus/internal/shardhost"
 )
 
 // The pressure controller implements graceful degradation: when the
@@ -95,8 +97,8 @@ type pressure struct {
 func newPressure(s *Server) *pressure {
 	p := &pressure{
 		s:         s,
-		queueHigh: jobQueueDepth / 2,
-		queueCrit: jobQueueDepth * 7 / 8,
+		queueHigh: shardhost.JobQueueDepth / 2,
+		queueCrit: shardhost.JobQueueDepth * 7 / 8,
 		quit:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
@@ -106,8 +108,8 @@ func newPressure(s *Server) *pressure {
 	if s.opts.Cache != nil {
 		bound = s.opts.Cache.RepairQueue
 	}
-	p.repairHigh = len(s.shards) * bound / 2
-	p.repairCrit = len(s.shards) * bound * 7 / 8
+	p.repairHigh = len(s.hosts) * bound / 2
+	p.repairCrit = len(s.hosts) * bound * 7 / 8
 	if p.repairHigh < 1 {
 		p.repairHigh = 1
 	}
@@ -157,15 +159,18 @@ func (p *pressure) degradedSeconds(now time.Time) float64 {
 	return time.Duration(ns).Seconds()
 }
 
-// sample gathers the current signals. Queue depth reads channel
-// lengths; the repair backlog reads the per-shard published atomics.
+// sample gathers the current signals through the transport clients'
+// Signals method: lock-free host reads for the local transport, the
+// last reply frame's piggybacked sample for loopback — the controller
+// never pays a round trip.
 func (p *pressure) sample() pressureSignals {
 	var sig pressureSignals
-	for _, sh := range p.s.shards {
-		if d := len(sh.jobs); d > sig.MaxQueueDepth {
-			sig.MaxQueueDepth = d
+	for _, c := range p.s.clients {
+		s := c.Signals()
+		if s.QueueLen > sig.MaxQueueDepth {
+			sig.MaxQueueDepth = s.QueueLen
 		}
-		sig.PendingRepairs += int(sh.pendingRepairs.Load())
+		sig.PendingRepairs += int(s.PendingRepairs)
 	}
 	return sig
 }

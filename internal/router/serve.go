@@ -1,19 +1,31 @@
-// Package serve is GC+'s concurrent query-serving subsystem: a sharded,
-// thread-safe front-end over N independent core.Runtime shards, each
-// owning a partition of the dataset and its own GC+ cache.
+// Package router is the coordinator of GC+'s three-layer serving stack:
+//
+//	router  — placement, epoch sequencing, fan-out + sorted merge,
+//	          admission control, degradation ladder, persistence
+//	          coordination (this package)
+//	transport — the ShardClient seam the router talks through: "local"
+//	          (direct in-process calls) or "loopback" (real TCP framing)
+//	shardhost — one Host per shard, owning that partition's dataset,
+//	          runtime, GC+ cache and durability state
 //
 // # Architecture
 //
 // A core.Runtime is deliberately single-threaded (the paper's evaluation
 // harness is single-streamed), so the available concurrency is shard-level
 // parallelism. The Server partitions the dataset round-robin over N
-// shards; each shard runs one worker goroutine — collectively the query
-// worker pool — that owns the shard's dataset, runtime and cache
-// exclusively and drains a FIFO job queue. A query fans out one job per
-// shard, the shards prune and verify their partitions in parallel
-// (per-shard CON validation runs exactly as in §5.2 against the shard's
-// own update log), and the front-end unions the per-shard answers after
-// translating shard-local graph ids back to global ids.
+// shard hosts; each host runs one worker goroutine — collectively the
+// query worker pool — that owns the shard's dataset, runtime and cache
+// exclusively and drains a FIFO job queue. A query fans out one request
+// per shard through the transport clients, the shards prune and verify
+// their partitions in parallel (per-shard CON validation runs exactly as
+// in §5.2 against the shard's own update log), and the router unions the
+// per-shard answers, already translated to global ids host-side.
+//
+// The router addresses shards only through the transport.ShardClient
+// interface — it cannot tell an in-process Host from one behind a
+// socket. The consistency protocol below survives that indirection
+// because every ShardClient method fixes its shard's call order
+// synchronously, at call time, before returning.
 //
 // # Epoch-sequenced consistency
 //
@@ -34,7 +46,7 @@
 // apply per shard, and the union over a partition preserves them, so
 // concurrent serving keeps the paper's no-false-positives /
 // no-false-negatives guarantee.
-package serve
+package router
 
 import (
 	"context"
@@ -55,11 +67,34 @@ import (
 	"gcplus/internal/graph"
 	"gcplus/internal/obs"
 	"gcplus/internal/persist"
+	"gcplus/internal/shardhost"
 	"gcplus/internal/subiso"
+	"gcplus/internal/transport"
 )
 
-// ErrClosed is returned by operations on a closed Server.
-var ErrClosed = errors.New("serve: server is closed")
+// ErrClosed is returned by operations on a closed Server. It is the
+// transport layer's sentinel so the same closed-server failure is
+// recognized whether it was raised router-side or decoded off the wire.
+var ErrClosed = transport.ErrClosed
+
+// Transport names accepted by Options.Transport.
+const (
+	// TransportLocal reaches shard hosts by direct in-process calls —
+	// the zero-overhead default.
+	TransportLocal = "local"
+	// TransportLoopback runs every shard host behind a real TCP
+	// connection on the loopback interface, in the same process: the
+	// full wire path (framing, codecs, cancel frames, piggybacked
+	// pressure signals) with none of the deployment. It exists to
+	// rehearse the cluster seam and must be answer-identical to local.
+	TransportLoopback = "loopback"
+)
+
+// validTransport reports whether t names a supported transport ("" means
+// TransportLocal).
+func validTransport(t string) bool {
+	return t == "" || t == TransportLocal || t == TransportLoopback
+}
 
 // Options configures a Server. The zero value gives 4 shards with the
 // paper-default CON cache (capacity 100, window 20, HD policy) and VF2.
@@ -185,6 +220,10 @@ type Options struct {
 	// never caps verification or bypasses the cache under load, only
 	// sheds at the admission bound.
 	DisableDegradation bool
+	// Transport selects how the router reaches its shard hosts:
+	// TransportLocal (default) or TransportLoopback. Answers, epochs and
+	// stats are bit-identical across transports; only the seam differs.
+	Transport string
 	// Faults installs the chaos harness's fault-injection hooks (nil in
 	// production). Deliberately not surfaced on the public facade.
 	Faults *FaultInjection
@@ -319,8 +358,17 @@ type location struct {
 // Server is the sharded front-end. All exported methods are safe for
 // concurrent use.
 type Server struct {
-	opts   Options
-	shards []*shard
+	opts Options
+	// hosts are the shard owners; the router touches them directly only
+	// at boot (construction, recovery, Start) and for the in-process
+	// durability seam (NoteSnapshotDurable). Everything on the serving
+	// path goes through clients.
+	hosts   []*shardhost.Host
+	clients []transport.ShardClient
+	// loopback is the in-process wire server all clients dial when the
+	// loopback transport is selected (nil for local).
+	loopback      *transport.LoopbackServer
+	transportKind string
 
 	// seqMu orders job enqueues: queries enqueue under RLock, update
 	// batches apply under Lock. This is the epoch sequencer — see the
@@ -340,6 +388,11 @@ type Server struct {
 	// nextAdd == len(loc), which is what makes ADD placement replayable
 	// after a warm restart.
 	nextAdd int
+	// shardNextLocal is the next local id each shard will assign to an
+	// ADD — placement bookkeeping, maintained writer-side at enqueue
+	// time so later ops in a batch can target a graph an earlier op is
+	// about to add (the host's own map only grows when the job runs).
+	shardNextLocal []int
 
 	// Durability state (nil store when persistence is off).
 	store   *persist.Store
@@ -460,7 +513,15 @@ func New(initial []*graph.Graph, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("serve: unknown WAL policy %q (want %q or %q)",
 			opts.WALPolicy, WALPolicyFailUpdate, WALPolicyDegradeToVolatile)
 	}
+	if !validTransport(opts.Transport) {
+		return nil, fmt.Errorf("serve: unknown transport %q (want %q or %q)",
+			opts.Transport, TransportLocal, TransportLoopback)
+	}
 	s := &Server{opts: opts, log: opts.Logger, now: time.Now}
+	s.transportKind = opts.Transport
+	if s.transportKind == "" {
+		s.transportKind = TransportLocal
+	}
 	if opts.Faults != nil && opts.Faults.Now != nil {
 		s.now = opts.Faults.Now
 	}
@@ -484,11 +545,20 @@ func New(initial []*graph.Graph, opts Options) (*Server, error) {
 		s.store = store
 	}
 	// Boot failures past this point must release the data directory's
-	// lock (and any opened files) before reporting.
+	// lock (and any opened files and sockets) before reporting. Hosts
+	// are not started yet on any failing path, so no goroutines to stop.
 	fail := func(err error) (*Server, error) {
-		for _, sh := range s.shards {
-			if sh != nil && sh.wal != nil {
-				sh.wal.CloseRaw()
+		for _, c := range s.clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+		if s.loopback != nil {
+			s.loopback.Close()
+		}
+		for _, h := range s.hosts {
+			if h != nil {
+				h.CloseWAL(false)
 			}
 		}
 		if s.store != nil {
@@ -506,14 +576,17 @@ func New(initial []*graph.Graph, opts Options) (*Server, error) {
 	if !opts.DisableDegradation {
 		s.press = newPressure(s)
 	}
+	if err := s.buildClients(); err != nil {
+		return fail(fmt.Errorf("serve: %s transport: %w", s.transportKind, err))
+	}
 	s.initObs()
-	for _, sh := range s.shards {
-		sh.log = s.log
-		sh.now = s.now
+	for _, h := range s.hosts {
+		h.SetLogger(s.log)
+		h.SetClock(s.now)
 		if opts.Faults != nil {
-			sh.stall = opts.Faults.ShardStall
+			h.SetStall(opts.Faults.ShardStall)
 		}
-		sh.start(opts.RepairParallelism)
+		h.Start(opts.RepairParallelism)
 	}
 	if s.press != nil && opts.pressureInterval >= 0 {
 		iv := opts.pressureInterval
@@ -525,10 +598,10 @@ func New(initial []*graph.Graph, opts Options) (*Server, error) {
 	if s.recovered {
 		s.log.Info("warm restart complete",
 			"epoch", s.recoveredEpoch, "cache_entries", s.recoveredEntries,
-			"shards", len(s.shards))
+			"shards", len(s.hosts), "transport", s.transportKind)
 	} else {
-		s.log.Info("cold boot", "shards", len(s.shards), "graphs", len(s.loc),
-			"persist", s.store != nil)
+		s.log.Info("cold boot", "shards", len(s.hosts), "graphs", len(s.loc),
+			"persist", s.store != nil, "transport", s.transportKind)
 	}
 	if s.recovered {
 		// Reconcile each shard cache with the replayed log suffix off
@@ -536,8 +609,8 @@ func New(initial []*graph.Graph, opts Options) (*Server, error) {
 		// bit of every replay-touched (entry, graph) pair and hands the
 		// pairs to the background repair pipeline, so recovery never
 		// trusts validity bits the replay may have invalidated.
-		for _, sh := range s.shards {
-			sh.enqueue(func() { sh.rt.Sync() })
+		for _, c := range s.clients {
+			c.Sync(nil)
 		}
 	} else if s.store != nil {
 		if err := s.Snapshot(); err != nil {
@@ -548,11 +621,12 @@ func New(initial []*graph.Graph, opts Options) (*Server, error) {
 	return s, nil
 }
 
-// buildCold constructs the shards from the initial dataset (no
+// buildCold constructs the shard hosts from the initial dataset (no
 // goroutines are started; error paths simply abandon the structures).
 func (s *Server) buildCold(initial []*graph.Graph) error {
 	opts := s.opts
-	s.shards = make([]*shard, opts.Shards)
+	s.hosts = make([]*shardhost.Host, opts.Shards)
+	s.shardNextLocal = make([]int, opts.Shards)
 	s.loc = make([]location, len(initial))
 	s.nextAdd = len(initial)
 	parts := make([][]*graph.Graph, opts.Shards)
@@ -566,16 +640,59 @@ func (s *Server) buildCold(initial []*graph.Graph) error {
 		parts[sid] = append(parts[sid], g)
 		gids[sid] = append(gids[sid], gid)
 	}
-	for i := range s.shards {
+	for i := range s.hosts {
 		coreOpts, err := s.shardCoreOptions()
 		if err != nil {
 			return err
 		}
-		sh, err := newShard(i, parts[i], gids[i], coreOpts)
+		h, err := shardhost.New(i, parts[i], gids[i], coreOpts, s.hostConfig())
 		if err != nil {
 			return err
 		}
-		s.shards[i] = sh
+		s.hosts[i] = h
+		s.shardNextLocal[i] = len(gids[i])
+	}
+	return nil
+}
+
+// hostConfig is the durability/policy configuration every shard host is
+// built with. OnDurabilityGap closes the control loop: a host that
+// latches a WAL durability gap asks the router for the healing snapshot
+// rotation.
+func (s *Server) hostConfig() shardhost.Config {
+	return shardhost.Config{
+		Store:           s.store,
+		WAL:             s.walWanted(),
+		NoSync:          s.opts.NoSync,
+		WALPolicy:       s.opts.WALPolicy,
+		FailUpdateOnGap: s.opts.WALPolicy == WALPolicyFailUpdate,
+		OnDurabilityGap: s.scheduleSnapshotRetry,
+	}
+}
+
+// buildClients wires one transport.ShardClient per shard host according
+// to the selected transport. For loopback, every host is served behind
+// one TCP listener and each client gets its own connection — the
+// ShardClient ordering contract rides on that single ordered stream.
+func (s *Server) buildClients() error {
+	s.clients = make([]transport.ShardClient, len(s.hosts))
+	if s.transportKind != TransportLoopback {
+		for i, h := range s.hosts {
+			s.clients[i] = transport.NewLocal(h)
+		}
+		return nil
+	}
+	lb, err := transport.ServeLoopback(s.hosts)
+	if err != nil {
+		return err
+	}
+	s.loopback = lb
+	for i := range s.hosts {
+		c, err := transport.DialLoopback(lb.Addr(), i)
+		if err != nil {
+			return err
+		}
+		s.clients[i] = c
 	}
 	return nil
 }
@@ -603,10 +720,10 @@ func (s *Server) shardCoreOptions() (core.Options, error) {
 // walWanted reports whether update batches should be logged.
 func (s *Server) walWanted() bool { return s.store != nil && !s.opts.DisableWAL }
 
-func (s *Server) stopShards() {
-	for _, sh := range s.shards {
-		if sh != nil {
-			sh.stop()
+func (s *Server) stopHosts() {
+	for _, h := range s.hosts {
+		if h != nil {
+			h.Stop()
 		}
 	}
 }
@@ -664,22 +781,21 @@ func (s *Server) closeImpl(flush bool) error {
 		// — still recoverable, but the caller must hear about it.
 		flushErr = <-snapDone
 	}
-	s.stopShards()
-	for _, sh := range s.shards {
-		if sh.wal == nil {
-			continue
+	s.stopHosts()
+	for i, h := range s.hosts {
+		// flush=false is crash-shaped: no final fsync — recovery must
+		// cope with exactly what the kernel happened to have, like
+		// after a real crash — and its close error is deliberately not
+		// reported.
+		if err := h.CloseWAL(flush); flush && err != nil && flushErr == nil {
+			flushErr = fmt.Errorf("serve: closing shard %d WAL: %w", i, err)
 		}
-		if flush {
-			if err := sh.wal.Close(); err != nil && flushErr == nil {
-				flushErr = fmt.Errorf("serve: closing shard %d WAL: %w", sh.id, err)
-			}
-		} else {
-			// Crash-shaped: no final fsync — recovery must cope with
-			// exactly what the kernel happened to have, like after a
-			// real crash.
-			sh.wal.CloseRaw()
-		}
-		sh.wal = nil
+	}
+	for _, c := range s.clients {
+		c.Close()
+	}
+	if s.loopback != nil {
+		s.loopback.Close()
 	}
 	if s.store != nil {
 		s.store.Close()
@@ -696,7 +812,11 @@ func (s *Server) closeImpl(flush bool) error {
 }
 
 // Shards returns the number of runtime shards.
-func (s *Server) Shards() int { return len(s.shards) }
+func (s *Server) Shards() int { return len(s.hosts) }
+
+// Transport names the shard transport this server was built with
+// ("local" or "loopback").
+func (s *Server) Transport() string { return s.transportKind }
 
 // Epoch returns the current dataset version (the number of update batches
 // applied so far).
@@ -734,6 +854,10 @@ type QueryResult struct {
 	Truncated bool `json:"truncated,omitempty"`
 	// PerShard holds the raw per-shard execution stats, shard order.
 	PerShard []core.QueryStats `json:"-"`
+	// Transport holds the per-shard transport overhead, shard order: the
+	// router-observed round trip minus the host-measured service time
+	// (clamped at zero). Surfaced as transport_us in the query trace.
+	Transport []time.Duration `json:"-"`
 }
 
 // SubgraphQuery answers "which live dataset graphs contain q?" across all
@@ -819,64 +943,40 @@ func (s *Server) query(ctx context.Context, q *graph.Graph, kind cache.Kind, lim
 		}
 	}
 	start := s.now()
-	type shardAnswer struct {
-		ids []int
-		st  core.QueryStats
-		err error
-	}
-	answers := make([]shardAnswer, len(s.shards))
+	req := &shardhost.QueryRequest{Kind: kind, Query: q, Opts: qopt}
+	replies := make([]shardhost.QueryReply, len(s.clients))
+	rtts := make([]int64, len(s.clients))
 	var wg sync.WaitGroup
 	done := ctx.Done() // nil for Background: the whole ctx plumbing is then free
 
-	// Enqueue one job per shard atomically w.r.t. update batches; the
-	// epoch read here is exactly the dataset version every shard will
-	// answer at (FIFO queues — see package comment).
+	// Dispatch one request per shard atomically w.r.t. update batches —
+	// every ShardClient fixes its shard's call order synchronously, so
+	// the epoch read here is exactly the dataset version every shard
+	// will answer at (FIFO queues — see package comment).
 	s.seqMu.RLock()
 	if s.closed {
 		s.seqMu.RUnlock()
 		return nil, ErrClosed
 	}
 	epoch := s.epoch
-	wg.Add(len(s.shards))
-	for i, sh := range s.shards {
-		sh.enqueue(func() {
-			defer wg.Done()
-			if done != nil {
-				select {
-				case <-done:
-					// Expired while waiting in the shard queue.
-					answers[i].err = &core.CancelError{Stage: "queue", Err: ctx.Err()}
-					return
-				default:
-				}
-			}
-			var res *core.Result
-			var err error
-			if kind == cache.KindSub {
-				res, err = sh.rt.SubgraphQueryCtx(ctx, q, qopt)
-			} else {
-				res, err = sh.rt.SupergraphQueryCtx(ctx, q, qopt)
-			}
-			if err != nil {
-				answers[i].err = err
-				return
-			}
-			locals := res.AnswerIDs()
-			ids := make([]int, len(locals))
-			for j, l := range locals {
-				ids[j] = sh.localToGlobal[l]
-			}
-			answers[i] = shardAnswer{ids: ids, st: res.Stats}
+	wg.Add(len(s.clients))
+	for i, c := range s.clients {
+		at := time.Now()
+		c.Query(ctx, req, &replies[i], func() {
+			rtts[i] = time.Since(at).Nanoseconds()
+			wg.Done()
 		})
 	}
 	s.seqMu.RUnlock()
+	s.obs.noteTransport("query", int64(len(s.clients)))
 	if done == nil {
 		wg.Wait()
 	} else {
 		// Deadline-bounded wait: give up the moment ctx expires instead
 		// of riding out a stalled shard. The abandoned jobs abort at
-		// their next checkpoint and only touch answers/wg, which stay
-		// alive until they finish — the error path never reads answers.
+		// their next checkpoint and only touch replies/rtts/wg, which
+		// stay alive until they finish — the error path never reads
+		// them.
 		finished := make(chan struct{})
 		go func() { wg.Wait(); close(finished) }()
 		select {
@@ -888,26 +988,35 @@ func (s *Server) query(ctx context.Context, q *graph.Graph, kind cache.Kind, lim
 		}
 	}
 
-	out := &QueryResult{Epoch: epoch, Kind: kind.String(), PerShard: make([]core.QueryStats, len(s.shards))}
-	total := 0
-	for _, a := range answers {
-		if a.err != nil {
-			s.noteDeadline(a.err)
-			return nil, a.err
-		}
-		total += len(a.ids)
+	out := &QueryResult{
+		Epoch: epoch, Kind: kind.String(),
+		PerShard:  make([]core.QueryStats, len(s.clients)),
+		Transport: make([]time.Duration, len(s.clients)),
 	}
-	lists := make([][]int, 0, len(answers))
-	for i, a := range answers {
-		lists = append(lists, a.ids)
-		out.PerShard[i] = a.st
-		out.Candidates += a.st.CandidatesBefore
-		out.SubIsoTests += a.st.SubIsoTests
-		out.TestsSaved += a.st.TestsSaved
-		if a.st.SubIsoTests == 0 {
+	total := 0
+	for i := range replies {
+		if err := replies[i].Err; err != nil {
+			s.noteDeadline(err)
+			return nil, err
+		}
+		total += len(replies[i].IDs)
+	}
+	lists := make([][]int, 0, len(replies))
+	for i := range replies {
+		r := &replies[i]
+		lists = append(lists, r.IDs)
+		out.PerShard[i] = r.Stats
+		if d := rtts[i] - r.HostNanos; d > 0 {
+			out.Transport[i] = time.Duration(d)
+		}
+		s.obs.observeRTT(i, time.Duration(rtts[i]))
+		out.Candidates += r.Stats.CandidatesBefore
+		out.SubIsoTests += r.Stats.SubIsoTests
+		out.TestsSaved += r.Stats.TestsSaved
+		if r.Stats.SubIsoTests == 0 {
 			out.ZeroTestShards++
 		}
-		if a.st.Truncated {
+		if r.Stats.Truncated {
 			out.Truncated = true
 		}
 	}
@@ -1024,7 +1133,7 @@ func (s *Server) UpdateCtx(ctx context.Context, ops []changeplan.Op) (*UpdateRes
 		s.seqMu.Unlock()
 		return nil, ErrClosed
 	}
-	touched := make(map[*shard]bool)
+	touched := make(map[int]bool)
 	pending := make([]<-chan OpResult, len(ops))
 	for i, op := range ops {
 		pending[i] = s.enqueueOp(op, touched)
@@ -1039,9 +1148,10 @@ func (s *Server) UpdateCtx(ctx context.Context, ops []changeplan.Op) (*UpdateRes
 		// One reconciliation sweep per touched shard covers the whole
 		// batch: Sync processes the shard's log suffix in one pass, and
 		// FIFO order places it before any query enqueued after us.
-		for sh := range touched {
-			sh.enqueue(func() { sh.rt.Sync() })
+		for sid := range touched {
+			s.clients[sid].Sync(nil)
 		}
+		s.obs.noteTransport("sync", int64(len(touched)))
 	}
 	if s.store != nil && s.opts.SnapshotEvery > 0 &&
 		epoch >= s.lastSnapshotEpoch.Load()+uint64(s.opts.SnapshotEvery) {
@@ -1066,8 +1176,7 @@ func (s *Server) UpdateCtx(ctx context.Context, ops []changeplan.Op) (*UpdateRes
 		if err := <-ch; err != nil && walErr == nil {
 			s.log.Error("WAL append failed, batch not durable",
 				"epoch", epoch, "shard", i, "policy", s.opts.WALPolicy, "err", err)
-			walErr = fmt.Errorf("serve: WAL append for batch %d failed on shard %d (applied in memory, may not be durable): %w",
-				epoch, i, err)
+			walErr = &transport.DurabilityError{Epoch: epoch, Shard: i, Err: err}
 		}
 	}
 	if walErr != nil {
@@ -1077,15 +1186,26 @@ func (s *Server) UpdateCtx(ctx context.Context, ops []changeplan.Op) (*UpdateRes
 }
 
 // enqueueOp routes one operation to the shard owning its target graph
-// and enqueues its application, returning a channel that delivers the
-// result once the shard worker has run it. Routing failures resolve
-// immediately. Called with writerMu and seqMu held; the id bookkeeping
-// (loc, nextLocal) is updated here, at enqueue time, so later ops in the
-// same batch can target a graph an earlier op is about to add.
-func (s *Server) enqueueOp(op changeplan.Op, touched map[*shard]bool) <-chan OpResult {
+// and dispatches its application through the shard's client, returning a
+// channel that delivers the result once the shard worker has run it.
+// Routing failures resolve immediately. Called with writerMu and seqMu
+// held; the id bookkeeping (loc, shardNextLocal) is updated here, at
+// dispatch time, so later ops in the same batch can target a graph an
+// earlier op is about to add. The host applies the op, maintains its
+// local→global map and accumulates the WAL batch.
+func (s *Server) enqueueOp(op changeplan.Op, touched map[int]bool) <-chan OpResult {
 	out := make(chan OpResult, 1)
 	fail := func(err error) <-chan OpResult {
 		out <- OpResult{ID: -1, Err: err}
+		return out
+	}
+	dispatch := func(sid int, op changeplan.Op, gid int) <-chan OpResult {
+		touched[sid] = true
+		reply := new(shardhost.OpReply)
+		s.clients[sid].ApplyOp(&shardhost.OpRequest{Op: op, GlobalID: gid}, reply, func() {
+			out <- OpResult{ID: reply.ID, Err: reply.Err}
+		})
+		s.obs.noteTransport("apply_op", 1)
 		return out
 	}
 	switch op.Type {
@@ -1093,68 +1213,22 @@ func (s *Server) enqueueOp(op changeplan.Op, touched map[*shard]bool) <-chan OpR
 		if op.Graph == nil {
 			return fail(errors.New("serve: ADD with nil graph"))
 		}
-		sh := s.shards[s.nextAdd%len(s.shards)]
+		sid := s.nextAdd % len(s.clients)
 		s.nextAdd++
 		gid := len(s.loc)
-		s.loc = append(s.loc, location{shard: int32(sh.id), local: int32(sh.nextLocal)})
-		sh.nextLocal++
-		touched[sh] = true
-		g := op.Graph
-		sh.enqueue(func() {
-			local, err := sh.ds.Add(g)
-			if err == nil && local != len(sh.localToGlobal) {
-				// Cannot happen while all ADDs flow through this path;
-				// fail loudly rather than corrupt the id translation.
-				err = fmt.Errorf("serve: shard %d local id %d out of step (want %d)",
-					sh.id, local, len(sh.localToGlobal))
-			}
-			if err != nil {
-				out <- OpResult{ID: -1, Err: err}
-				return
-			}
-			sh.localToGlobal = append(sh.localToGlobal, gid)
-			if sh.wal != nil {
-				sh.walPending = append(sh.walPending,
-					persist.WALOp{Op: changeplan.AddOp(g), GlobalID: gid})
-			}
-			out <- OpResult{ID: gid}
-		})
-		return out
+		s.loc = append(s.loc, location{shard: int32(sid), local: int32(s.shardNextLocal[sid])})
+		s.shardNextLocal[sid]++
+		return dispatch(sid, op, gid)
 	case dataset.OpDelete, dataset.OpUpdateAddEdge, dataset.OpUpdateRemoveEdge:
 		gid := op.GraphID
 		if gid < 0 || gid >= len(s.loc) {
 			return fail(fmt.Errorf("serve: graph id %d out of range [0,%d)", gid, len(s.loc)))
 		}
 		l := s.loc[gid]
-		sh := s.shards[l.shard]
-		local := int(l.local)
-		touched[sh] = true
-		sh.enqueue(func() {
-			var err error
-			switch op.Type {
-			case dataset.OpDelete:
-				err = sh.ds.Delete(local)
-			case dataset.OpUpdateAddEdge:
-				err = sh.ds.UpdateAddEdge(local, op.U, op.V)
-			default:
-				err = sh.ds.UpdateRemoveEdge(local, op.U, op.V)
-			}
-			if err != nil {
-				// Shard errors speak in shard-local ids; re-anchor them
-				// to the global id the caller used.
-				out <- OpResult{ID: -1, Err: fmt.Errorf("serve: %s on graph %d (shard %d, local %d): %w",
-					op.Type, gid, sh.id, local, err)}
-				return
-			}
-			if sh.wal != nil {
-				// Logged in shard-local id space — replay applies ops
-				// straight to the shard dataset.
-				lop := changeplan.Op{Type: op.Type, GraphID: local, U: op.U, V: op.V}
-				sh.walPending = append(sh.walPending, persist.WALOp{Op: lop, GlobalID: gid})
-			}
-			out <- OpResult{ID: gid}
-		})
-		return out
+		// Ops cross the service boundary in shard-local id space; the
+		// host re-anchors error messages to the global id we pass along.
+		lop := changeplan.Op{Type: op.Type, GraphID: int(l.local), U: op.U, V: op.V}
+		return dispatch(int(l.shard), lop, gid)
 	}
 	return fail(fmt.Errorf("serve: unknown op type %v", op.Type))
 }
@@ -1197,6 +1271,8 @@ type Stats struct {
 	Epoch uint64 `json:"epoch"`
 	// Shards is the shard count.
 	Shards int `json:"shards"`
+	// Transport names the shard transport ("local" or "loopback").
+	Transport string `json:"transport"`
 	// LiveGraphs is the live dataset size across shards.
 	LiveGraphs int `json:"live_graphs"`
 	// Queries is the number of queries served: the maximum per-shard
@@ -1300,7 +1376,7 @@ type Stats struct {
 // Stats snapshots server-wide and per-shard statistics. The snapshot is
 // epoch-consistent with concurrently running updates, like a query.
 func (s *Server) Stats() (*Stats, error) {
-	per := make([]ShardStats, len(s.shards))
+	replies := make([]shardhost.StatsReply, len(s.clients))
 	var wg sync.WaitGroup
 
 	s.seqMu.RLock()
@@ -1309,35 +1385,40 @@ func (s *Server) Stats() (*Stats, error) {
 		return nil, ErrClosed
 	}
 	epoch := s.epoch
-	wg.Add(len(s.shards))
-	for i, sh := range s.shards {
-		sh.enqueue(func() {
-			defer wg.Done()
-			m := sh.rt.Metrics()
-			per[i] = ShardStats{
-				Shard:           sh.id,
-				LiveGraphs:      sh.ds.LiveCount(),
-				LogSeq:          sh.ds.Seq(),
-				HitRate:         m.HitRate(),
-				ValidityRatio:   sh.rt.ValidityRatio(),
-				QueueLen:        len(sh.jobs),
-				WALAppends:      sh.walAppends.Load(),
-				WALAppendErrors: sh.walAppendErrors.Load(),
-				Metrics:         m.Snapshot(),
-				Cache:           sh.rt.CacheStats(),
-			}
-			if sh.wal != nil {
-				per[i].WALBytes = sh.wal.Size()
-			}
-		})
+	wg.Add(len(s.clients))
+	for i, c := range s.clients {
+		c.Stats(&replies[i], wg.Done)
 	}
 	s.seqMu.RUnlock()
+	s.obs.noteTransport("stats", int64(len(s.clients)))
 	wg.Wait()
+
+	per := make([]ShardStats, len(replies))
+	for i := range replies {
+		r := &replies[i]
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		per[i] = ShardStats{
+			Shard:           i,
+			LiveGraphs:      r.LiveGraphs,
+			LogSeq:          r.LogSeq,
+			HitRate:         r.HitRate,
+			ValidityRatio:   r.ValidityRatio,
+			QueueLen:        r.QueueLen,
+			WALBytes:        r.WALBytes,
+			WALAppends:      r.WALAppends,
+			WALAppendErrors: r.WALAppendErrors,
+			Metrics:         r.Metrics,
+			Cache:           r.Cache,
+		}
+	}
 
 	now := s.now()
 	out := &Stats{
 		Epoch:            epoch,
-		Shards:           len(s.shards),
+		Shards:           len(s.hosts),
+		Transport:        s.transportKind,
 		PerShard:         per,
 		GoVersion:        runtime.Version(),
 		ModuleVersion:    buildVersion,
@@ -1374,11 +1455,11 @@ func (s *Server) Stats() (*Stats, error) {
 		out.DurableEpoch = s.lastSnapshotEpoch.Load()
 		if s.walWanted() {
 			minWAL := uint64(math.MaxUint64)
-			for _, sh := range s.shards {
-				if e := sh.durableEpoch.Load(); e < minWAL {
+			for i := range replies {
+				if e := replies[i].DurableEpoch; e < minWAL {
 					minWAL = e
 				}
-				if sh.volatileWAL.Load() {
+				if replies[i].VolatileWAL {
 					out.WALVolatileShards++
 				}
 			}

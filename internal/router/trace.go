@@ -1,4 +1,4 @@
-package serve
+package router
 
 import (
 	"strings"
@@ -24,6 +24,11 @@ type ShardTrace struct {
 	OverheadMicros    int64 `json:"overhead_us"`
 	ConsistencyMicros int64 `json:"consistency_us"`
 	PlanMicros        int64 `json:"plan_us"`
+	// TransportMicros is the transport overhead of this shard's dispatch:
+	// the router-observed round trip minus the host-measured service
+	// time. Near zero for the local transport; framing + TCP for
+	// loopback.
+	TransportMicros int64 `json:"transport_us"`
 	// Work counters explaining where the time went.
 	SubIsoTests   int  `json:"subiso_tests"`
 	TestsSaved    int  `json:"tests_saved"`
@@ -47,9 +52,10 @@ type QueryTrace struct {
 	PerShard   []ShardTrace `json:"per_shard"`
 }
 
-func shardTrace(i int, st core.QueryStats) ShardTrace {
+func shardTrace(i int, st core.QueryStats, transport time.Duration) ShardTrace {
 	return ShardTrace{
 		Shard:             i,
+		TransportMicros:   transport.Microseconds(),
 		QueryMicros:       st.QueryTime.Microseconds(),
 		HitMicros:         st.HitTime.Microseconds(),
 		VerifyMicros:      st.VerifyTime.Microseconds(),
@@ -75,7 +81,11 @@ func (res *QueryResult) Trace() *QueryTrace {
 		PerShard:   make([]ShardTrace, len(res.PerShard)),
 	}
 	for i, st := range res.PerShard {
-		t.PerShard[i] = shardTrace(i, st)
+		var tr time.Duration
+		if i < len(res.Transport) {
+			tr = res.Transport[i]
+		}
+		t.PerShard[i] = shardTrace(i, st, tr)
 	}
 	return t
 }

@@ -1,0 +1,130 @@
+package router
+
+import (
+	"context"
+	"testing"
+
+	"gcplus/internal/cache"
+	"gcplus/internal/changeplan"
+)
+
+// TestTransportDifferential runs the same query workload against two
+// routers that differ only in their shard transport — local in-process
+// calls vs the loopback TCP wire — and demands bit-identical results:
+// same answer ids, same limited prefixes, same truncation flags. The
+// transport seam must be invisible to every caller above the router.
+func TestTransportDifferential(t *testing.T) {
+	initial := genGraphs(t, 60, 17)
+	queries := testQueries(initial)
+	if len(queries) == 0 {
+		t.Fatal("no test queries generated")
+	}
+
+	opts := Options{
+		Shards: 4,
+		Method: "VF2",
+		Cache:  &cache.Config{Capacity: 32, WindowSize: 4},
+	}
+	local, err := New(initial, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	optsLB := opts
+	optsLB.Transport = TransportLoopback
+	remote, err := New(initial, optsLB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	if local.Transport() != TransportLocal || remote.Transport() != TransportLoopback {
+		t.Fatalf("transports %q / %q", local.Transport(), remote.Transport())
+	}
+
+	ctx := context.Background()
+	for qi, q := range queries {
+		a, err := local.SubgraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := remote.SubgraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(a.IDs, b.IDs) {
+			t.Fatalf("sub query %d: local %v loopback %v", qi, a.IDs, b.IDs)
+		}
+		if a.Candidates != b.Candidates || a.SubIsoTests != b.SubIsoTests {
+			t.Fatalf("sub query %d: stats diverge local(%d,%d) loopback(%d,%d)",
+				qi, a.Candidates, a.SubIsoTests, b.Candidates, b.SubIsoTests)
+		}
+
+		as, err := local.SupergraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, err := remote.SupergraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(as.IDs, bs.IDs) {
+			t.Fatalf("super query %d: local %v loopback %v", qi, as.IDs, bs.IDs)
+		}
+
+		// ?limit=N semantics must agree too: the limited answer is an
+		// exact prefix of the full global (ascending-id) answer, and the
+		// truncation flag fires on both sides or neither.
+		for _, limit := range []int{1, 2, len(a.IDs), len(a.IDs) + 3} {
+			if limit == 0 {
+				continue
+			}
+			la, err := local.SubgraphQueryLimitCtx(ctx, q, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb, err := remote.SubgraphQueryLimitCtx(ctx, q, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalIDs(la.IDs, lb.IDs) || la.Truncated != lb.Truncated {
+				t.Fatalf("sub query %d limit %d: local %v(%v) loopback %v(%v)",
+					qi, limit, la.IDs, la.Truncated, lb.IDs, lb.Truncated)
+			}
+			wantPrefix := a.IDs
+			if limit < len(wantPrefix) {
+				wantPrefix = wantPrefix[:limit]
+			}
+			if !equalIDs(la.IDs, wantPrefix) {
+				t.Fatalf("sub query %d limit %d: %v is not a prefix of %v", qi, limit, la.IDs, a.IDs)
+			}
+			if la.Truncated != (limit < len(a.IDs)) {
+				t.Fatalf("sub query %d limit %d: truncated=%v with %d full answers",
+					qi, limit, la.Truncated, len(a.IDs))
+			}
+		}
+	}
+
+	// Updates must route identically over both transports.
+	for _, g := range genGraphs(t, 4, 99) {
+		ops := []changeplan.Op{changeplan.AddOp(g.Clone())}
+		if _, err := local.Update(ops); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := remote.Update([]changeplan.Op{changeplan.AddOp(g.Clone())}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for qi, q := range queries {
+		a, err := local.SubgraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := remote.SubgraphQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(a.IDs, b.IDs) {
+			t.Fatalf("post-update sub query %d: local %v loopback %v", qi, a.IDs, b.IDs)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"context"
+
+	"gcplus/internal/shardhost"
+)
+
+// ShardClient is the router's only view of a shard. Every method
+// mirrors the shardhost.ShardService contract: it fixes this shard's
+// call order synchronously — by the time the method returns, the shard
+// will observe this call after every earlier call on the same client
+// and before every later one — fills the caller-owned reply
+// asynchronously, and invokes done exactly once when the reply is
+// ready. That synchronous-ordering property is what lets the router's
+// seqMu epoch-sequencing protocol work identically over a struct
+// pointer and over a socket.
+type ShardClient interface {
+	// Kind names the transport ("local" or "loopback") for metrics
+	// labels and benchmark output.
+	Kind() string
+
+	// Query runs one containment query; ctx deadlines and cancellation
+	// propagate to the shard (over the wire as a relative time budget
+	// plus an explicit cancel frame).
+	Query(ctx context.Context, req *shardhost.QueryRequest, reply *shardhost.QueryReply, done func())
+
+	// ApplyOp applies one routed change operation.
+	ApplyOp(req *shardhost.OpRequest, reply *shardhost.OpReply, done func())
+
+	// AppendWAL asks the shard to seal its pending batch ops into the
+	// epoch's WAL frame.
+	AppendWAL(epoch uint64, reply *shardhost.WALAppendReply, done func())
+
+	// Sync enqueues one cache-reconciliation sweep. done may be nil for
+	// fire-and-forget sweeps ordered by the call sequence itself.
+	Sync(done func())
+
+	// Snapshot exports the shard's state for the snapshot generation at
+	// epoch and rotates its WAL. In-process transports return the raw
+	// export (reply.Snap); wire transports return it encoded
+	// (reply.Payload).
+	Snapshot(epoch uint64, reply *shardhost.SnapshotReply, done func())
+
+	// Stats takes the shard's statistics snapshot in owner context.
+	Stats(reply *shardhost.StatsReply, done func())
+
+	// Signals samples the shard's pressure inputs without a round trip:
+	// lock-free host reads for the local transport, the last reply
+	// frame's piggybacked sample for the wire transport.
+	Signals() shardhost.Signals
+
+	// Close releases the client's resources (the shard host itself is
+	// owned and stopped by whoever started it).
+	Close() error
+}

@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"context"
+
+	"gcplus/internal/shardhost"
+)
+
+// Local is the in-process transport: a ShardClient that calls the Host
+// directly. Zero serialization, zero goroutine hops beyond the shard
+// worker itself — this is byte-for-byte the pre-split call path, which
+// is why it must (and does) benchmark within noise of it.
+type Local struct {
+	h *shardhost.Host
+}
+
+// NewLocal wraps a host in the direct in-process transport.
+func NewLocal(h *shardhost.Host) *Local { return &Local{h: h} }
+
+// Host exposes the wrapped host for in-process seams the contract does
+// not cover (boot-time recovery, snapshot durability acks).
+func (l *Local) Host() *shardhost.Host { return l.h }
+
+func (l *Local) Kind() string { return "local" }
+
+func (l *Local) Query(ctx context.Context, req *shardhost.QueryRequest, reply *shardhost.QueryReply, done func()) {
+	l.h.Query(ctx, req, reply, done)
+}
+
+func (l *Local) ApplyOp(req *shardhost.OpRequest, reply *shardhost.OpReply, done func()) {
+	l.h.ApplyOp(req, reply, done)
+}
+
+func (l *Local) AppendWAL(epoch uint64, reply *shardhost.WALAppendReply, done func()) {
+	l.h.AppendWAL(epoch, reply, done)
+}
+
+func (l *Local) Sync(done func()) { l.h.Sync(done) }
+
+func (l *Local) Snapshot(epoch uint64, reply *shardhost.SnapshotReply, done func()) {
+	l.h.Snapshot(epoch, reply, done)
+}
+
+func (l *Local) Stats(reply *shardhost.StatsReply, done func()) {
+	l.h.Stats(reply, done)
+}
+
+func (l *Local) Signals() shardhost.Signals { return l.h.Signals() }
+
+func (l *Local) Close() error { return nil }
