@@ -18,6 +18,7 @@
 //	gcbench -throughput -planner -plan-cache -1  # planning on, plan caching off
 //	gcbench -warm-restart -scale smoke           # durability: recovery vs cold start
 //	gcbench -throughput -burst 32 -max-inflight-queries 8   # flash crowd vs admission control
+//	gcbench -throughput -trace-overhead          # tracing cost: untraced vs fully-sampled qps
 //	gcbench -chaos -scale smoke                  # fault-injected soak + crash + warm restart
 //	gcbench -chaos -wal-policy degrade-to-volatile
 //
@@ -94,6 +95,8 @@ func main() {
 		planner     = flag.Bool("planner", false, "throughput: enable the cost-based query planner + compiled-plan cache (answers stay bit-identical to -planner=false)")
 		planCache   = flag.Int("plan-cache", 0, "throughput: per-shard compiled-plan cache size (0 = default of 256, negative = planning without plan caching; needs -planner)")
 		transport   = flag.String("transport", "local", "throughput/chaos/warm-restart: router→shard transport: local (in-process) or loopback (full wire path over 127.0.0.1 TCP)")
+		traceRate   = flag.Float64("trace-sample-rate", 0, "throughput: distributed-tracing head-sample rate for the run (0 = tracing off, the benchmark default)")
+		traceOver   = flag.Bool("trace-overhead", false, "throughput: rerun with every request traced and report the qps delta as trace_overhead (answers must stay bit-identical)")
 
 		chaos     = flag.Bool("chaos", false, "run the chaos benchmark: fault-injected WAL/snapshot I/O under load, abrupt kill, warm restart, differential answer check (JSON output)")
 		walPolicy = flag.String("wal-policy", "", "chaos: WAL append-failure policy: fail-update (default) or degrade-to-volatile")
@@ -153,6 +156,8 @@ func main() {
 			EnablePlanner:      *planner,
 			PlanCacheSize:      *planCache,
 			Transport:          *transport,
+			TraceSampleRate:    *traceRate,
+			TraceOverhead:      *traceOver,
 			Seed:               *seed,
 		}, progress)
 		if err != nil {

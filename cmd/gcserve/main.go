@@ -34,10 +34,16 @@
 //	GET  /healthz                 liveness probe
 //	GET  /readyz                  readiness probe (repair backlog gated)
 //	GET  /debug/slowlog           slow-query log (-slowlog-threshold)
+//	GET  /debug/traces            retained distributed traces (sampled +
+//	                              anomalous); /debug/traces/{id} expands
+//	                              one span tree
 //
 // Observability:
 //
 //	-slowlog-threshold 50ms       capture queries at/above 50ms wall time
+//	-trace-sample-rate 0.01       head-sample this fraction of requests
+//	                              into /debug/traces (anomalous requests
+//	                              are always retained; negative = off)
 //	-pprof-addr localhost:6060    serve net/http/pprof on a side listener
 //	-log-json                     structured logs as JSON lines
 //
@@ -99,6 +105,8 @@ func main() {
 		nowal     = flag.Bool("nowal", false, "disable the write-ahead log, keeping snapshots only (a crash loses batches since the last snapshot)")
 		slowThr   = flag.Duration("slowlog-threshold", 0, "capture queries at/above this wall time into GET /debug/slowlog (0 = off)")
 		slowSize  = flag.Int("slowlog-size", 0, "slow-query ring capacity (0 = default of 128)")
+		traceRate = flag.Float64("trace-sample-rate", 0, "fraction of requests head-sampled into GET /debug/traces (0 = default of 0.01, negative = tracing off; anomalous requests are always retained)")
+		traceSize = flag.Int("trace-store-size", 0, "retained-trace ring capacity (0 = default of 256)")
 		readyMax  = flag.Int("ready-max-pending", 0, "readyz threshold: 503 while more invalidated pairs than this await repair (0 = default, negative = require empty backlog)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this side listener (e.g. localhost:6060; empty = off)")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
@@ -146,6 +154,8 @@ func main() {
 	opts.DisableWAL = *nowal
 	opts.SlowLogThreshold = *slowThr
 	opts.SlowLogSize = *slowSize
+	opts.TraceSampleRate = *traceRate
+	opts.TraceStoreSize = *traceSize
 	opts.ReadyMaxPendingRepairs = *readyMax
 	opts.QueryTimeout = *queryTimeout
 	opts.UpdateTimeout = *updateTimeout

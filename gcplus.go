@@ -312,6 +312,18 @@ type ServeOptions struct {
 	SlowLogThreshold time.Duration
 	// SlowLogSize bounds the slow-query ring (0 = default of 128).
 	SlowLogSize int
+	// TraceSampleRate is the distributed-tracing head-sampling rate: the
+	// fraction of requests whose full span tree — router admission,
+	// fan-out and merge plus every shard's queue/plan/consistency/hit/
+	// verify subtree — is collected and retained, served at
+	// GET /debug/traces. 0 means the serving layer's default (0.01);
+	// negative disables tracing. Anomalous requests (slow, error, shed,
+	// deadline-exceeded, degraded) are retained regardless of the rate.
+	TraceSampleRate float64
+	// TraceStoreSize bounds the in-memory trace store's normal ring
+	// (0 = default of 256); anomalous traces keep a reserved ring of a
+	// quarter that size.
+	TraceStoreSize int
 	// ReadyMaxPendingRepairs is the readiness threshold for GET /readyz:
 	// the endpoint reports 503 while the summed repair backlog exceeds
 	// it. 0 means the default repair-queue capacity; negative means 0
@@ -435,6 +447,8 @@ func NewServer(initial []*Graph, opts ServeOptions) (*Server, error) {
 		NoSync:            opts.NoSync,
 		SlowLogThreshold:  opts.SlowLogThreshold,
 		SlowLogSize:       opts.SlowLogSize,
+		TraceSampleRate:   opts.TraceSampleRate,
+		TraceStoreSize:    opts.TraceStoreSize,
 		EnablePlanner:     opts.EnablePlanner,
 		PlanCacheSize:     opts.PlanCacheSize,
 
@@ -546,8 +560,10 @@ func (s *Server) SlowQueries() []ServerSlowQuery { return s.srv.SlowQueries() }
 
 // Handler returns the HTTP API that cmd/gcserve serves: POST /query
 // (with ?trace=1 for per-shard stage traces), POST /update, GET /stats,
-// GET /metrics (Prometheus exposition), GET /healthz, GET /readyz and
-// GET /debug/slowlog.
+// GET /metrics (Prometheus exposition, with exemplar trace ids on the
+// latency histograms), GET /healthz, GET /readyz, GET /debug/slowlog
+// and GET /debug/traces (retained distributed traces; fetch one span
+// tree by id at /debug/traces/{id}).
 func (s *Server) Handler() http.Handler { return s.srv.Handler() }
 
 // Shards returns the number of runtime shards.

@@ -101,6 +101,19 @@ type ThroughputConfig struct {
 	// Answers are bit-identical across transports on the same seed;
 	// the per-query transport overhead is reported separately.
 	Transport string
+	// TraceSampleRate is the router's distributed-tracing head-sample
+	// rate for the run. Zero (the default) disables tracing entirely —
+	// benchmark numbers measure the untraced fast path unless a rate is
+	// asked for explicitly.
+	TraceSampleRate float64
+	// TraceOverhead measures the cost of tracing: the workload runs four
+	// passes in counterbalanced order — untraced, fully-traced, fully-
+	// traced, untraced — and the fractional delta between the two modes'
+	// mean qps is reported. The ABBA order cancels the machine's
+	// lifetime throughput drift out of the comparison. Every pass must
+	// report the same answer digest — tracing can never change an
+	// answer.
+	TraceOverhead bool
 	// Seed drives dataset, workload and update generation.
 	Seed int64
 }
@@ -197,6 +210,13 @@ type ThroughputResult struct {
 	// when the index is off, up to kind filtering).
 	HitCandidates float64 `json:"hit_candidates_per_query"`
 	HitScanned    float64 `json:"hit_scanned_per_query"`
+	// QPSTraced and TraceOverhead are the tracing-overhead pair,
+	// populated only by a TraceOverhead run: the mean fully-sampled qps
+	// across the two traced passes and the fractional qps lost to
+	// tracing, (untraced − traced) / untraced over the two modes' mean
+	// rates. Small negative values are run-to-run noise, not a speedup.
+	QPSTraced     float64 `json:"qps_traced,omitempty"`
+	TraceOverhead float64 `json:"trace_overhead,omitempty"`
 	// AnswersFNV is an order-independent FNV-1a digest over every
 	// (query index, answer ids) pair. Two runs on the same seed and
 	// workload with updates disabled must report the same digest —
@@ -233,8 +253,59 @@ type ThroughputResult struct {
 
 // RunThroughput drives a sharded server with concurrent clients and a
 // serialized update stream, and summarizes throughput and latency.
+// With cfg.TraceOverhead it runs the workload twice — tracing off,
+// then every request traced — and annotates the base summary with the
+// qps delta.
 func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, error) {
 	cfg = cfg.withDefaults()
+	res, err := runThroughputOnce(cfg, progress)
+	if err != nil || !cfg.TraceOverhead {
+		return res, err
+	}
+	// Tracing overhead is a small signal under machine-level noise:
+	// shared CPUs swing run-to-run qps by ±10%, and throughput commonly
+	// drifts downward over a process's lifetime (burst credits, thermal
+	// and frequency scaling), so any design that always runs the traced
+	// pass after the untraced one biases the delta against tracing. The
+	// counterbalanced ABBA order — untraced, traced, traced, untraced —
+	// puts both modes at the same mean position in time, so linear drift
+	// cancels out of the mean-vs-mean delta.
+	traced := cfg
+	traced.TraceOverhead = false
+	traced.TraceSampleRate = 1
+	sumU, sumT := res.QPS, 0.0
+	rerun := func(c ThroughputConfig, label string) (float64, error) {
+		if progress != nil {
+			progress("trace overhead: " + label)
+		}
+		r, err := runThroughputOnce(c, progress)
+		if err != nil {
+			return 0, err
+		}
+		if r.AnswersFNV != res.AnswersFNV {
+			return 0, fmt.Errorf("bench: %s answers diverge: %s vs %s (tracing can never change an answer)",
+				label, res.AnswersFNV, r.AnswersFNV)
+		}
+		return r.QPS, nil
+	}
+	for i := 0; i < 2; i++ {
+		q, err := rerun(traced, fmt.Sprintf("traced pass %d/2 (every request sampled)", i+1))
+		if err != nil {
+			return nil, err
+		}
+		sumT += q
+	}
+	q, err := rerun(cfg, "untraced pass 2/2")
+	if err != nil {
+		return nil, err
+	}
+	sumU += q
+	res.QPSTraced = sumT / 2
+	res.TraceOverhead = (sumU - sumT) / sumU
+	return res, nil
+}
+
+func runThroughputOnce(cfg ThroughputConfig, progress Progress) (*ThroughputResult, error) {
 	initial, err := generateDataset(cfg.Scale, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -267,6 +338,12 @@ func RunThroughput(cfg ThroughputConfig, progress Progress) (*ThroughputResult, 
 		EnablePlanner:      cfg.EnablePlanner,
 		PlanCacheSize:      cfg.PlanCacheSize,
 		Transport:          cfg.Transport,
+		// The router treats zero as "default rate"; the bench treats it
+		// as "off" so baselines never pay for sampling they didn't ask for.
+		TraceSampleRate: cfg.TraceSampleRate,
+	}
+	if srvOpts.TraceSampleRate <= 0 {
+		srvOpts.TraceSampleRate = -1
 	}
 	capacity := cfg.Scale.CacheCapacity
 	if cfg.CacheCapacity > 0 {

@@ -49,8 +49,12 @@ func newStageHists() *StageHists {
 	}
 }
 
-// observe records one finished query's stage durations.
-func (s *StageHists) observe(st *QueryStats) {
+// observe records one finished query's stage durations. A non-zero
+// traceID marks the query as trace-sampled: each stage histogram then
+// cites it as the exemplar for the bucket this query landed in, which
+// is the /metrics → /debug/traces bridge (spot a slow bucket, follow
+// its exemplar to a full trace).
+func (s *StageHists) observe(st *QueryStats, traceID uint64) {
 	s.Query.Observe(st.QueryTime)
 	s.Hit.Observe(st.HitTime)
 	s.Verify.Observe(st.VerifyTime)
@@ -58,6 +62,15 @@ func (s *StageHists) observe(st *QueryStats) {
 	s.Overhead.Observe(st.Overhead)
 	s.Consistency.Observe(st.ConsistencyTime)
 	s.Plan.Observe(st.PlanTime)
+	if traceID != 0 {
+		s.Query.SetExemplar(st.QueryTime, traceID)
+		s.Hit.SetExemplar(st.HitTime, traceID)
+		s.Verify.SetExemplar(st.VerifyTime, traceID)
+		s.VerifyCPU.SetExemplar(st.VerifyCPUTime, traceID)
+		s.Overhead.SetExemplar(st.Overhead, traceID)
+		s.Consistency.SetExemplar(st.ConsistencyTime, traceID)
+		s.Plan.SetExemplar(st.PlanTime, traceID)
+	}
 }
 
 // StageHists returns the runtime's per-stage latency histograms. The

@@ -269,6 +269,11 @@ type QueryOptions struct {
 	// the Runtime. Streaming verification is sequential: Limit/OnAnswer
 	// disable the intra-query worker pool for this query.
 	OnAnswer func(id int) bool
+	// TraceID, when non-zero, is the sampled distributed trace this
+	// query belongs to; the stage histograms cite it as their exemplar.
+	// In-process only — the serving layer propagates trace context on
+	// its own wire field and sets this per host.
+	TraceID uint64
 }
 
 // streaming reports whether the options request streaming verification.
@@ -387,7 +392,7 @@ func (r *Runtime) process(ctx context.Context, g *graph.Graph, kind cache.Kind, 
 				ans = streamClip(ans, opt, &st)
 			}
 			st.TestsSaved = st.CandidatesBefore
-			return r.finish(g, kind, ans, live, iso, direct, restrict, true, start, &st)
+			return r.finish(g, kind, ans, live, iso, direct, restrict, true, opt.TraceID, start, &st)
 		}
 
 		// §6.3 optimal case 2: certain-empty answer. A restrict-side hit
@@ -398,7 +403,7 @@ func (r *Runtime) process(ctx context.Context, g *graph.Graph, kind cache.Kind, 
 				st.EmptyShortcut = true
 				e.Credit(st.CandidatesBefore, r.cache.Tick())
 				st.TestsSaved = st.CandidatesBefore
-				return r.finish(g, kind, bitset.New(0), live, iso, direct, restrict, true, start, &st)
+				return r.finish(g, kind, bitset.New(0), live, iso, direct, restrict, true, opt.TraceID, start, &st)
 			}
 		}
 
@@ -485,7 +490,7 @@ func (r *Runtime) process(ctx context.Context, g *graph.Graph, kind cache.Kind, 
 	if answerSure != nil {
 		verified.Or(answerSure)
 	}
-	return r.finish(g, kind, verified, live, iso, direct, restrict, useCache, start, &st)
+	return r.finish(g, kind, verified, live, iso, direct, restrict, useCache, opt.TraceID, start, &st)
 }
 
 // minVerifyChunk is the fewest candidates worth handing one verification
@@ -734,7 +739,7 @@ func streamClip(ans *bitset.Set, opt QueryOptions, st *QueryStats) *bitset.Set {
 // classification that never ran. A truncated streaming answer is
 // likewise never admitted or refreshed: it may be a proper prefix of the
 // true answer set, and the cache must only ever hold exact facts.
-func (r *Runtime) finish(g *graph.Graph, kind cache.Kind, answer, live *bitset.Set, iso *cache.Entry, direct, restrict []*cache.Entry, admit bool, start time.Time, st *QueryStats) (*Result, error) {
+func (r *Runtime) finish(g *graph.Graph, kind cache.Kind, answer, live *bitset.Set, iso *cache.Entry, direct, restrict []*cache.Entry, admit bool, traceID uint64, start time.Time, st *QueryStats) (*Result, error) {
 	if admit && r.cache != nil && !st.Truncated {
 		at0 := time.Now()
 		if iso != nil {
@@ -774,7 +779,7 @@ func (r *Runtime) finish(g *graph.Graph, kind cache.Kind, answer, live *bitset.S
 	}
 	st.QueryTime = time.Since(start) - st.Overhead
 	r.m.fold(st)
-	r.hists.observe(st)
+	r.hists.observe(st, traceID)
 	return &Result{Answer: answer, Stats: *st}, nil
 }
 

@@ -67,6 +67,12 @@ type Histogram struct {
 	counts [numBuckets]atomic.Int64
 	count  atomic.Int64
 	sumNS  atomic.Int64
+	// Exemplars: one slot per exposition bucket, holding the observed
+	// value (ns) and the trace id of the most recent trace-sampled
+	// observation that landed there. Attach-only (SetExemplar), read by
+	// the exposition writer.
+	exVal [promSlots]atomic.Uint64
+	exID  [promSlots]atomic.Uint64
 }
 
 // NewHistogram returns an empty histogram.
@@ -188,7 +194,54 @@ func (h *Histogram) ForEachBucket(fn func(upperSec float64, count int64)) {
 const (
 	promMinExp = 7  // 2^7 ns = 128ns
 	promMaxExp = 35 // 2^35 ns ≈ 34.36s
+	// promSlots is one exemplar slot per exposition bucket: the 29
+	// finite bounds plus +Inf.
+	promSlots = promMaxExp - promMinExp + 2
 )
+
+// SetExemplar cites traceID as the exemplar for the exposition bucket a
+// d-long observation lands in — the /metrics → /debug/traces bridge: an
+// operator who spots a suspect bucket follows its exemplar's trace id
+// to a full trace. Attach-only: callers record the duration through
+// their existing Observe path; SetExemplar never touches the counts.
+// Last writer per bucket wins, so each bucket cites a recent
+// representative. A zero traceID is ignored.
+func (h *Histogram) SetExemplar(d time.Duration, traceID uint64) {
+	if h == nil || traceID == 0 {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	// Smallest exp with 2^exp > ns is bits.Len64(ns); clamping covers
+	// values below the first bound and at-or-above the last (+Inf).
+	slot := bits.Len64(uint64(ns)) - promMinExp
+	if slot < 0 {
+		slot = 0
+	}
+	if slot > promSlots-1 {
+		slot = promSlots - 1
+	}
+	// Two independent stores: a concurrent writer to the same slot can
+	// transiently pair one observation's value with another's id, but
+	// both came from the same bucket, so the exemplar stays in range.
+	h.exVal[slot].Store(uint64(ns))
+	h.exID[slot].Store(traceID)
+}
+
+// exemplar returns the slot's exemplar trace id and value (seconds);
+// ok is false when the slot never received one.
+func (h *Histogram) exemplar(slot int) (traceID uint64, valSec float64, ok bool) {
+	if slot < 0 || slot >= promSlots {
+		return 0, 0, false
+	}
+	id := h.exID[slot].Load()
+	if id == 0 {
+		return 0, 0, false
+	}
+	return id, float64(h.exVal[slot].Load()) / float64(time.Second), true
+}
 
 // promBuckets returns the cumulative exposition buckets (upper bounds in
 // seconds, cumulative counts), the total count and the sum in seconds.

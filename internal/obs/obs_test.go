@@ -233,9 +233,11 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
-// expositionLine matches one Prometheus text-format sample line.
+// expositionLine matches one Prometheus text-format sample line. Label
+// values may contain backslash escapes (\\, \", \n); a bucket line may
+// end with an OpenMetrics exemplar (` # {labels} value`).
 var expositionLine = regexp.MustCompile(
-	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9.e+-]+|NaN|\+Inf|-Inf)$`)
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.e+-]+|NaN|\+Inf|-Inf)( # \{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"\} (-?[0-9.e+-]+|NaN|\+Inf|-Inf))?$`)
 
 // ValidateExposition parses a Prometheus text exposition and fails on
 // any malformed line. Exported to the test binary only (used by the

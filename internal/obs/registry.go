@@ -187,7 +187,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	for _, f := range fams {
 		b.Reset()
 		if f.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
 		for _, s := range f.samples {
@@ -199,10 +199,14 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			case kindHistogram:
 				les, cums, total, sum := s.h.promBuckets()
 				for i, le := range les {
-					fmt.Fprintf(&b, "%s_bucket%s %d\n",
+					fmt.Fprintf(&b, "%s_bucket%s %d",
 						f.name, renderWith(s.labels, "le", formatFloat(le)), cums[i])
+					writeExemplar(&b, s.h, i)
+					b.WriteByte('\n')
 				}
-				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, renderWith(s.labels, "le", "+Inf"), total)
+				fmt.Fprintf(&b, "%s_bucket%s %d", f.name, renderWith(s.labels, "le", "+Inf"), total)
+				writeExemplar(&b, s.h, len(les))
+				b.WriteByte('\n')
 				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, s.labels, formatFloat(sum))
 				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.labels, total)
 			}
@@ -212,6 +216,27 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writeExemplar appends the OpenMetrics exemplar suffix to a bucket
+// line — ` # {trace_id="<16 hex>"} <value>` — when the histogram holds
+// an exemplar for that exposition bucket.
+func writeExemplar(b *strings.Builder, h *Histogram, slot int) {
+	id, sec, ok := h.exemplar(slot)
+	if !ok {
+		return
+	}
+	fmt.Fprintf(b, ` # {trace_id="%016x"} %s`, id, formatFloat(sec))
+}
+
+// escapeHelp escapes a HELP string per the text exposition format:
+// backslashes and newlines only (quotes stay literal in HELP lines).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
 }
 
 // formatFloat renders a float the way Prometheus expects: shortest

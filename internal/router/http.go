@@ -11,6 +11,7 @@ import (
 	"gcplus/internal/changeplan"
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
+	"gcplus/internal/trace"
 	"gcplus/internal/transport"
 )
 
@@ -37,6 +38,9 @@ const (
 //	GET  /readyz                 readiness: 200 while the repair backlog is
 //	                             at or below Options.ReadyMaxPendingRepairs
 //	GET  /debug/slowlog          JSON slow-query log, newest first
+//	GET  /debug/traces           JSON retained distributed traces, newest
+//	                             first (summaries: id, wall, anomaly)
+//	GET  /debug/traces/{id}      one trace's full span tree by 16-hex id
 //
 // Queries run concurrently; update batches are serialized through the
 // single-writer path and reported with the epoch they produced.
@@ -51,6 +55,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	return mux
 }
 
@@ -314,6 +320,111 @@ func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
 		"captured":     s.slow.captured(),
 		"entries":      entries,
 	})
+}
+
+// wireTrace / wireSpan are the JSON forms of a retained trace. Ids are
+// the 16-hex-digit spelling exemplars use, so a trace_id copied off a
+// /metrics exemplar fetches directly.
+type wireTrace struct {
+	TraceID        string     `json:"trace_id"`
+	StartUnixNanos int64      `json:"start_unix_ns"`
+	WallMicros     int64      `json:"wall_us"`
+	Anomaly        string     `json:"anomaly,omitempty"`
+	SpanCount      int        `json:"span_count"`
+	Root           string     `json:"root,omitempty"`
+	Spans          []wireSpan `json:"spans,omitempty"`
+}
+
+type wireSpan struct {
+	SpanID         string            `json:"span_id"`
+	ParentID       string            `json:"parent_id,omitempty"`
+	Name           string            `json:"name"`
+	StartUnixNanos int64             `json:"start_unix_ns"`
+	DurMicros      int64             `json:"dur_us"`
+	Attrs          map[string]string `json:"attrs,omitempty"`
+	Events         []trace.Event     `json:"events,omitempty"`
+}
+
+// summarizeTrace renders a trace without its spans (the list view);
+// expandTrace includes them (the by-id view).
+func summarizeTrace(t *trace.Trace) wireTrace {
+	wt := wireTrace{
+		TraceID:        t.ID.String(),
+		StartUnixNanos: t.StartNanos,
+		WallMicros:     t.WallNanos / 1e3,
+		Anomaly:        t.Anomaly,
+		SpanCount:      len(t.Spans),
+	}
+	if len(t.Spans) > 0 {
+		wt.Root = t.Spans[0].Name
+	}
+	return wt
+}
+
+func expandTrace(t *trace.Trace) wireTrace {
+	wt := summarizeTrace(t)
+	wt.Spans = make([]wireSpan, len(t.Spans))
+	for i, sp := range t.Spans {
+		ws := wireSpan{
+			SpanID:         fmt.Sprintf("%016x", uint64(sp.ID)),
+			Name:           sp.Name,
+			StartUnixNanos: sp.StartNanos,
+			DurMicros:      sp.DurNanos / 1e3,
+			Events:         sp.Events,
+		}
+		if sp.Parent != 0 {
+			ws.ParentID = fmt.Sprintf("%016x", uint64(sp.Parent))
+		}
+		if len(sp.Attrs) > 0 {
+			ws.Attrs = make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				ws.Attrs[a.Key] = a.Value
+			}
+		}
+		wt.Spans[i] = ws
+	}
+	return wt
+}
+
+// handleTraces serves the retained traces, newest first across the
+// normal and anomalous rings.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"enabled": false, "traces": []wireTrace{},
+		})
+		return
+	}
+	snap := s.traces.Snapshot()
+	out := make([]wireTrace, len(snap))
+	for i, t := range snap {
+		out[i] = summarizeTrace(t)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":     true,
+		"sample_rate": s.traceRate,
+		"captured":    s.traces.Added(),
+		"traces":      out,
+	})
+}
+
+// handleTraceByID serves one retained trace's full span tree.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		httpError(w, http.StatusNotFound, "tracing is disabled (-trace-sample-rate < 0)")
+		return
+	}
+	id, ok := trace.ParseID(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusBadRequest, "trace id must be up to 16 hex digits, got %q", r.PathValue("id"))
+		return
+	}
+	t := s.traces.Get(id)
+	if t == nil {
+		httpError(w, http.StatusNotFound, "no retained trace %s (evicted or never sampled)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, expandTrace(t))
 }
 
 // statusOf maps an error to its HTTP status through the shared

@@ -90,10 +90,14 @@ func (o *serverObs) noteTransport(method string, n int64) {
 	}
 }
 
-// observeRTT records one query dispatch's round trip for shard i.
-func (o *serverObs) observeRTT(i int, d time.Duration) {
+// observeRTT records one query dispatch's round trip for shard i,
+// citing the sampled trace (if any) as the bucket's exemplar.
+func (o *serverObs) observeRTT(i int, d time.Duration, traceID uint64) {
 	if i >= 0 && i < len(o.shardRTT) {
 		o.shardRTT[i].Observe(d)
+		if traceID != 0 {
+			o.shardRTT[i].SetExemplar(d, traceID)
+		}
 	}
 }
 

@@ -17,11 +17,12 @@ import (
 	"gcplus/internal/dataset"
 )
 
-// promLine matches one Prometheus text-format sample line (same
-// validator the obs package pins; duplicated here because it is not
-// exported API, only a test contract).
+// promLine matches one Prometheus text-format sample line, optionally
+// carrying an OpenMetrics-style exemplar suffix (same validator the obs
+// package pins; duplicated here because it is not exported API, only a
+// test contract).
 var promLine = regexp.MustCompile(
-	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9.e+-]+|NaN|\+Inf|-Inf)$`)
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.e+-]+|NaN|\+Inf|-Inf)( # \{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"\} (-?[0-9.e+-]+|NaN|\+Inf|-Inf))?$`)
 
 func checkExposition(t *testing.T, body string) {
 	t.Helper()
@@ -314,8 +315,17 @@ func TestQueryTraceAndSlowLog(t *testing.T) {
 		t.Fatalf("retained = %d, want ring size 4", len(slow.Entries))
 	}
 	for i, e := range slow.Entries {
-		if e.Trace == nil || len(e.Trace.PerShard) != 2 {
-			t.Fatalf("entry %d has no per-shard trace", i)
+		// Tracing is on by default and a slow query is anomalous, so
+		// every entry links a retained trace instead of inlining the
+		// stage payload.
+		if e.TraceID == "" {
+			t.Fatalf("entry %d links no retained trace: %+v", i, e)
+		}
+		if e.Trace != nil {
+			t.Fatalf("entry %d inlines a trace despite linking %s", i, e.TraceID)
+		}
+		if status, body := getBody(t, ts.URL+"/debug/traces/"+e.TraceID); status != http.StatusOK {
+			t.Fatalf("linked trace %s not fetchable: status %d (%s)", e.TraceID, status, body)
 		}
 		if !strings.HasPrefix(e.Query, "t ") {
 			t.Fatalf("entry %d query text not in codec form: %q", i, e.Query)

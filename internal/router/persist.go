@@ -25,16 +25,21 @@ import (
 // synchronous ordering guarantees the pending list holds exactly this
 // batch's applied ops when the job runs. Untouched shards log an empty
 // frame, keeping per-shard epochs dense.
-func (s *Server) enqueueWALAppends(epoch uint64) []<-chan error {
+// The replies are returned alongside the ack channels so the update
+// tracer can read the host-measured append latencies once every ack has
+// been drained.
+func (s *Server) enqueueWALAppends(epoch uint64) ([]<-chan error, []*shardhost.WALAppendReply) {
 	acks := make([]<-chan error, len(s.clients))
+	replies := make([]*shardhost.WALAppendReply, len(s.clients))
 	for i, c := range s.clients {
 		ch := make(chan error, 1)
 		acks[i] = ch
 		reply := new(shardhost.WALAppendReply)
+		replies[i] = reply
 		c.AppendWAL(epoch, reply, func() { ch <- reply.Err })
 	}
 	s.obs.noteTransport("append_wal", int64(len(s.clients)))
-	return acks
+	return acks, replies
 }
 
 // scheduleSnapshotRetry arranges a background snapshot attempt after a

@@ -69,6 +69,7 @@ import (
 	"gcplus/internal/persist"
 	"gcplus/internal/shardhost"
 	"gcplus/internal/subiso"
+	"gcplus/internal/trace"
 	"gcplus/internal/transport"
 )
 
@@ -182,6 +183,19 @@ type Options struct {
 	// SlowLogSize bounds the slow-query ring (default 128). Older
 	// entries are overwritten; the drop count is retained.
 	SlowLogSize int
+	// TraceSampleRate is the distributed-tracing head-sampling rate: the
+	// fraction of requests whose spans are collected end to end (router
+	// stages plus per-shard subtrees piggybacked on reply frames). 0
+	// means DefaultTraceSampleRate; negative disables tracing entirely.
+	// Independent of the rate, every anomalous request — slow, error,
+	// shed, deadline-exceeded, degraded — is retained with a trace
+	// synthesized from its reply stats (tail-based retention), so the
+	// pathological cases are always inspectable at GET /debug/traces.
+	TraceSampleRate float64
+	// TraceStoreSize bounds the in-memory trace store's normal ring
+	// (default trace.DefaultStoreSize); anomalous traces rotate through
+	// a reserved quarter-size ring normal traffic cannot evict.
+	TraceStoreSize int
 	// ReadyMaxPendingRepairs is the readiness threshold: GET /readyz
 	// reports ready only while the summed per-shard repair backlog is at
 	// or below it. 0 means the default (DefaultRepairQueue); negative
@@ -414,6 +428,13 @@ type Server struct {
 	obs      *serverObs
 	slow     *slowLog
 	snapHist *obs.Histogram // snapshot-generation wall time (nil without persistence)
+	// Tracing state: nil traces means tracing is disabled. cacheOn
+	// mirrors !DisableCache for router-side shard-span synthesis;
+	// traceRate is the resolved head-sampling rate for /debug/traces.
+	traces    *trace.Store
+	sampler   *trace.Sampler
+	cacheOn   bool
+	traceRate float64
 
 	// Resilience state. The semaphores are nil when the corresponding
 	// admission bound is disabled; press is nil when degradation is off.
@@ -533,6 +554,15 @@ func New(initial []*graph.Graph, opts Options) (*Server, error) {
 		s.updateSem = make(chan struct{}, n)
 	}
 	s.slow = newSlowLog(opts.SlowLogSize)
+	s.cacheOn = !opts.DisableCache
+	if rate := opts.TraceSampleRate; rate >= 0 {
+		if rate == 0 {
+			rate = DefaultTraceSampleRate
+		}
+		s.traceRate = rate
+		s.sampler = trace.NewSampler(rate)
+		s.traces = trace.NewStore(opts.TraceStoreSize)
+	}
 	if opts.DataDir != "" {
 		fsys := persist.OSFS
 		if opts.Faults != nil && opts.Faults.FS != nil {
@@ -858,6 +888,14 @@ type QueryResult struct {
 	// router-observed round trip minus the host-measured service time
 	// (clamped at zero). Surfaced as transport_us in the query trace.
 	Transport []time.Duration `json:"-"`
+	// Queue holds the per-shard owner-queue wait, shard order: the time
+	// the shard job spent enqueued behind the owner goroutine before it
+	// started. Surfaced as queue_us in the query trace.
+	Queue []time.Duration `json:"-"`
+	// TraceID is the retained distributed trace's id, zero when the
+	// query was neither head-sampled nor anomalous (or tracing is off).
+	// Fetch the full span tree at GET /debug/traces/{id}.
+	TraceID trace.ID `json:"-"`
 }
 
 // SubgraphQuery answers "which live dataset graphs contain q?" across all
@@ -915,6 +953,7 @@ func (s *Server) query(ctx context.Context, q *graph.Graph, kind cache.Kind, lim
 		ctx, cancel = context.WithTimeout(ctx, t)
 		defer cancel()
 	}
+	qt := s.beginTrace("query", kind.String())
 	// Admission control: fast-fail instead of convoying on the sequence
 	// lock when the in-flight bound is saturated.
 	if s.querySem != nil {
@@ -923,6 +962,7 @@ func (s *Server) query(ctx context.Context, q *graph.Graph, kind cache.Kind, lim
 			defer func() { <-s.querySem }()
 		default:
 			s.shedQueries.Add(1)
+			qt.finishShed(s)
 			return nil, &OverloadError{Kind: "query", Limit: cap(s.querySem)}
 		}
 	}
@@ -933,8 +973,11 @@ func (s *Server) query(ctx context.Context, q *graph.Graph, kind cache.Kind, lim
 	if limit > 0 {
 		qopt.Limit = limit
 	}
+	rung, rungName := 0, ""
 	if s.press != nil {
-		switch lvl := s.press.Level(); {
+		lvl := s.press.Level()
+		rung, rungName = int(lvl), lvl.String()
+		switch {
 		case lvl >= DegradeCacheBypass:
 			qopt.BypassCache = true
 			qopt.MaxVerifyParallelism = 1
@@ -943,7 +986,8 @@ func (s *Server) query(ctx context.Context, q *graph.Graph, kind cache.Kind, lim
 		}
 	}
 	start := s.now()
-	req := &shardhost.QueryRequest{Kind: kind, Query: q, Opts: qopt}
+	qt.noteAdmitted(start, rung, rungName)
+	req := &shardhost.QueryRequest{Kind: kind, Query: q, Opts: qopt, Trace: qt.wireContext()}
 	replies := make([]shardhost.QueryReply, len(s.clients))
 	rtts := make([]int64, len(s.clients))
 	var wg sync.WaitGroup
@@ -984,32 +1028,38 @@ func (s *Server) query(ctx context.Context, q *graph.Graph, kind cache.Kind, lim
 		case <-done:
 			err := &core.CancelError{Stage: "wait", Err: ctx.Err()}
 			s.noteDeadline(err)
+			qt.finishEarly(s, err)
 			return nil, err
 		}
 	}
+	qt.noteFanoutDone(s.now())
 
 	out := &QueryResult{
 		Epoch: epoch, Kind: kind.String(),
 		PerShard:  make([]core.QueryStats, len(s.clients)),
 		Transport: make([]time.Duration, len(s.clients)),
+		Queue:     make([]time.Duration, len(s.clients)),
 	}
 	total := 0
 	for i := range replies {
 		if err := replies[i].Err; err != nil {
 			s.noteDeadline(err)
+			qt.finishReplyErr(s, err, replies, start)
 			return nil, err
 		}
 		total += len(replies[i].IDs)
 	}
+	exID := qt.exemplarID()
 	lists := make([][]int, 0, len(replies))
 	for i := range replies {
 		r := &replies[i]
 		lists = append(lists, r.IDs)
 		out.PerShard[i] = r.Stats
+		out.Queue[i] = time.Duration(r.QueueNanos)
 		if d := rtts[i] - r.HostNanos; d > 0 {
 			out.Transport[i] = time.Duration(d)
 		}
-		s.obs.observeRTT(i, time.Duration(rtts[i]))
+		s.obs.observeRTT(i, time.Duration(rtts[i]), exID)
 		out.Candidates += r.Stats.CandidatesBefore
 		out.SubIsoTests += r.Stats.SubIsoTests
 		out.TestsSaved += r.Stats.TestsSaved
@@ -1027,9 +1077,14 @@ func (s *Server) query(ctx context.Context, q *graph.Graph, kind cache.Kind, lim
 		out.IDs = out.IDs[:limit]
 		out.Truncated = true
 	}
-	if d := s.now().Sub(start); d > 0 { // clamp: clock-skew injection must not corrupt stats
+	end := s.now()
+	if d := end.Sub(start); d > 0 { // clamp: clock-skew injection must not corrupt stats
 		out.Wall = d
 	}
+	// Finish the trace before the slow log captures the result, so a
+	// slow entry can link the retained trace id instead of duplicating
+	// the stage payload.
+	qt.finishQuery(s, out, replies, start, end)
 	if t := s.opts.SlowLogThreshold; t > 0 && out.Wall >= t {
 		s.slow.record(q, out)
 	}
@@ -1105,12 +1160,14 @@ func (s *Server) UpdateCtx(ctx context.Context, ops []changeplan.Op) (*UpdateRes
 		ctx, cancel = context.WithTimeout(ctx, t)
 		defer cancel()
 	}
+	ut := s.beginTrace("update", "")
 	if s.updateSem != nil {
 		select {
 		case s.updateSem <- struct{}{}:
 			defer func() { <-s.updateSem }()
 		default:
 			s.shedUpdates.Add(1)
+			ut.finishShed(s)
 			return nil, &OverloadError{Kind: "update", Limit: cap(s.updateSem)}
 		}
 	}
@@ -1123,9 +1180,13 @@ func (s *Server) UpdateCtx(ctx context.Context, ops []changeplan.Op) (*UpdateRes
 		case <-done:
 			err := &core.CancelError{Stage: "update", Err: ctx.Err()}
 			s.noteDeadline(err)
+			ut.finishEarly(s, err)
 			return nil, err
 		default:
 		}
+	}
+	if ut != nil {
+		ut.noteAdmitted(s.now(), 0, "")
 	}
 
 	s.seqMu.Lock()
@@ -1133,16 +1194,18 @@ func (s *Server) UpdateCtx(ctx context.Context, ops []changeplan.Op) (*UpdateRes
 		s.seqMu.Unlock()
 		return nil, ErrClosed
 	}
+	utc := ut.wireContext()
 	touched := make(map[int]bool)
 	pending := make([]<-chan OpResult, len(ops))
 	for i, op := range ops {
-		pending[i] = s.enqueueOp(op, touched)
+		pending[i] = s.enqueueOp(op, touched, utc)
 	}
 	s.epoch++
 	epoch := s.epoch
 	var walAcks []<-chan error
+	var walReplies []*shardhost.WALAppendReply
 	if s.walWanted() {
-		walAcks = s.enqueueWALAppends(epoch)
+		walAcks, walReplies = s.enqueueWALAppends(epoch)
 	}
 	if s.opts.EagerValidate {
 		// One reconciliation sweep per touched shard covers the whole
@@ -1179,6 +1242,9 @@ func (s *Server) UpdateCtx(ctx context.Context, ops []changeplan.Op) (*UpdateRes
 			walErr = &transport.DurabilityError{Epoch: epoch, Shard: i, Err: err}
 		}
 	}
+	if ut != nil {
+		ut.finishUpdate(s, s.now(), epoch, res.Applied, walReplies, walErr)
+	}
 	if walErr != nil {
 		return res, walErr
 	}
@@ -1193,7 +1259,7 @@ func (s *Server) UpdateCtx(ctx context.Context, ops []changeplan.Op) (*UpdateRes
 // dispatch time, so later ops in the same batch can target a graph an
 // earlier op is about to add. The host applies the op, maintains its
 // local→global map and accumulates the WAL batch.
-func (s *Server) enqueueOp(op changeplan.Op, touched map[int]bool) <-chan OpResult {
+func (s *Server) enqueueOp(op changeplan.Op, touched map[int]bool, tc trace.Context) <-chan OpResult {
 	out := make(chan OpResult, 1)
 	fail := func(err error) <-chan OpResult {
 		out <- OpResult{ID: -1, Err: err}
@@ -1202,7 +1268,7 @@ func (s *Server) enqueueOp(op changeplan.Op, touched map[int]bool) <-chan OpResu
 	dispatch := func(sid int, op changeplan.Op, gid int) <-chan OpResult {
 		touched[sid] = true
 		reply := new(shardhost.OpReply)
-		s.clients[sid].ApplyOp(&shardhost.OpRequest{Op: op, GlobalID: gid}, reply, func() {
+		s.clients[sid].ApplyOp(&shardhost.OpRequest{Op: op, GlobalID: gid, Trace: tc}, reply, func() {
 			out <- OpResult{ID: reply.ID, Err: reply.Err}
 		})
 		s.obs.noteTransport("apply_op", 1)

@@ -29,6 +29,11 @@ type ShardTrace struct {
 	// time. Near zero for the local transport; framing + TCP for
 	// loopback.
 	TransportMicros int64 `json:"transport_us"`
+	// QueueMicros is the time this shard's job spent enqueued behind the
+	// owner goroutine before it started — head-of-line wait, the part of
+	// the round trip neither the stage times nor transport overhead
+	// explain.
+	QueueMicros int64 `json:"queue_us"`
 	// Work counters explaining where the time went.
 	SubIsoTests   int  `json:"subiso_tests"`
 	TestsSaved    int  `json:"tests_saved"`
@@ -46,16 +51,21 @@ type ShardTrace struct {
 
 // QueryTrace is a query's full execution trace: the front-end wall time
 // plus one ShardTrace per shard. The slowest shard bounds the wall time;
-// the gap between them is fan-out/merge and queue wait.
+// the gap between them is fan-out/merge and queue wait. TraceID links
+// the distributed trace retained for this query (fetch the span tree at
+// GET /debug/traces/{id}); empty when the query was neither sampled nor
+// anomalous.
 type QueryTrace struct {
+	TraceID    string       `json:"trace_id,omitempty"`
 	WallMicros int64        `json:"wall_us"`
 	PerShard   []ShardTrace `json:"per_shard"`
 }
 
-func shardTrace(i int, st core.QueryStats, transport time.Duration) ShardTrace {
+func shardTrace(i int, st core.QueryStats, transport, queue time.Duration) ShardTrace {
 	return ShardTrace{
 		Shard:             i,
 		TransportMicros:   transport.Microseconds(),
+		QueueMicros:       queue.Microseconds(),
 		QueryMicros:       st.QueryTime.Microseconds(),
 		HitMicros:         st.HitTime.Microseconds(),
 		VerifyMicros:      st.VerifyTime.Microseconds(),
@@ -80,12 +90,18 @@ func (res *QueryResult) Trace() *QueryTrace {
 		WallMicros: res.Wall.Microseconds(),
 		PerShard:   make([]ShardTrace, len(res.PerShard)),
 	}
+	if res.TraceID != 0 {
+		t.TraceID = res.TraceID.String()
+	}
 	for i, st := range res.PerShard {
-		var tr time.Duration
+		var tr, qw time.Duration
 		if i < len(res.Transport) {
 			tr = res.Transport[i]
 		}
-		t.PerShard[i] = shardTrace(i, st, tr)
+		if i < len(res.Queue) {
+			qw = res.Queue[i]
+		}
+		t.PerShard[i] = shardTrace(i, st, tr, qw)
 	}
 	return t
 }
@@ -112,8 +128,16 @@ type SlowQuery struct {
 	Results     int   `json:"results"`
 	SubIsoTests int   `json:"subiso_tests"`
 	WallMicros  int64 `json:"wall_us"`
-	// Trace is the per-shard stage breakdown.
-	Trace *QueryTrace `json:"trace"`
+	// TraceID links the distributed trace retained for this query —
+	// slow queries are anomalous, so tail retention keeps their traces
+	// whenever tracing is enabled. Fetch the full span tree at
+	// GET /debug/traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the inline per-shard stage breakdown, captured only when
+	// no retained trace exists to link (tracing disabled): the retained
+	// trace already carries every stage duration as spans, so inlining
+	// it too would duplicate the payload in the ring.
+	Trace *QueryTrace `json:"trace,omitempty"`
 }
 
 // slowLog is a bounded ring of the slowest-path evidence: queries whose
@@ -146,7 +170,11 @@ func (l *slowLog) record(q *graph.Graph, res *QueryResult) {
 		Results:     len(res.IDs),
 		SubIsoTests: res.SubIsoTests,
 		WallMicros:  res.Wall.Microseconds(),
-		Trace:       res.Trace(),
+	}
+	if res.TraceID != 0 {
+		entry.TraceID = res.TraceID.String()
+	} else {
+		entry.Trace = res.Trace()
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()

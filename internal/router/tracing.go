@@ -1,0 +1,334 @@
+package router
+
+import (
+	"errors"
+	"strconv"
+	"time"
+
+	"gcplus/internal/core"
+	"gcplus/internal/shardhost"
+	"gcplus/internal/trace"
+)
+
+// Router-side distributed tracing. The router owns the trace: it opens
+// the root span, times its own stages (admission, fan-out, merge for
+// queries; admission, apply, WAL appends for updates), carries a
+// trace.Context to every shard through the transport seam, and adopts
+// the span subtrees the shards piggyback on their replies. Head
+// sampling (Options.TraceSampleRate) decides which healthy requests
+// build spans at all; tail retention keeps every anomalous trace —
+// slow, error, shed, deadline-exceeded, degraded — even unsampled ones,
+// whose shard subtrees are synthesized router-side from the same
+// QueryStats every reply already carries.
+
+// DefaultTraceSampleRate is the head-sampling rate when
+// Options.TraceSampleRate is zero: one query in a hundred.
+const DefaultTraceSampleRate = 0.01
+
+// requestTrace accumulates one request's router-side trace state. All
+// methods are nil-receiver safe so the serving path stays branch-light
+// when tracing is disabled. A requestTrace exists for every request
+// while tracing is enabled — sampled or not — because tail retention
+// must be able to promote any request to a retained trace after the
+// fact; only the store Add pays allocation beyond the struct itself.
+type requestTrace struct {
+	id      trace.ID
+	sampled bool
+	op      string // root span name: "query" or "update"
+	kind    string // "sub"/"super" for queries, "" for updates
+	start   time.Time
+	rootID  trace.SpanID
+	fanID   trace.SpanID
+	// admitEnd is zero until admission succeeded; fanEnd zero until the
+	// fan-out wait completed. Their zeroness encodes how far the request
+	// got, which is what decides the span tree of an early exit.
+	admitEnd time.Time
+	fanEnd   time.Time
+	rung     int
+	rungName string
+}
+
+// beginTrace opens a request trace, or returns nil when tracing is off.
+func (s *Server) beginTrace(op, kind string) *requestTrace {
+	if s.traces == nil {
+		return nil
+	}
+	return &requestTrace{
+		id:      trace.NewTraceID(),
+		sampled: s.sampler.Sample(),
+		op:      op,
+		kind:    kind,
+		start:   s.now(),
+		rootID:  trace.NewSpanID(),
+		fanID:   trace.NewSpanID(),
+	}
+}
+
+// context is the trace context shards parent their spans under.
+func (t *requestTrace) context() trace.Context {
+	if t == nil {
+		return trace.Context{}
+	}
+	return trace.Context{TraceID: t.id, Parent: t.fanID, Sampled: t.sampled}
+}
+
+// wireContext is the context to propagate over the transport: only
+// sampled traces cross the wire, so an unsampled request's frames stay
+// byte-identical to tracing-off and the shards never build spans the
+// router might discard.
+func (t *requestTrace) wireContext() trace.Context {
+	if t == nil || !t.sampled {
+		return trace.Context{}
+	}
+	return t.context()
+}
+
+// exemplarID is the trace id to cite on histogram exemplars: only
+// sampled traces, so every exemplar points at a trace whose shard spans
+// were really collected.
+func (t *requestTrace) exemplarID() uint64 {
+	if t == nil || !t.sampled {
+		return 0
+	}
+	return uint64(t.id)
+}
+
+// noteAdmitted marks the end of the admission stage and records the
+// degradation rung the request was admitted under.
+func (t *requestTrace) noteAdmitted(at time.Time, rung int, rungName string) {
+	if t == nil {
+		return
+	}
+	t.admitEnd = at
+	t.rung = rung
+	t.rungName = rungName
+}
+
+// noteFanoutDone marks the completion of the shard fan-out wait.
+func (t *requestTrace) noteFanoutDone(at time.Time) {
+	if t != nil {
+		t.fanEnd = at
+	}
+}
+
+// nanosBetween is b-a clamped at zero: clock-skew fault injection must
+// never produce a negative span duration.
+func nanosBetween(a, b time.Time) int64 {
+	if d := b.Sub(a); d > 0 {
+		return int64(d)
+	}
+	return 0
+}
+
+// capErr truncates an error message to a span-attribute-friendly size.
+func capErr(err error) string {
+	msg := err.Error()
+	if len(msg) > 256 {
+		msg = msg[:256]
+	}
+	return msg
+}
+
+// assemble builds the router span tree — root plus the stages the
+// request reached — appends the per-shard subtrees straight off the
+// replies (plus any extra spans the caller synthesized, e.g. WAL
+// appends), and retains the trace when it is sampled or anomalous.
+// The whole trace lands in one allocation: the slice is sized for the
+// router stages plus every shard subtree up front, and shard spans are
+// appended here rather than concatenated by the caller first. Returns
+// whether the trace was retained. Only call with finished replies.
+func (t *requestTrace) assemble(s *Server, end time.Time, anomaly, errMsg string, rootAttrs []trace.Attr, replies []shardhost.QueryReply, dispatch time.Time, extra []trace.Span) bool {
+	if t == nil {
+		return false
+	}
+	if !t.sampled && anomaly == trace.AnomalyNone {
+		return false
+	}
+	startN := t.start.UnixNano()
+	root := trace.Span{
+		TraceID: t.id, ID: t.rootID, Name: t.op,
+		StartNanos: startN, DurNanos: nanosBetween(t.start, end),
+	}
+	if t.kind != "" {
+		root.SetAttr("kind", t.kind)
+	}
+	for _, a := range rootAttrs {
+		root.SetAttr(a.Key, a.Value)
+	}
+	root.SetAttr("transport", s.transportKind)
+	if t.rung > 0 {
+		root.SetAttr("degraded", t.rungName)
+	}
+	if anomaly != trace.AnomalyNone {
+		root.SetAttr("anomaly", anomaly)
+	}
+	if errMsg != "" {
+		root.SetAttr("error", errMsg)
+	}
+	if !t.sampled {
+		root.SetAttr("synthesized", "true")
+	}
+
+	capHint := 4 + len(extra)
+	for i := range replies {
+		if t.sampled && len(replies[i].Spans) > 0 {
+			capHint += len(replies[i].Spans)
+		} else {
+			capHint += 6 // synthesized subtree: root + up to 5 stage spans
+		}
+	}
+	spans := make([]trace.Span, 0, capHint)
+	spans = append(spans, root)
+	adm := trace.Span{
+		TraceID: t.id, ID: trace.NewSpanID(), Parent: t.rootID,
+		Name: "admission", StartNanos: startN,
+	}
+	if t.admitEnd.IsZero() {
+		// Shed or expired inside admission: the whole request was the
+		// admission stage.
+		adm.DurNanos = root.DurNanos
+		spans = append(spans, adm)
+	} else {
+		adm.DurNanos = nanosBetween(t.start, t.admitEnd)
+		spans = append(spans, adm)
+		fanEnd := t.fanEnd
+		if fanEnd.IsZero() {
+			fanEnd = end // fan-out abandoned at the deadline
+		}
+		fan := trace.Span{
+			TraceID: t.id, ID: t.fanID, Parent: t.rootID,
+			Name: "fanout", StartNanos: t.admitEnd.UnixNano(),
+			DurNanos: nanosBetween(t.admitEnd, fanEnd),
+		}
+		fan.SetAttr("shards", strconv.Itoa(len(s.clients)))
+		spans = append(spans, fan)
+		if !t.fanEnd.IsZero() && t.op == "query" {
+			spans = append(spans, trace.Span{
+				TraceID: t.id, ID: trace.NewSpanID(), Parent: t.rootID,
+				Name: "merge", StartNanos: t.fanEnd.UnixNano(),
+				DurNanos: nanosBetween(t.fanEnd, end),
+			})
+		}
+	}
+	// Per-shard subtrees: the shards' own spans when the trace was
+	// sampled, otherwise subtrees synthesized here from the reply stats —
+	// structurally identical to what the shard would have built, because
+	// both paths run the shardhost span builder over the same non-timing
+	// stats fields. Synthesis appends straight into the trace's backing
+	// array, so it leaves no intermediate garbage behind.
+	tc := trace.Context{TraceID: t.id, Parent: t.fanID, Sampled: true}
+	for i := range replies {
+		r := &replies[i]
+		if t.sampled && len(r.Spans) > 0 {
+			spans = append(spans, r.Spans...)
+			continue
+		}
+		spans = shardhost.AppendShardSpans(spans, tc, i, dispatch.UnixNano(),
+			time.Duration(r.QueueNanos), &r.Stats, r.Err, s.cacheOn)
+	}
+	spans = append(spans, extra...)
+	s.traces.Add(&trace.Trace{
+		ID: t.id, StartNanos: startN, WallNanos: root.DurNanos,
+		Anomaly: anomaly, Spans: spans,
+	})
+	return true
+}
+
+// finishShed retains the trace of a request fast-failed by admission
+// control: root + admission only, always kept (tail retention).
+func (t *requestTrace) finishShed(s *Server) {
+	if t == nil {
+		return
+	}
+	t.assemble(s, s.now(), trace.AnomalyShed, "", nil, nil, time.Time{}, nil)
+}
+
+// finishEarly retains the trace of a request that failed before any
+// shard reply could be read (deadline during admission or during the
+// fan-out wait): the shard subtrees are unknown, the router stages and
+// the anomaly class are not.
+func (t *requestTrace) finishEarly(s *Server, err error) {
+	if t == nil {
+		return
+	}
+	t.assemble(s, s.now(), anomalyOf(err), capErr(err), nil, nil, time.Time{}, nil)
+}
+
+// finishReplyErr retains the trace of a query whose shards all
+// finished but at least one reported an error. Partial shard spans —
+// root + queue — survive for every failed shard.
+func (t *requestTrace) finishReplyErr(s *Server, err error, replies []shardhost.QueryReply, dispatch time.Time) {
+	if t == nil {
+		return
+	}
+	t.assemble(s, s.now(), anomalyOf(err), capErr(err), nil, replies, dispatch, nil)
+}
+
+// finishQuery classifies and retains a successful query's trace,
+// stamping the result with the trace id when the trace was kept.
+func (t *requestTrace) finishQuery(s *Server, out *QueryResult, replies []shardhost.QueryReply, dispatch, end time.Time) {
+	if t == nil {
+		return
+	}
+	anomaly := trace.AnomalyNone
+	switch {
+	case s.opts.SlowLogThreshold > 0 && out.Wall >= s.opts.SlowLogThreshold:
+		anomaly = trace.AnomalySlow
+	case t.rung > 0:
+		anomaly = trace.AnomalyDegraded
+	}
+	if !t.sampled && anomaly == trace.AnomalyNone {
+		return
+	}
+	if t.assemble(s, end, anomaly, "", nil, replies, dispatch, nil) {
+		out.TraceID = t.id
+	}
+}
+
+// finishUpdate retains a successful (or durability-degraded) update
+// batch's trace: root + admission + apply + one wal_append child per
+// shard, with the host-measured append latency off the reply frames.
+func (t *requestTrace) finishUpdate(s *Server, end time.Time, epoch uint64, applied int, walReplies []*shardhost.WALAppendReply, walErr error) {
+	if t == nil {
+		return
+	}
+	anomaly := trace.AnomalyNone
+	errMsg := ""
+	if walErr != nil {
+		anomaly = trace.AnomalyError
+		errMsg = capErr(walErr)
+	}
+	if !t.sampled && anomaly == trace.AnomalyNone {
+		return
+	}
+	var spans []trace.Span
+	for i, r := range walReplies {
+		if r == nil {
+			continue
+		}
+		sp := trace.Span{
+			TraceID: t.id, ID: trace.NewSpanID(), Parent: t.fanID,
+			Name: "wal_append", StartNanos: t.admitEnd.UnixNano(),
+			DurNanos: r.Nanos,
+		}
+		sp.SetAttr("shard", strconv.Itoa(i))
+		if r.Err != nil {
+			sp.SetAttr("error", capErr(r.Err))
+		}
+		spans = append(spans, sp)
+	}
+	t.fanEnd = end
+	t.assemble(s, end, anomaly, errMsg, []trace.Attr{
+		{Key: "epoch", Value: strconv.FormatUint(epoch, 10)},
+		{Key: "applied", Value: strconv.Itoa(applied)},
+	}, nil, time.Time{}, spans)
+}
+
+// anomalyOf maps a request error to its trace anomaly class.
+func anomalyOf(err error) string {
+	var ce *core.CancelError
+	if errors.As(err, &ce) {
+		return trace.AnomalyDeadline
+	}
+	return trace.AnomalyError
+}

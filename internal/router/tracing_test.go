@@ -1,0 +1,299 @@
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"gcplus/internal/cache"
+	"gcplus/internal/changeplan"
+	"gcplus/internal/trace"
+)
+
+// traceShape reduces a trace to its transport-independent structure:
+// one line per span — parent name, own name, sorted attribute keys —
+// sorted. Durations, ids and attribute values are deliberately absent;
+// the differential contract is about which spans exist and how they
+// nest, which may depend only on what the query did, never on how fast
+// a transport carried it.
+func traceShape(t *trace.Trace) string {
+	names := make(map[trace.SpanID]string, len(t.Spans))
+	for _, sp := range t.Spans {
+		names[sp.ID] = sp.Name
+	}
+	lines := make([]string, 0, len(t.Spans))
+	for _, sp := range t.Spans {
+		keys := make([]string, 0, len(sp.Attrs))
+		for _, a := range sp.Attrs {
+			if a.Key == "transport" { // differs by construction
+				continue
+			}
+			keys = append(keys, a.Key)
+		}
+		sort.Strings(keys)
+		parent := names[sp.Parent] // "" for the root
+		lines = append(lines, fmt.Sprintf("%s>%s(%s)", parent, sp.Name, strings.Join(keys, ",")))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestTraceDifferentialTransports pins the acceptance contract of the
+// tracing tentpole: the local and loopback transports must produce
+// structurally identical traces for the same workload — same span
+// names, same nesting, same attribute keys — because shard spans are
+// synthesized from the same QueryStats regardless of the seam that
+// carried them.
+func TestTraceDifferentialTransports(t *testing.T) {
+	initial := genGraphs(t, 40, 23)
+	queries := testQueries(initial)
+	if len(queries) < 2 {
+		t.Fatal("not enough test queries")
+	}
+	opts := Options{
+		Shards:          2,
+		Cache:           &cache.Config{Capacity: 32, WindowSize: 4},
+		TraceSampleRate: 1,
+	}
+	shapes := make(map[string][]string)
+	for _, tr := range []string{TransportLocal, TransportLoopback} {
+		o := opts
+		o.Transport = tr
+		srv, err := New(initial, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			if _, err := srv.SubgraphQuery(q); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := srv.SupergraphQuery(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := srv.Update([]changeplan.Op{changeplan.AddOp(initial[0].Clone())}); err != nil {
+			t.Fatal(err)
+		}
+		snap := srv.traces.Snapshot()
+		if want := 2*len(queries) + 1; len(snap) != want {
+			t.Fatalf("%s: retained %d traces, want %d", tr, len(snap), want)
+		}
+		// Snapshot is newest-first and both servers ran the same
+		// sequence, so index i is the same request on both transports.
+		for _, tt := range snap {
+			shapes[tr] = append(shapes[tr], traceShape(tt))
+		}
+		srv.Close()
+	}
+	for i := range shapes[TransportLocal] {
+		if shapes[TransportLocal][i] != shapes[TransportLoopback][i] {
+			t.Fatalf("trace %d shape diverges across transports:\nlocal:\n%s\nloopback:\n%s",
+				i, shapes[TransportLocal][i], shapes[TransportLoopback][i])
+		}
+	}
+}
+
+// TestTraceSampledQuery checks the span tree of one sampled query:
+// router stages plus one shard subtree per shard, all parented
+// correctly, and the result carrying the retained trace id.
+func TestTraceSampledQuery(t *testing.T) {
+	initial := genGraphs(t, 20, 7)
+	srv, err := New(initial, Options{Shards: 2, TraceSampleRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := srv.SubgraphQuery(testQueries(initial)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID == 0 {
+		t.Fatal("sampled query result carries no trace id")
+	}
+	if len(res.Queue) != 2 {
+		t.Fatalf("per-shard queue waits: %v", res.Queue)
+	}
+	tr := srv.traces.Get(res.TraceID)
+	if tr == nil {
+		t.Fatalf("trace %s not retained", res.TraceID)
+	}
+	if tr.Anomaly != trace.AnomalyNone {
+		t.Fatalf("healthy query classified %q", tr.Anomaly)
+	}
+	counts := map[string]int{}
+	for _, sp := range tr.Spans {
+		counts[sp.Name]++
+	}
+	for name, want := range map[string]int{
+		"query": 1, "admission": 1, "fanout": 1, "merge": 1, "shard": 2, "queue": 2, "verify": 2,
+	} {
+		if counts[name] != want {
+			t.Fatalf("span %q appears %d times, want %d (trace: %v)", name, counts[name], want, counts)
+		}
+	}
+	root := tr.Spans[0]
+	if root.Name != "query" || root.Parent != 0 {
+		t.Fatalf("first span is not the root: %+v", root)
+	}
+	if got := root.Attr("kind"); got != "sub" {
+		t.Fatalf("root kind attr %q", got)
+	}
+	// Every non-root span must resolve its parent inside the trace.
+	ids := map[trace.SpanID]bool{}
+	for _, sp := range tr.Spans {
+		ids[sp.ID] = true
+	}
+	for _, sp := range tr.Spans[1:] {
+		if !ids[sp.Parent] {
+			t.Fatalf("span %q has dangling parent %d", sp.Name, sp.Parent)
+		}
+	}
+	// The query trace view links the id.
+	if qt := res.Trace(); qt.TraceID != res.TraceID.String() {
+		t.Fatalf("QueryTrace.TraceID = %q, want %q", qt.TraceID, res.TraceID)
+	}
+}
+
+// TestTraceTailRetention checks the tail-sampling half: an unsampled
+// query that turns out anomalous (slow) is still retained, with its
+// shard subtrees synthesized router-side from the reply stats.
+func TestTraceTailRetention(t *testing.T) {
+	initial := genGraphs(t, 20, 11)
+	srv, err := New(initial, Options{
+		Shards:           2,
+		TraceSampleRate:  1e-9,            // sampler period ~1e9: only the first query samples
+		SlowLogThreshold: time.Nanosecond, // every query is "slow"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	q := testQueries(initial)[0]
+	if _, err := srv.SubgraphQuery(q); err != nil { // warm-up: consumes the sampled slot
+		t.Fatal(err)
+	}
+	res, err := srv.SubgraphQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID == 0 {
+		t.Fatal("anomalous unsampled query retained no trace")
+	}
+	tr := srv.traces.Get(res.TraceID)
+	if tr == nil {
+		t.Fatalf("trace %s not in store", res.TraceID)
+	}
+	if tr.Anomaly != trace.AnomalySlow {
+		t.Fatalf("anomaly %q, want %q", tr.Anomaly, trace.AnomalySlow)
+	}
+	if got := tr.Spans[0].Attr("synthesized"); got != "true" {
+		t.Fatal("synthesized trace not marked as such")
+	}
+	shards := 0
+	for _, sp := range tr.Spans {
+		if sp.Name == "shard" {
+			shards++
+		}
+	}
+	if shards != 2 {
+		t.Fatalf("synthesized trace has %d shard subtrees, want 2", shards)
+	}
+}
+
+// TestTraceDisabled checks the off switch: a negative sample rate must
+// leave results unstamped, keep the slow log inlining its stage
+// breakdown, and have /debug/traces report tracing disabled.
+func TestTraceDisabled(t *testing.T) {
+	initial := genGraphs(t, 12, 5)
+	srv, err := New(initial, Options{
+		Shards:           2,
+		TraceSampleRate:  -1,
+		SlowLogThreshold: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := srv.SubgraphQuery(testQueries(initial)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID != 0 {
+		t.Fatalf("tracing disabled but result stamped %s", res.TraceID)
+	}
+	entries := srv.SlowQueries()
+	if len(entries) != 1 || entries[0].TraceID != "" || entries[0].Trace == nil {
+		t.Fatalf("slow entry should inline its trace when tracing is off: %+v", entries)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	status, body := getBody(t, ts.URL+"/debug/traces")
+	if status != http.StatusOK || !strings.Contains(body, `"enabled": false`) {
+		t.Fatalf("/debug/traces with tracing off: %d %s", status, body)
+	}
+	if status, _ := getBody(t, ts.URL+"/debug/traces/00ff"); status != http.StatusNotFound {
+		t.Fatalf("by-id with tracing off: status %d, want 404", status)
+	}
+}
+
+// TestTracesEndpoint drives the debug endpoints over a sampled
+// workload: list view newest-first, by-id fetch, and the two error
+// paths (bad id, unknown id).
+func TestTracesEndpoint(t *testing.T) {
+	initial := genGraphs(t, 16, 3)
+	srv, err := New(initial, Options{Shards: 2, TraceSampleRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, q := range testQueries(initial)[:2] {
+		if _, err := srv.SubgraphQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	type listBody struct {
+		Enabled    bool        `json:"enabled"`
+		SampleRate float64     `json:"sample_rate"`
+		Captured   uint64      `json:"captured"`
+		Traces     []wireTrace `json:"traces"`
+	}
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decodeJSON[listBody](t, resp.Body)
+	resp.Body.Close()
+	if !list.Enabled || list.SampleRate != 1 || list.Captured != 2 || len(list.Traces) != 2 {
+		t.Fatalf("list view: %+v", list)
+	}
+	for _, wt := range list.Traces {
+		if wt.SpanCount == 0 || len(wt.Spans) != 0 {
+			t.Fatalf("summary must count spans without expanding them: %+v", wt)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/debug/traces/" + list.Traces[0].TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := decodeJSON[wireTrace](t, resp.Body)
+	resp.Body.Close()
+	if full.TraceID != list.Traces[0].TraceID || len(full.Spans) != full.SpanCount {
+		t.Fatalf("by-id view: %+v", full)
+	}
+	if full.Spans[0].Name != "query" || full.Spans[0].ParentID != "" {
+		t.Fatalf("expanded root: %+v", full.Spans[0])
+	}
+	if status, _ := getBody(t, ts.URL+"/debug/traces/not-hex"); status != http.StatusBadRequest {
+		t.Fatalf("bad id: status %d, want 400", status)
+	}
+	if status, _ := getBody(t, ts.URL+"/debug/traces/00000000000000ff"); status != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d, want 404", status)
+	}
+}

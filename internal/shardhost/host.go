@@ -213,6 +213,11 @@ func (h *Host) Dataset() *dataset.Dataset { return h.ds }
 // owner-context use only.
 func (h *Host) LocalToGlobal() []int { return h.localToGlobal }
 
+// CacheEnabled reports whether this shard runs the GC+ cache. The flag
+// is fixed at construction, so any goroutine may read it — the wire
+// server uses it to synthesize span subtrees off the owner goroutine.
+func (h *Host) CacheEnabled() bool { return h.rt.CacheEnabled() }
+
 // QueueWaitHist and WALAppendHist expose the host-owned histograms for
 // registry registration by the process that scrapes them.
 func (h *Host) QueueWaitHist() *obs.Histogram { return h.queueWait }
@@ -240,17 +245,24 @@ func (h *Host) Signals() Signals {
 // under clock-skew injection h.now may step backwards, and a skewed
 // clock must only distort metrics, never state.
 func (h *Host) Enqueue(fn func()) {
+	h.EnqueueTimed(func(time.Duration) { fn() })
+}
+
+// EnqueueTimed is Enqueue for jobs that want their own measured queue
+// wait (the tracing path turns it into the per-shard queue span and the
+// reply's QueueNanos without a second clock read).
+func (h *Host) EnqueueTimed(fn func(wait time.Duration)) {
 	at := h.now()
 	h.jobs <- func() {
 		if h.stall != nil {
 			h.stall(h.id)
 		}
-		if d := h.now().Sub(at); d > 0 {
-			h.queueWait.Observe(d)
-		} else {
-			h.queueWait.Observe(0)
+		d := h.now().Sub(at)
+		if d < 0 {
+			d = 0
 		}
-		fn()
+		h.queueWait.Observe(d)
+		fn(d)
 	}
 }
 

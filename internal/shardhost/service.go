@@ -11,6 +11,7 @@ import (
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
 	"gcplus/internal/persist"
+	"gcplus/internal/trace"
 )
 
 // This file is the ShardService contract: the request/reply vocabulary
@@ -33,6 +34,10 @@ type QueryRequest struct {
 	// fields (BypassCache, MaxVerifyParallelism, Limit) cross a wire
 	// transport; the OnAnswer streaming hook is in-process only.
 	Opts core.QueryOptions
+	// Trace is the propagated trace context. When Sampled, the shard
+	// synthesizes its span subtree into the reply and tags its stage
+	// histograms with the trace id as an exemplar.
+	Trace trace.Context
 }
 
 // QueryReply is the shard's answer.
@@ -49,6 +54,18 @@ type QueryReply struct {
 	// round trip minus HostNanos is the pure transport overhead, which
 	// is how the router computes the trace's transport_us.
 	HostNanos int64
+	// QueueNanos is the measured wait in the shard's owner queue —
+	// HostNanos minus execution. Always filled, so the router can report
+	// per-shard queue pressure for untraced queries too.
+	QueueNanos int64
+	// Spans is the shard's synthesized span subtree. Wire transports fill
+	// it (server-side, off the owner goroutine) for sampled requests —
+	// error replies included, so a cancelled query keeps its partial
+	// trace. The in-process transport leaves it nil and the router
+	// synthesizes an identically-shaped subtree from the reply's stats:
+	// both paths run BuildShardSpans over the same non-timing fields, so
+	// the owner goroutine never pays for span construction either way.
+	Spans []trace.Span
 }
 
 // OpRequest applies one dataset change operation to the shard. The
@@ -58,6 +75,11 @@ type QueryReply struct {
 type OpRequest struct {
 	Op       changeplan.Op
 	GlobalID int
+	// Trace is the propagated trace context for the owning update. The
+	// host does not synthesize op spans (the router builds the update's
+	// trace from replies), but the context crosses the wire so a future
+	// remote shard can.
+	Trace trace.Context
 }
 
 // OpReply reports one operation's outcome: the global id on success
@@ -71,6 +93,11 @@ type OpReply struct {
 // append-failure policy.
 type WALAppendReply struct {
 	Err error
+	// Nanos is the measured append latency (encode + write + fsync and
+	// any in-place retries); zero when the append never ran (gap open,
+	// missing segment). The router turns it into the update trace's
+	// per-shard wal_append span.
+	Nanos int64
 }
 
 // SnapshotReply carries one shard's export for a snapshot generation.
@@ -116,7 +143,12 @@ type StatsReply struct {
 // stage "queue".
 func (h *Host) Query(ctx context.Context, req *QueryRequest, reply *QueryReply, done func()) {
 	at := h.now()
-	h.Enqueue(func() {
+	sampled := req.Trace.Sampled && req.Trace.Valid()
+	h.EnqueueTimed(func(wait time.Duration) {
+		reply.QueueNanos = int64(wait)
+		if sampled {
+			h.queueWait.SetExemplar(wait, uint64(req.Trace.TraceID))
+		}
 		defer func() {
 			if d := h.now().Sub(at); d > 0 {
 				reply.HostNanos = int64(d)
@@ -132,12 +164,18 @@ func (h *Host) Query(ctx context.Context, req *QueryRequest, reply *QueryReply, 
 			default:
 			}
 		}
+		opts := req.Opts
+		if sampled {
+			// In-process only: tells the runtime's stage histograms which
+			// trace to cite as their exemplar.
+			opts.TraceID = uint64(req.Trace.TraceID)
+		}
 		var res *core.Result
 		var err error
 		if req.Kind == cache.KindSub {
-			res, err = h.rt.SubgraphQueryCtx(ctx, req.Query, req.Opts)
+			res, err = h.rt.SubgraphQueryCtx(ctx, req.Query, opts)
 		} else {
-			res, err = h.rt.SupergraphQueryCtx(ctx, req.Query, req.Opts)
+			res, err = h.rt.SupergraphQueryCtx(ctx, req.Query, opts)
 		}
 		if err != nil {
 			reply.Err = err
@@ -279,7 +317,9 @@ func (h *Host) AppendWAL(epoch uint64, reply *WALAppendReply, done func()) {
 		}
 		// The append latency is dominated by the fsync (unless NoSync) —
 		// the per-batch durability price the histogram exists to expose.
-		h.walAppend.Observe(time.Since(at))
+		d := time.Since(at)
+		h.walAppend.Observe(d)
+		reply.Nanos = int64(d)
 		h.walAppends.Add(1)
 		if err == nil {
 			storeMax(&h.durableEpoch, epoch)

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzSpanCodec: any byte string either fails to decode or decodes
+// into spans that re-encode and re-decode to the identical structure —
+// the hostile-reply posture the loopback client needs when a reply
+// frame piggybacks a span block.
+func FuzzSpanCodec(f *testing.F) {
+	f.Add(AppendSpans(nil, nil))
+	f.Add(AppendSpans(nil, []Span{{TraceID: 1, ID: 2, Name: "query"}}))
+	f.Add(AppendSpans(nil, []Span{
+		{
+			TraceID: 7, ID: 8, Parent: 2, Name: "verify",
+			StartNanos: 1700000000000000000, DurNanos: 250000,
+			Attrs:  []Attr{{Key: "subiso_tests", Value: "12"}},
+			Events: []Event{{UnixNanos: 5, Msg: "start"}},
+		},
+		{TraceID: 7, ID: 9, Parent: 8, Name: "queue", DurNanos: 1},
+	}))
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spans, err := DecodeSpans(data)
+		if err != nil {
+			return
+		}
+		enc := AppendSpans(nil, spans)
+		back, err := DecodeSpans(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(back, spans) {
+			t.Fatalf("re-encode changed structure:\n got %+v\nwant %+v", back, spans)
+		}
+	})
+}

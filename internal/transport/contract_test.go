@@ -26,6 +26,7 @@ import (
 	"gcplus/internal/shardhost"
 	"gcplus/internal/subiso"
 	"gcplus/internal/synthetic"
+	"gcplus/internal/trace"
 )
 
 func genGraphs(t testing.TB, n int, seed int64) []*graph.Graph {
@@ -490,6 +491,142 @@ func TestContractOrdering(t *testing.T) {
 			}
 		}
 	})
+}
+
+// queryShardTraced is queryShard with a propagated trace context.
+func queryShardTraced(ctx context.Context, c ShardClient, q *graph.Graph, tc trace.Context) *shardhost.QueryReply {
+	reply := &shardhost.QueryReply{}
+	done := make(chan struct{})
+	c.Query(ctx, &shardhost.QueryRequest{Kind: cache.KindSub, Query: q, Trace: tc}, reply, func() { close(done) })
+	<-done
+	return reply
+}
+
+// spanShape canonicalizes a span list to its structural shape: names in
+// emission order with a parent marker — the thing that must be
+// transport-independent even though every duration differs.
+func spanShape(spans []trace.Span) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	root := spans[0].ID
+	var b strings.Builder
+	for i, s := range spans {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(s.Name)
+		if s.Parent == root {
+			b.WriteByte('*') // child of the shard root
+		}
+	}
+	return b.String()
+}
+
+// TestContractTracing: the tracing dimension of the contract. Where the
+// span subtree materializes is transport-specific — wire transports
+// piggyback it on the reply frame (built server-side, off the owner
+// goroutine), while the in-process transport leaves Spans nil and the
+// router synthesizes the subtree from the reply stats — but the
+// resulting tree must be identically shaped either way, an unsampled
+// request carries none, the queue wait is reported regardless, and a
+// mid-stream cancellation keeps its partial trace on the error reply.
+func TestContractTracing(t *testing.T) {
+	hosts := newTestHosts(t, 1, shardhost.Config{})
+	qs := testQueries(genGraphs(t, 60, 7))
+
+	// replySpans resolves one reply to its span subtree the way the
+	// router would: wire replies carry their spans, in-process replies
+	// carry none and the subtree is synthesized from the reply stats.
+	replySpans := func(t *testing.T, kind string, reply *shardhost.QueryReply, tc trace.Context) []trace.Span {
+		t.Helper()
+		if kind == "local" {
+			if len(reply.Spans) != 0 {
+				t.Fatalf("in-process transport materialized %d spans on the reply", len(reply.Spans))
+			}
+			return shardhost.BuildShardSpans(tc, 0, time.Now().UnixNano(),
+				time.Duration(reply.QueueNanos), &reply.Stats, reply.Err, hosts[0].CacheEnabled())
+		}
+		if len(reply.Spans) == 0 {
+			t.Fatal("sampled query returned no spans over the wire")
+		}
+		return reply.Spans
+	}
+
+	shapes := make(map[string]string)
+	for _, kind := range []string{"local", "loopback"} {
+		t.Run(kind, func(t *testing.T) {
+			clients := dialAll(t, kind, hosts)
+			tc := trace.Context{TraceID: trace.NewTraceID(), Parent: trace.NewSpanID(), Sampled: true}
+			reply := queryShardTraced(context.Background(), clients[0], qs[0], tc)
+			if reply.Err != nil {
+				t.Fatal(reply.Err)
+			}
+			spans := replySpans(t, kind, reply, tc)
+			root := spans[0]
+			if root.Name != "shard" || root.TraceID != tc.TraceID || root.Parent != tc.Parent {
+				t.Fatalf("root span not parented under the request context: %+v", root)
+			}
+			for _, s := range spans[1:] {
+				if s.Parent != root.ID || s.TraceID != tc.TraceID {
+					t.Fatalf("stage span detached from root: %+v", s)
+				}
+			}
+			shape := spanShape(spans)
+			for _, stage := range []string{"queue", "consistency", "hit", "verify"} {
+				if !strings.Contains(shape, stage) {
+					t.Fatalf("span set %q missing stage %q", shape, stage)
+				}
+			}
+			if reply.QueueNanos < 0 {
+				t.Fatalf("negative queue nanos %d", reply.QueueNanos)
+			}
+			shapes[kind] = shape
+
+			// Unsampled: the trace context rides along but no spans come
+			// back on any transport; the queue wait is still reported.
+			un := queryShardTraced(context.Background(), clients[0], qs[0],
+				trace.Context{TraceID: trace.NewTraceID(), Parent: trace.NewSpanID()})
+			if un.Err != nil {
+				t.Fatal(un.Err)
+			}
+			if len(un.Spans) != 0 {
+				t.Fatalf("unsampled query returned %d spans", len(un.Spans))
+			}
+
+			// Mid-stream cancel: the error reply keeps its partial trace.
+			gate := make(chan struct{})
+			hosts[0].Enqueue(func() { <-gate })
+			ctx, cancel := context.WithCancel(context.Background())
+			ctc := trace.Context{TraceID: trace.NewTraceID(), Parent: trace.NewSpanID(), Sampled: true}
+			creply := &shardhost.QueryReply{}
+			done := make(chan struct{})
+			clients[0].Query(ctx, &shardhost.QueryRequest{
+				Kind: cache.KindSub, Query: qs[0], Trace: ctc,
+			}, creply, func() { close(done) })
+			cancel()
+			if kind == "loopback" {
+				time.Sleep(20 * time.Millisecond) // let the CANCEL frame land
+			}
+			close(gate)
+			<-done
+			var ce *core.CancelError
+			if !errors.As(creply.Err, &ce) {
+				t.Fatalf("want CancelError, got %v", creply.Err)
+			}
+			cspans := replySpans(t, kind, creply, ctc)
+			if len(cspans) == 0 {
+				t.Fatal("cancelled query dropped its partial trace")
+			}
+			if cspans[0].Attr("error") == "" {
+				t.Fatalf("partial root span missing error attribute: %+v", cspans[0])
+			}
+		})
+	}
+	if shapes["local"] != shapes["loopback"] {
+		t.Fatalf("span shapes diverge across transports:\n local    %q\n loopback %q",
+			shapes["local"], shapes["loopback"])
+	}
 }
 
 func equalInts(a, b []int) bool {

@@ -132,6 +132,11 @@ func (s *LoopbackServer) serveConn(conn net.Conn) {
 		return
 	}
 	shard := hd.uvarint()
+	// Optional protocol version; a v1 client's HELLO ends at the shard.
+	ver := uint64(1)
+	if hd.err == nil && len(hd.data) > 0 {
+		ver = hd.uvarint()
+	}
 	if hd.err != nil || shard >= uint64(len(s.hosts)) {
 		return
 	}
@@ -217,7 +222,7 @@ func (s *LoopbackServer) serveConn(conn net.Conn) {
 			if derr != nil {
 				pending.Add(1)
 				r := &shardhost.QueryReply{Err: badRequestf("%v", derr)}
-				reply(typ, id, func(dst []byte) []byte { return AppendQueryReply(dst, r) })
+				reply(typ, id, func(dst []byte) []byte { return AppendQueryReply(dst, r, ver) })
 				continue
 			}
 			var ctx context.Context
@@ -231,13 +236,24 @@ func (s *LoopbackServer) serveConn(conn net.Conn) {
 			inflight[id] = cancel
 			imu.Unlock()
 			pending.Add(1)
+			at := time.Now()
 			r := &shardhost.QueryReply{}
 			host.Query(ctx, req, r, func() {
 				imu.Lock()
 				delete(inflight, id)
 				imu.Unlock()
 				cancel()
-				reply(typ, id, func(dst []byte) []byte { return AppendQueryReply(dst, r) })
+				reply(typ, id, func(dst []byte) []byte {
+					// The piggybacked span subtree is synthesized here, on
+					// the writer goroutine, so the shard owner never pays
+					// for span construction (the reply is final by the time
+					// the writer renders it).
+					if ver >= 2 && req.Trace.Sampled && req.Trace.Valid() {
+						r.Spans = shardhost.BuildShardSpans(req.Trace, host.ID(), at.UnixNano(),
+							time.Duration(r.QueueNanos), &r.Stats, r.Err, host.CacheEnabled())
+					}
+					return AppendQueryReply(dst, r, ver)
+				})
 			})
 
 		case msgApplyOp:
@@ -263,7 +279,13 @@ func (s *LoopbackServer) serveConn(conn net.Conn) {
 			pending.Add(1)
 			r := &shardhost.WALAppendReply{}
 			host.AppendWAL(epoch, r, func() {
-				reply(typ, id, func(dst []byte) []byte { return appendWireError(dst, r.Err) })
+				reply(typ, id, func(dst []byte) []byte {
+					dst = appendWireError(dst, r.Err)
+					if ver >= 2 {
+						dst = appendUvarint(dst, uint64(max64(r.Nanos, 0)))
+					}
+					return dst
+				})
 			})
 
 		case msgSync:
@@ -409,7 +431,7 @@ func DialLoopback(addr string, shard int) (*LoopbackClient, error) {
 		maxFrame:   MaxFramePayload,
 		readerDone: make(chan struct{}),
 	}
-	hello := appendUvarint([]byte{msgHello}, uint64(shard))
+	hello := appendUvarint(appendUvarint([]byte{msgHello}, uint64(shard)), protocolVersion)
 	if _, err := conn.Write(appendFrame(nil, hello)); err != nil {
 		conn.Close()
 		return nil, err
@@ -678,6 +700,10 @@ func (c *LoopbackClient) decodeReply(typ byte, d *dec, cl *call) error {
 		return nil
 	case msgAppendWAL:
 		werr := decodeWireError(d)
+		if d.err == nil && len(d.data) > 0 {
+			// v2 extension: host-measured append latency.
+			cl.wreply.Nanos = int64(d.duration())
+		}
 		if d.err != nil {
 			return d.err
 		}

@@ -13,6 +13,7 @@ import (
 	"gcplus/internal/core"
 	"gcplus/internal/graph"
 	"gcplus/internal/shardhost"
+	"gcplus/internal/trace"
 )
 
 // Wire format. Every message travels in one frame, framed exactly like
@@ -46,6 +47,33 @@ const (
 	msgCancel
 	msgReply
 )
+
+// protocolVersion is the version the client announces in its HELLO
+// frame (a trailing uvarint the v1 server ignored; absence means v1).
+// Version 2 adds the tracing extensions: QUERY and APPLY_OP requests
+// may carry a trailing trace context, and the server appends a trailing
+// extension to QUERY replies (queue nanos + piggybacked span block) and
+// APPEND_WAL replies (append nanos) when the connection announced ≥ 2.
+// Request extensions are self-describing trailing blocks, so the
+// decoders accept both shapes regardless of the announced version.
+const protocolVersion = 2
+
+// appendTraceCtx appends the v2 trace-context extension. Callers only
+// append it for a valid context; an absent block decodes as the zero
+// context.
+func appendTraceCtx(dst []byte, tc trace.Context) []byte {
+	dst = appendUvarint(dst, uint64(tc.TraceID))
+	dst = appendUvarint(dst, uint64(tc.Parent))
+	return appendBool(dst, tc.Sampled)
+}
+
+func (d *dec) traceCtx() trace.Context {
+	var tc trace.Context
+	tc.TraceID = trace.ID(d.uvarint())
+	tc.Parent = trace.SpanID(d.uvarint())
+	tc.Sampled = d.bool()
+	return tc
+}
 
 // MaxFramePayload bounds a frame payload (1 GiB, matching the persist
 // framing). An oversized outbound frame is rejected client-side with
@@ -219,7 +247,11 @@ func AppendQueryRequest(dst []byte, req *shardhost.QueryRequest, deadline time.D
 	dst = appendUvarint(dst, uint64(req.Opts.Limit))
 	dst = appendBool(dst, req.Opts.BypassCache)
 	dst = appendUvarint(dst, uint64(req.Opts.MaxVerifyParallelism))
-	return appendBytes(dst, graph.Marshal(req.Query))
+	dst = appendBytes(dst, graph.Marshal(req.Query))
+	if req.Trace.Valid() {
+		dst = appendTraceCtx(dst, req.Trace)
+	}
+	return dst
 }
 
 // DecodeQueryRequest is AppendQueryRequest's inverse.
@@ -231,6 +263,9 @@ func DecodeQueryRequest(data []byte) (*shardhost.QueryRequest, time.Duration, er
 	req.Opts.BypassCache = d.bool()
 	req.Opts.MaxVerifyParallelism = d.intNonNeg()
 	gb := d.bytes()
+	if d.err == nil && len(d.data) > 0 {
+		req.Trace = d.traceCtx()
+	}
 	if d.err != nil {
 		return nil, 0, d.err
 	}
@@ -254,7 +289,14 @@ func DecodeQueryRequest(data []byte) (*shardhost.QueryRequest, time.Duration, er
 // codec (which carries the graph for ADD ops).
 func AppendOpRequest(dst []byte, req *shardhost.OpRequest) ([]byte, error) {
 	dst = appendUvarint(dst, uint64(req.GlobalID))
-	return req.Op.AppendBinary(dst)
+	dst, err := req.Op.AppendBinary(dst)
+	if err != nil {
+		return dst, err
+	}
+	if req.Trace.Valid() {
+		dst = appendTraceCtx(dst, req.Trace)
+	}
+	return dst, nil
 }
 
 // DecodeOpRequest is AppendOpRequest's inverse.
@@ -271,10 +313,18 @@ func DecodeOpRequest(data []byte) (*shardhost.OpRequest, error) {
 	if err != nil {
 		return nil, err
 	}
+	req := &shardhost.OpRequest{Op: op, GlobalID: int(gid)}
 	if len(rest) != 0 {
-		return nil, badRequestf("transport: %d trailing bytes after op request", len(rest))
+		d.data = rest
+		req.Trace = d.traceCtx()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if len(d.data) != 0 {
+			return nil, badRequestf("transport: %d trailing bytes after op request", len(d.data))
+		}
 	}
-	return &shardhost.OpRequest{Op: op, GlobalID: int(gid)}, nil
+	return req, nil
 }
 
 // --- query reply ---
@@ -282,12 +332,15 @@ func DecodeOpRequest(data []byte) (*shardhost.OpRequest, error) {
 // AppendQueryReply encodes a QueryReply body: host nanos, the taxonomy-
 // classified error, and on success the ascending answer ids
 // (delta-coded) plus the full per-shard QueryStats — every field, so
-// aggregate stats and traces are bit-identical across transports.
-func AppendQueryReply(dst []byte, reply *shardhost.QueryReply) []byte {
+// aggregate stats and traces are bit-identical across transports. When
+// ver ≥ 2 a trailing extension carries the queue wait and the shard's
+// piggybacked span block — on error replies too, so a cancelled query
+// keeps its partial trace.
+func AppendQueryReply(dst []byte, reply *shardhost.QueryReply, ver uint64) []byte {
 	dst = appendUvarint(dst, uint64(max64(reply.HostNanos, 0)))
 	dst = appendWireError(dst, reply.Err)
 	if reply.Err != nil {
-		return dst
+		return appendQueryReplyExt(dst, reply, ver)
 	}
 	dst = appendUvarint(dst, uint64(len(reply.IDs)))
 	prev := 0
@@ -319,7 +372,39 @@ func AppendQueryReply(dst []byte, reply *shardhost.QueryReply) []byte {
 	dst = appendString(dst, st.PlanAlgorithm)
 	dst = appendBool(dst, st.PlanCached)
 	dst = appendBool(dst, st.Truncated)
-	return dst
+	return appendQueryReplyExt(dst, reply, ver)
+}
+
+// appendQueryReplyExt appends the v2 reply extension: queue wait nanos
+// plus the span block as one length-delimited field (bounds-checked on
+// decode by the ordinary bytes guard).
+func appendQueryReplyExt(dst []byte, reply *shardhost.QueryReply, ver uint64) []byte {
+	if ver < 2 {
+		return dst
+	}
+	dst = appendUvarint(dst, uint64(max64(reply.QueueNanos, 0)))
+	return appendBytes(dst, trace.AppendSpans(nil, reply.Spans))
+}
+
+// decodeQueryReplyExt parses the optional trailing reply extension;
+// absence (a v1 peer) leaves the reply's trace fields zero.
+func decodeQueryReplyExt(d *dec, reply *shardhost.QueryReply) {
+	if d.err != nil || len(d.data) == 0 {
+		return
+	}
+	reply.QueueNanos = int64(d.duration())
+	sb := d.bytes()
+	if d.err != nil {
+		return
+	}
+	if len(sb) > 0 {
+		spans, serr := trace.DecodeSpans(sb)
+		if serr != nil {
+			d.fail("span block: %v", serr)
+			return
+		}
+		reply.Spans = spans
+	}
 }
 
 // DecodeQueryReply is AppendQueryReply's inverse.
@@ -332,6 +417,10 @@ func DecodeQueryReply(data []byte, reply *shardhost.QueryReply) error {
 	}
 	if werr != nil {
 		reply.Err = werr
+		decodeQueryReplyExt(d, reply)
+		if d.err != nil {
+			return d.err
+		}
 		if len(d.data) != 0 {
 			return fmt.Errorf("transport: %d trailing bytes after query error", len(d.data))
 		}
@@ -379,6 +468,7 @@ func DecodeQueryReply(data []byte, reply *shardhost.QueryReply) error {
 	st.PlanAlgorithm = d.str()
 	st.PlanCached = d.bool()
 	st.Truncated = d.bool()
+	decodeQueryReplyExt(d, reply)
 	if d.err != nil {
 		return d.err
 	}

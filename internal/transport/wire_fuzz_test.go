@@ -9,6 +9,7 @@ package transport
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"gcplus/internal/dataset"
 	"gcplus/internal/graph"
 	"gcplus/internal/shardhost"
+	"gcplus/internal/trace"
 )
 
 func fuzzSeedGraphs() []*graph.Graph {
@@ -40,6 +42,11 @@ func FuzzWireQuery(f *testing.F) {
 			Query: g,
 			Opts:  core.QueryOptions{BypassCache: true},
 		}, 0))
+		f.Add(AppendQueryRequest(nil, &shardhost.QueryRequest{
+			Kind:  cache.KindSub,
+			Query: g,
+			Trace: trace.Context{TraceID: 0xfeed, Parent: 0xbeef, Sampled: true},
+		}, time.Second))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
@@ -68,6 +75,9 @@ func FuzzWireQuery(f *testing.F) {
 			req2.Opts.MaxVerifyParallelism != req.Opts.MaxVerifyParallelism {
 			t.Fatalf("round trip diverged: %+v/%v vs %+v/%v", req, deadline, req2, deadline2)
 		}
+		if req.Trace.Valid() && req2.Trace != req.Trace {
+			t.Fatalf("round trip diverged on trace context: %+v vs %+v", req.Trace, req2.Trace)
+		}
 		if !bytes.Equal(graph.Marshal(req.Query), graph.Marshal(req2.Query)) {
 			t.Fatal("round trip diverged on the query graph")
 		}
@@ -88,6 +98,13 @@ func FuzzWireOps(f *testing.F) {
 		if b, err := AppendOpRequest(nil, &shardhost.OpRequest{Op: op, GlobalID: 3}); err == nil {
 			f.Add(b)
 		}
+	}
+	if b, err := AppendOpRequest(nil, &shardhost.OpRequest{
+		Op:       changeplan.DeleteOp(2),
+		GlobalID: 2,
+		Trace:    trace.Context{TraceID: 0xabc, Parent: 0xdef, Sampled: true},
+	}); err == nil {
+		f.Add(b)
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0x01, 0x00})
@@ -114,6 +131,9 @@ func FuzzWireOps(f *testing.F) {
 			req2.Op.GraphID != req.Op.GraphID || req2.Op.U != req.Op.U || req2.Op.V != req.Op.V {
 			t.Fatalf("round trip diverged: %+v vs %+v", req, req2)
 		}
+		if req.Trace.Valid() && req2.Trace != req.Trace {
+			t.Fatalf("round trip diverged on trace context: %+v vs %+v", req.Trace, req2.Trace)
+		}
 	})
 }
 
@@ -122,15 +142,23 @@ func FuzzWireResult(f *testing.F) {
 		IDs:       []int{2, 5, 11, 40},
 		Stats:     core.QueryStats{Kind: cache.KindSub, SubIsoTests: 9, TestsSaved: 4, QueryTime: time.Millisecond, PlanAlgorithm: "VF2+", Truncated: true},
 		HostNanos: 12345,
-	}))
+	}, protocolVersion))
 	f.Add(AppendQueryReply(nil, &shardhost.QueryReply{
 		Err:       &core.CancelError{Stage: "verify", Err: nil},
 		HostNanos: 99,
-	}))
+	}, protocolVersion))
 	f.Add(AppendQueryReply(nil, &shardhost.QueryReply{
 		Err: &OverloadError{Kind: "query", Limit: 8},
-	}))
-	f.Add(AppendQueryReply(nil, &shardhost.QueryReply{}))
+	}, 1)) // v1 body: no trailing extension
+	f.Add(AppendQueryReply(nil, &shardhost.QueryReply{}, protocolVersion))
+	f.Add(AppendQueryReply(nil, &shardhost.QueryReply{
+		IDs:        []int{3},
+		QueueNanos: 4200,
+		Spans: []trace.Span{
+			{TraceID: 9, ID: 1, Name: "shard", Attrs: []trace.Attr{{Key: "shard", Value: "0"}}},
+			{TraceID: 9, ID: 2, Parent: 1, Name: "verify", DurNanos: 777},
+		},
+	}, protocolVersion))
 	f.Add([]byte{})
 	f.Add([]byte{0x00, 0x01, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -146,13 +174,19 @@ func FuzzWireResult(f *testing.F) {
 		if reply.HostNanos < 0 {
 			t.Fatalf("decoded negative host nanos %d", reply.HostNanos)
 		}
-		re := AppendQueryReply(nil, &reply)
+		re := AppendQueryReply(nil, &reply, protocolVersion)
 		var reply2 shardhost.QueryReply
 		if err := DecodeQueryReply(re, &reply2); err != nil {
 			t.Fatalf("re-encode of a decoded reply failed to decode: %v", err)
 		}
 		if !equalInts(reply.IDs, reply2.IDs) || reply.Stats != reply2.Stats || reply.HostNanos != reply2.HostNanos {
 			t.Fatalf("round trip diverged:\n %+v\n %+v", reply, reply2)
+		}
+		if reply2.QueueNanos != reply.QueueNanos {
+			t.Fatalf("round trip diverged on queue nanos: %d vs %d", reply.QueueNanos, reply2.QueueNanos)
+		}
+		if !reflect.DeepEqual(reply.Spans, reply2.Spans) {
+			t.Fatalf("round trip diverged on spans:\n %+v\n %+v", reply.Spans, reply2.Spans)
 		}
 		if (reply.Err == nil) != (reply2.Err == nil) {
 			t.Fatalf("round trip diverged on error presence: %v vs %v", reply.Err, reply2.Err)
